@@ -1,0 +1,108 @@
+//! Microbenchmarks of the control-plane structures: table access, the CPA
+//! programming sequence, trigger evaluation, and the data-path cost of
+//! having a control plane at all (the software analogue of §7.2's
+//! "no extra latency" claim).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pard_cache::{llc_control_plane, CacheGeometry, PlruTree, TagArray};
+use pard_cp::{
+    shared, CmpOp, CpAddr, CpCommand, CpaRegisterFile, TableSel, Trigger, REG_ADDR, REG_CMD,
+    REG_DATA,
+};
+use pard_icn::{DsId, LAddr};
+
+fn bench_tables(c: &mut Criterion) {
+    let cp = llc_control_plane(256, 64);
+    c.bench_function("cp/param_read", |b| {
+        b.iter(|| cp.param(black_box(DsId::new(7)), "waymask").unwrap())
+    });
+
+    let mut cp = llc_control_plane(256, 64);
+    c.bench_function("cp/stat_write", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            cp.set_stat(black_box(DsId::new(7)), "miss_rate", v)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_cpa_sequence(c: &mut Criterion) {
+    let plane = shared(llc_control_plane(256, 64));
+    let mut cpa = CpaRegisterFile::new(plane);
+    let addr = CpAddr::new(DsId::new(3), 0, TableSel::Parameter).encode();
+    c.bench_function("cpa/write_sequence", |b| {
+        b.iter(|| {
+            cpa.write(REG_ADDR, addr.into()).unwrap();
+            cpa.write(REG_DATA, black_box(0xFF00)).unwrap();
+            cpa.write(REG_CMD, CpCommand::Write.encode().into())
+                .unwrap();
+        })
+    });
+    c.bench_function("cpa/read_sequence", |b| {
+        b.iter(|| {
+            cpa.write(REG_ADDR, addr.into()).unwrap();
+            cpa.write(REG_CMD, CpCommand::Read.encode().into()).unwrap();
+            cpa.read(REG_DATA).unwrap()
+        })
+    });
+}
+
+fn bench_trigger_evaluation(c: &mut Criterion) {
+    // A fully populated 64-slot trigger table, evaluated per window —
+    // the comparator array of Figure 12.
+    let mut cp = llc_control_plane(256, 64);
+    for slot in 0..64 {
+        cp.install_trigger(
+            slot,
+            Trigger::new(DsId::new((slot % 8) as u16), 0, CmpOp::Gt, 1_000_000),
+        )
+        .unwrap();
+    }
+    cp.set_stat(DsId::new(3), "miss_rate", 10).unwrap();
+    c.bench_function("cp/evaluate_64_triggers", |b| {
+        b.iter(|| cp.evaluate_triggers(black_box(DsId::new(3)), pard_sim::Time::ZERO))
+    });
+}
+
+fn bench_llc_data_path(c: &mut Criterion) {
+    // The §7.2 question in software: does way masking / owner matching
+    // make the hit path measurably slower than a plain lookup?
+    let geom = CacheGeometry::new(4 << 20, 16, 64);
+    let mut group = c.benchmark_group("llc_hit_path");
+
+    let mut plain = TagArray::new(geom, 256);
+    plain.fill(DsId::new(0), LAddr::new(0x40), u64::MAX, false);
+    group.bench_function("unmasked", |b| {
+        b.iter(|| plain.access(black_box(DsId::new(0)), black_box(LAddr::new(0x40)), false))
+    });
+
+    let mut masked = TagArray::new(geom, 256);
+    masked.fill(DsId::new(5), LAddr::new(0x40), 0x00FF, false);
+    group.bench_function("way_masked_owner_checked", |b| {
+        b.iter(|| masked.access(black_box(DsId::new(5)), black_box(LAddr::new(0x40)), false))
+    });
+    group.finish();
+}
+
+fn bench_plru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plru_victim");
+    let mut p = PlruTree::new(16);
+    for w in 0..16 {
+        p.touch(w);
+    }
+    group.bench_function("full_mask", |b| b.iter(|| p.victim(black_box(0xFFFF))));
+    group.bench_function("partition_mask", |b| b.iter(|| p.victim(black_box(0x00FF))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_cpa_sequence,
+    bench_trigger_evaluation,
+    bench_llc_data_path,
+    bench_plru
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Microbenchmarks of the PRM firmware: device-file-tree access,
+//! pardscript execution, trigger installation, and LDom creation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pard_cp::{shared, CmpOp};
+use pard_icn::DsId;
+use pard_prm::{script, Firmware, FirmwareConfig, LDomSpec};
+
+fn fw_with_ldom() -> Firmware {
+    let mut fw = Firmware::new(FirmwareConfig {
+        mem_capacity: 1 << 34,
+        max_ds: 256,
+    });
+    fw.register_cpa(shared(pard_cache::llc_control_plane(256, 64)));
+    fw.register_cpa(shared(pard_dram::mem_control_plane(256, 64)));
+    fw.create_ldom(LDomSpec::new("bench", vec![0], 1 << 30))
+        .unwrap();
+    fw
+}
+
+fn bench_file_tree(c: &mut Criterion) {
+    let mut fw = fw_with_ldom();
+    c.bench_function("fw/cat_parameter", |b| {
+        b.iter(|| {
+            fw.read(black_box("/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask"))
+                .unwrap()
+        })
+    });
+    c.bench_function("fw/echo_parameter", |b| {
+        b.iter(|| {
+            fw.write(
+                black_box("/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask"),
+                "0xFF00",
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("fw/shell_cat", |b| {
+        b.iter(|| {
+            fw.shell(black_box(
+                "cat /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask",
+            ))
+            .unwrap()
+        })
+    });
+}
+
+fn bench_pardscript(c: &mut Criterion) {
+    let mut fw = fw_with_ldom();
+    let src = r#"
+cur=$(cat /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask)
+miss=$(cat /sys/cpa/cpa0/ldoms/ldom0/statistics/miss_rate)
+if [ $miss -gt 30 ]; then
+    new=$((cur | 0xFF00))
+    echo $new > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask
+else
+    log "nothing to do"
+fi
+"#;
+    c.bench_function("fw/pardscript_handler", |b| {
+        b.iter(|| {
+            let mut env = script::Env::new();
+            env.set("DS", "0");
+            script::run(black_box(src), &mut env, &mut fw).unwrap()
+        })
+    });
+}
+
+fn bench_trigger_install(c: &mut Criterion) {
+    c.bench_function("fw/pardtrigger", |b| {
+        b.iter_batched(
+            fw_with_ldom,
+            |mut fw| {
+                fw.pardtrigger(0, DsId::new(0), 0, "miss_rate", CmpOp::Gt, 30)
+                    .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ldom_create(c: &mut Criterion) {
+    c.bench_function("fw/create_ldom", |b| {
+        b.iter_batched(
+            || {
+                let mut fw = Firmware::new(FirmwareConfig {
+                    mem_capacity: 1 << 34,
+                    max_ds: 256,
+                });
+                fw.register_cpa(shared(pard_cache::llc_control_plane(256, 64)));
+                fw.register_cpa(shared(pard_dram::mem_control_plane(256, 64)));
+                fw
+            },
+            |mut fw| {
+                fw.create_ldom(LDomSpec::new("x", vec![0], 1 << 30))
+                    .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_file_tree,
+    bench_pardscript,
+    bench_trigger_install,
+    bench_ldom_create
+);
+criterion_main!(benches);

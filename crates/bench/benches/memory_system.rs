@@ -1,0 +1,97 @@
+//! Microbenchmarks of the memory-system models: bank scheduling, address
+//! decomposition, and end-to-end controller throughput with and without
+//! the control plane's differentiated mechanisms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pard_dram::{Bank, DramGeometry, DramTiming, MemCtrl, MemCtrlConfig, RankTracker};
+use pard_icn::{DsId, LAddr, MAddr, MemKind, MemPacket, PacketId, PardEvent};
+use pard_sim::{Simulation, Time};
+
+fn bench_bank_schedule(c: &mut Criterion) {
+    let timing = DramTiming::ddr3_1600_11();
+    let mut group = c.benchmark_group("bank_schedule");
+    group.bench_function("row_hit", |b| {
+        let mut bank = Bank::default();
+        let mut rank = RankTracker::default();
+        bank.schedule(7, Time::ZERO, false, false, &timing, &mut rank);
+        let mut t = Time::from_us(1);
+        b.iter(|| {
+            t += Time::from_ns(100);
+            bank.schedule(black_box(7), t, false, false, &timing, &mut rank)
+        })
+    });
+    group.bench_function("row_conflict", |b| {
+        let mut bank = Bank::default();
+        let mut rank = RankTracker::default();
+        let mut t = Time::from_us(1);
+        let mut row = 0u64;
+        b.iter(|| {
+            t += Time::from_ns(100);
+            row += 1;
+            bank.schedule(black_box(row), t, false, false, &timing, &mut rank)
+        })
+    });
+    group.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let g = DramGeometry::table2();
+    c.bench_function("dram/decompose", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x1_0040);
+            g.decompose(black_box(MAddr::new(a)))
+        })
+    });
+}
+
+/// Simulated-requests-per-wall-second through the full controller
+/// component, baseline vs PARD arbitration (the control plane must not
+/// make the *model* slower either).
+fn bench_controller_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memctrl_throughput");
+    group.sample_size(10);
+    for (name, priorities) in [("baseline", false), ("pard", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim: Simulation<PardEvent> = Simulation::new();
+                let (ctrl_model, cp) = MemCtrl::new(MemCtrlConfig {
+                    priorities_enabled: priorities,
+                    ..MemCtrlConfig::default()
+                });
+                if priorities {
+                    let mut cp = cp.lock();
+                    cp.set_param(DsId::new(1), "priority", 1).unwrap();
+                }
+                let ctrl = sim.add_component(Box::new(ctrl_model));
+                for i in 0..10_000u64 {
+                    sim.post(
+                        ctrl,
+                        Time::from_ns(i * 10),
+                        PardEvent::MemReq(MemPacket {
+                            id: PacketId(i),
+                            ds: DsId::new((i % 2 + 1) as u16),
+                            addr: LAddr::new((i * 4096) % (1 << 28)),
+                            kind: MemKind::Read,
+                            size: 64,
+                            reply_to: ctrl, // responses handled as no-ops
+                            issued_at: Time::ZERO,
+                            dma: false,
+                        }),
+                    );
+                }
+                sim.run_until(Time::from_ms(1));
+                black_box(sim.events_processed())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bank_schedule,
+    bench_decompose,
+    bench_controller_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Quick calibration probe for the memcached scenario (not a paper figure).
+
+use pard_bench::{run_memcached_point, MemcachedMode, MemcachedScenario};
+use pard_sim::Time;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    for mode in [
+        MemcachedMode::Solo,
+        MemcachedMode::Shared,
+        MemcachedMode::SharedWithTrigger,
+    ] {
+        for rps in [15_000.0, 20_000.0, 22_500.0] {
+            let mut s = MemcachedScenario::new(mode, rps);
+            s.warmup = Time::from_ms(20);
+            s.measure = Time::from_ms(60);
+            let p = run_memcached_point(&s);
+            println!(
+                "{:16} rps={:7.0} -> p95={:8.3}ms mean={:8.3}ms done={:5} util={:4.2} miss={}% mask={:#x} ({:.1}s wall)",
+                mode.label(), rps, p.p95_ms, p.mean_ms, p.completed, p.cpu_utilization,
+                p.final_miss_rate, p.final_waymask, t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 7 — dynamically partitioning a PARD server into four LDoms,
+//! launching three in turn, then repartitioning the LLC with three `echo`
+//! commands.
+//!
+//! Timeline (scaled ~5x down from the paper's 2.5 s):
+//!   * LDom0 boots, then runs the 437.leslie3d proxy,
+//!   * LDom1 boots, then runs the 470.lbm proxy,
+//!   * LDom2 boots, then runs CacheFlush — and steals most of the LLC,
+//!   * at T_repart the operator runs the paper's three `echo waymask`
+//!     commands, dedicating half the LLC to LDom0.
+
+use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard_bench::duration_scale;
+use pard_bench::output::{print_series, save_json};
+use pard_workloads::{BootThen, CacheFlush, LbmProxy, Leslie3dProxy};
+
+fn main() {
+    let scale = duration_scale();
+    let ms = |x: f64| Time::from_ms((x * scale).max(1.0) as u64);
+    let total = ms(500.0);
+    let launches = [ms(20.0), ms(140.0), ms(260.0)];
+    let repartition_at = ms(380.0);
+    let boot = ms(60.0);
+    let sample = Time::from_ms(5);
+
+    let mut server = PardServer::new(SystemConfig::asplos15());
+    // Partition the server into four equal LDoms (one is left idle, as in
+    // the paper).
+    for (i, name) in ["ldom0", "ldom1", "ldom2", "ldom3"].iter().enumerate() {
+        server
+            .create_ldom(LDomSpec::new(*name, vec![i], 2 << 30))
+            .expect("create ldom");
+    }
+    server.install_engine(
+        0,
+        Box::new(BootThen::new(
+            boot,
+            Box::new(Leslie3dProxy::new(0x0400_0000)),
+        )),
+    );
+    server.install_engine(
+        1,
+        Box::new(BootThen::new(boot, Box::new(LbmProxy::new(0x0400_0000)))),
+    );
+    server.install_engine(
+        2,
+        Box::new(BootThen::new(
+            boot,
+            Box::new(CacheFlush::new(0x0400_0000, 8 << 20)),
+        )),
+    );
+
+    let mut cache_series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
+    let mut bw_series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
+    let mut launched = [false; 3];
+    let mut repartitioned = false;
+
+    while server.now() < total {
+        server.run_for(sample);
+        let now = server.now();
+        for (i, &at) in launches.iter().enumerate() {
+            if !launched[i] && now >= at {
+                server.launch(DsId::new(i as u16)).expect("launch");
+                launched[i] = true;
+                eprintln!("  t={:.0} ms: launched ldom{i}", now.as_ms());
+            }
+        }
+        if !repartitioned && now >= repartition_at {
+            // The paper's three operator commands.
+            for cmd in [
+                "echo 0xFF00 > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask",
+                "echo 0x00FF > /sys/cpa/cpa0/ldoms/ldom1/parameters/waymask",
+                "echo 0x00FF > /sys/cpa/cpa0/ldoms/ldom2/parameters/waymask",
+            ] {
+                server.shell(cmd).expect("repartition");
+            }
+            repartitioned = true;
+            eprintln!("  t={:.0} ms: repartitioned the LLC", now.as_ms());
+        }
+        for i in 0..3usize {
+            let ds = DsId::new(i as u16);
+            let occ_mb = server.llc_occupancy_bytes(ds) as f64 / (1 << 20) as f64;
+            cache_series[i].push((now.as_ms(), occ_mb));
+            let bw = server
+                .mem_cp()
+                .lock()
+                .stat(ds, "bandwidth")
+                .unwrap_or_default() as f64
+                / 1000.0; // MB/s -> GB/s
+            bw_series[i].push((now.as_ms(), bw));
+        }
+    }
+
+    println!("Figure 7: Dynamic partitioning into LDoms\n");
+    println!(
+        "launches at {:?} ms, repartition (echo waymask x3) at {:.0} ms\n",
+        launches.map(|t| t.as_ms()),
+        repartition_at.as_ms()
+    );
+    for (i, s) in cache_series.iter().enumerate() {
+        print_series(&format!("ldom{i}.occupied_llc_mb"), s);
+    }
+    for (i, s) in bw_series.iter().enumerate() {
+        print_series(&format!("ldom{i}.mem_bandwidth_gbps"), s);
+    }
+
+    // Headline check: after repartitioning, LDom0's share rises sharply
+    // while the CacheFlush LDom collapses (paper: LDom0 -> 50 %).
+    let late = |s: &Vec<(f64, f64)>| s.last().map(|&(_, v)| v).unwrap_or(0.0);
+    println!();
+    println!(
+        "final occupancy: ldom0 {:.2} MB, ldom1 {:.2} MB, ldom2 {:.2} MB (of 4 MB)",
+        late(&cache_series[0]),
+        late(&cache_series[1]),
+        late(&cache_series[2])
+    );
+    save_json(
+        "fig07.json",
+        &serde_json::json!({
+            "launch_ms": launches.map(|t| t.as_ms()),
+            "repartition_ms": repartition_at.as_ms(),
+            "occupied_llc_mb": cache_series,
+            "mem_bandwidth_gbps": bw_series,
+        }),
+    );
+}

@@ -1,0 +1,102 @@
+//! Figure 12 — FPGA resource usage of the LLC and memory control planes,
+//! plus the §7.2 latency analysis.
+//!
+//! The paper synthesised its OpenSPARC T1 RTL with Vivado; this harness
+//! evaluates the calibrated analytical model (`pard-hwcost`) at the same
+//! sweep points.
+
+use pard_bench::output::{print_table, save_json};
+use pard_hwcost::{
+    llc_cp_cost, mem_cp_cost, priority_queue_cost, table_cost, tag_array_brams, trigger_table_cost,
+    LlcPipeline, LLC_BASELINE_LUT_FF, LLC_ROW_BITS, MEM_BASELINE_LUT_FF, MEM_ROW_BITS,
+};
+
+fn main() {
+    println!("Figure 12: FPGA resource usage of the control planes\n");
+
+    let mut rows = Vec::new();
+    for (plane, row_bits) in [("memory", MEM_ROW_BITS), ("LLC", LLC_ROW_BITS)] {
+        for entries in [64u64, 128, 256] {
+            let c = table_cost(entries, row_bits);
+            rows.push(vec![
+                plane.into(),
+                format!("param+stats {entries}"),
+                c.lut.to_string(),
+                c.lutram.to_string(),
+                c.ff.to_string(),
+            ]);
+        }
+        for slots in [16u64, 32, 64] {
+            let c = trigger_table_cost(slots);
+            rows.push(vec![
+                plane.into(),
+                format!("trigger {slots}"),
+                c.lut.to_string(),
+                c.lutram.to_string(),
+                c.ff.to_string(),
+            ]);
+        }
+    }
+    let q = priority_queue_cost(2, 16);
+    rows.push(vec![
+        "memory".into(),
+        "2x16 priority queues".into(),
+        q.lut.to_string(),
+        q.lutram.to_string(),
+        q.ff.to_string(),
+    ]);
+    print_table(&["plane", "structure", "LUT", "LUTRAM", "FF"], &rows);
+
+    let mem = mem_cp_cost(256, 64);
+    let llc = llc_cp_cost(256, 64, 16);
+    let mem_pct = (mem.lut + mem.ff) as f64 / MEM_BASELINE_LUT_FF as f64 * 100.0;
+    let llc_pct = (llc.lut + llc.ff) as f64 / LLC_BASELINE_LUT_FF as f64 * 100.0;
+    println!();
+    println!(
+        "memory CP total: {} LUT/FF = {mem_pct:.1}% of MIGv7 ({MEM_BASELINE_LUT_FF}) \
+         [paper: 1526, 10.1%]",
+        mem.lut + mem.ff
+    );
+    println!(
+        "LLC CP total:    {} LUT/FF = {llc_pct:.1}% of the LLC controller \
+         ({LLC_BASELINE_LUT_FF}) [paper: 2359, 3.1%]",
+        llc.lut + llc.ff
+    );
+
+    let (base_brams, with_ds) = tag_array_brams(12, 1024, 28, 8);
+    println!(
+        "owner DS-id storage: tag-array block RAMs {base_brams} -> {with_ds} \
+         [paper: 12 -> 18]"
+    );
+
+    println!("\nS7.2 latency analysis (LLC control plane):");
+    let p = LlcPipeline::opensparc_t1();
+    for s in p.steps() {
+        match s.stage {
+            Some(st) => println!("  {:52} -> hidden in pipeline stage {st}", s.name),
+            None if !s.on_critical_path => {
+                println!("  {:52} -> off the critical path", s.name)
+            }
+            None => println!("  {:52} -> ADDS A CYCLE", s.name),
+        }
+    }
+    println!(
+        "  extra cycles added: {} (paper: none; the T1 L2 has {} stages); \
+         an unpipelined design would add {}",
+        p.added_cycles(),
+        p.stages(),
+        LlcPipeline::unpipelined().added_cycles()
+    );
+
+    save_json(
+        "fig12.json",
+        &serde_json::json!({
+            "mem_cp_lut_ff": mem.lut + mem.ff,
+            "mem_cp_pct": mem_pct,
+            "llc_cp_lut_ff": llc.lut + llc.ff,
+            "llc_cp_pct": llc_pct,
+            "tag_array_brams": [base_brams, with_ds],
+            "llc_cp_added_cycles": p.added_cycles(),
+        }),
+    );
+}

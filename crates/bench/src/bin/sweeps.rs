@@ -1,0 +1,141 @@
+//! Sensitivity sweeps beyond the paper's figures: how the headline
+//! co-location result depends on the design parameters DESIGN.md calls
+//! out. Each sweep runs the Figure 8 trigger configuration at 20 KRPS and
+//! varies one knob.
+//!
+//! ```sh
+//! cargo run -p pard-bench --release --bin sweeps -- [antagonist|partition|poll]
+//! ```
+//!
+//! With no argument all sweeps run.
+
+use pard::Time;
+use pard_bench::output::{print_table, save_json};
+use pard_bench::{
+    build_memcached_server, build_memcached_server_no_rule, install_llc_trigger_with,
+    MemcachedMode, MemcachedScenario,
+};
+use pard_workloads::Memcached;
+
+fn scenario() -> MemcachedScenario {
+    MemcachedScenario {
+        warmup: Time::from_ms(30),
+        measure: Time::from_ms(80),
+        ..MemcachedScenario::new(MemcachedMode::SharedWithTrigger, 20_000.0)
+    }
+}
+
+/// Co-runner-intensity sweep: how hard do the batch LDoms have to press
+/// before protection matters, and does the trigger keep up? Intensity is
+/// the STREAM triad's compute per block (fewer cycles = more bandwidth);
+/// each point runs protected and unprotected.
+fn sweep_antagonist() -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for compute in [256u64, 128, 64, 32, 16] {
+        let mut cells = vec![format!("{compute} cyc/block")];
+        for protected in [false, true] {
+            let s = MemcachedScenario {
+                stream_compute_per_block: compute,
+                ..scenario()
+            };
+            let (mut server, mc) = build_memcached_server_no_rule(&s);
+            if protected {
+                install_llc_trigger_with(&mut server, mc, 30);
+            }
+            server.run_for(s.warmup + s.measure);
+            let report = server.with_engine::<Memcached, _>(0, |m| m.report());
+            cells.push(format!("{:.3}", report.p95.as_ms()));
+            let _ = mc;
+        }
+        eprintln!("  antagonist {compute} cyc/block done");
+        rows.push(cells);
+    }
+    rows
+}
+
+/// Partition-size sweep: the action grants N of 16 ways to memcached.
+fn sweep_partition() -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for ways in [2u32, 4, 8, 12, 14] {
+        let s = scenario();
+        let (mut server, mc) = build_memcached_server(&s);
+        let mc_mask: u64 = ((1u64 << ways) - 1) << (16 - ways);
+        let other_mask: u64 = (1u64 << (16 - ways)) - 1;
+        // Rebind the action to grant the swept partition.
+        server.firmware().lock().register_action(
+            "/cpa0_ldom0_t0.sh",
+            pard::Action::Script(format!(
+                "echo {mc_mask:#x} > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask\n\
+                 echo {other_mask:#x} > /sys/cpa/cpa0/ldoms/ldom1/parameters/waymask\n\
+                 echo {other_mask:#x} > /sys/cpa/cpa0/ldoms/ldom2/parameters/waymask\n\
+                 echo {other_mask:#x} > /sys/cpa/cpa0/ldoms/ldom3/parameters/waymask\n"
+            )),
+        );
+        server.run_for(s.warmup + s.measure);
+        let report = server.with_engine::<Memcached, _>(0, |m| m.report());
+        let miss = server.llc_cp().lock().stat(mc, "miss_rate").unwrap();
+        rows.push(vec![
+            format!("{ways}/16 ways"),
+            format!("{:.3}", report.p95.as_ms()),
+            format!("{:.1}", report.achieved_rps / 1000.0),
+            format!("{miss}%"),
+        ]);
+        eprintln!("  partition {ways}/16 done");
+    }
+    rows
+}
+
+/// PRM poll-interval sweep: the trigger ⇒ action reaction-latency floor.
+fn sweep_poll() -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for poll_us in [20u64, 100, 1_000, 10_000] {
+        let s = MemcachedScenario {
+            prm_poll: Some(Time::from_us(poll_us)),
+            ..scenario()
+        };
+        let (mut server, mc) = build_memcached_server(&s);
+        server.run_for(s.warmup + s.measure);
+        let report = server.with_engine::<Memcached, _>(0, |m| m.report());
+        let mask = server.llc_cp().lock().param(mc, "waymask").unwrap();
+        rows.push(vec![
+            format!("{poll_us} us"),
+            format!("{:.3}", report.p95.as_ms()),
+            format!("{:.1}", report.achieved_rps / 1000.0),
+            if mask == 0xFF00 { "fired" } else { "pending" }.into(),
+        ]);
+        eprintln!("  poll {poll_us} us done");
+    }
+    rows
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    let mut json = serde_json::Map::new();
+
+    if which.is_empty() || which == "antagonist" {
+        println!("\nSweep: co-runner intensity (memcached @20 KRPS)\n");
+        let rows = sweep_antagonist();
+        print_table(
+            &[
+                "STREAM intensity",
+                "p95 unprotected (ms)",
+                "p95 w/ trigger (ms)",
+            ],
+            &rows,
+        );
+        json.insert("antagonist".into(), serde_json::json!(rows));
+    }
+    if which.is_empty() || which == "partition" {
+        println!("\nSweep: granted partition size\n");
+        let rows = sweep_partition();
+        print_table(&["grant", "p95 (ms)", "achieved KRPS", "miss rate"], &rows);
+        json.insert("partition".into(), serde_json::json!(rows));
+    }
+    if which.is_empty() || which == "poll" {
+        println!("\nSweep: PRM poll interval (reaction latency)\n");
+        let rows = sweep_poll();
+        print_table(&["poll", "p95 (ms)", "achieved KRPS", "trigger"], &rows);
+        json.insert("poll".into(), serde_json::json!(rows));
+    }
+    save_json("sweeps.json", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,84 @@
+//! Table 2 — simulation parameters of the evaluated platform.
+
+use pard::SystemConfig;
+use pard_bench::output::print_table;
+
+fn main() {
+    let cfg = SystemConfig::asplos15();
+    println!("Table 2: Simulation Parameters (reproduction defaults)\n");
+    let t = &cfg.mem.timing;
+    let rows: Vec<Vec<String>> = vec![
+        vec![
+            "CPU".into(),
+            format!(
+                "{} out-of-order x86-class cores, 2 GHz (MLP {})",
+                cfg.cores, cfg.core.mlp
+            ),
+        ],
+        vec![
+            "L1-D/core".into(),
+            format!(
+                "{} KB {}-way, hit = {} cycles",
+                cfg.core.l1.size_bytes() / 1024,
+                cfg.core.l1.ways(),
+                pard_icn::to_cpu_cycles(cfg.core.l1_hit)
+            ),
+        ],
+        vec![
+            "Shared LLC".into(),
+            format!(
+                "{} MB {}-way, hit = {} cycles, {} sets",
+                cfg.llc.geometry.size_bytes() >> 20,
+                cfg.llc.geometry.ways(),
+                pard_icn::to_cpu_cycles(cfg.llc.hit_latency),
+                cfg.llc.geometry.sets()
+            ),
+        ],
+        vec![
+            "DRAM".into(),
+            format!(
+                "{} GB DDR3-1600 11-11-11, {} channel, {} ranks x {} banks, {} B rows",
+                cfg.mem.geometry.capacity_bytes >> 30,
+                1,
+                cfg.mem.geometry.ranks,
+                cfg.mem.geometry.banks_per_rank,
+                cfg.mem.geometry.row_bytes
+            ),
+        ],
+        vec![
+            "DRAM timing".into(),
+            format!(
+                "tCK={}ns tRCD={}ns tCL={}ns tRP={}ns tRAS={}ns tRRD={}ns BL{}",
+                t.tck.as_ns(),
+                t.trcd.as_ns(),
+                t.tcl.as_ns(),
+                t.trp.as_ns(),
+                t.tras.as_ns(),
+                t.trrd.as_ns(),
+                t.burst_len
+            ),
+        ],
+        vec![
+            "Disks".into(),
+            format!(
+                "{}-channel IDE controller, {} disks, {:.0} MB/s aggregate",
+                cfg.ide.channels,
+                cfg.ide.disks,
+                cfg.ide.aggregate_bandwidth / 1e6
+            ),
+        ],
+        vec![
+            "PRM".into(),
+            format!(
+                "firmware poll {} us, 5 control-plane adaptors (CPA), {} DS-ids",
+                cfg.prm_poll.as_us(),
+                cfg.max_ds
+            ),
+        ],
+        vec![
+            "Workloads".into(),
+            "Memcached model, STREAM, CacheFlush, DiskCopy, leslie3d/lbm proxies".into(),
+        ],
+    ];
+    print_table(&["parameter", "value"], &rows);
+}

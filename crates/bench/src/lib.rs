@@ -1,0 +1,45 @@
+//! # pard-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper's evaluation (§7), plus
+//! criterion micro-benchmarks and ablations:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table2` | Table 2 (simulation parameters) |
+//! | `table3` | Table 3 (control-plane table contents, introspected live) |
+//! | `fig07` | Fig. 7 (dynamic partitioning timeline) |
+//! | `fig08` | Fig. 8 (memcached tail latency vs. load, 3 configurations) |
+//! | `fig09` | Fig. 9 (memcached LLC miss rate with the trigger firing) |
+//! | `fig10` | Fig. 10 (disk-bandwidth isolation) |
+//! | `fig11` | Fig. 11 (memory queueing-delay CDF) |
+//! | `fig12` | Fig. 12 (control-plane FPGA resources) + §7.2 latency |
+//! | `sweeps` | sensitivity sweeps beyond the paper (intensity/partition/poll) |
+//! | `calibrate` | quick calibration probe for the memcached scenario |
+//!
+//! Durations are scaled down from the paper's (a 30-hour gem5 run per
+//! point is replaced by seconds of event-driven simulation); pass
+//! `--quick` for CI-speed runs or `--full` for closer-to-paper spans.
+
+#![warn(missing_docs)]
+
+pub mod memcached_scenario;
+pub mod output;
+
+pub use memcached_scenario::{
+    build_memcached_server, build_memcached_server_no_rule, install_llc_trigger,
+    install_llc_trigger_scenario, install_llc_trigger_with, run_memcached_point,
+    run_memcached_sampled, MemcachedMode, MemcachedPoint, MemcachedScenario,
+};
+
+/// Parses the common `--quick` / `--full` flags into a duration scale
+/// factor (1.0 = default).
+pub fn duration_scale() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
+        0.25
+    } else if args.iter().any(|a| a == "--full") {
+        4.0
+    } else {
+        1.0
+    }
+}

@@ -1,0 +1,68 @@
+//! Table / series printing and JSON export for the harnesses.
+
+use std::fmt::Write as _;
+
+/// Prints an aligned text table.
+///
+/// # Example
+///
+/// ```
+/// pard_bench::output::print_table(
+///     &["load", "p95"],
+///     &[vec!["10".into(), "0.5".into()]],
+/// );
+/// ```
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    println!("{}", line.trim_end());
+    println!("{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ");
+        }
+        println!("{}", line.trim_end());
+    }
+}
+
+/// Prints a `(time_ms, value)` series as a compact two-column block.
+pub fn print_series(name: &str, samples: &[(f64, f64)]) {
+    println!("# {name}");
+    for (t, v) in samples {
+        println!("{t:10.1}  {v:12.4}");
+    }
+}
+
+/// Writes a JSON value next to the binary's working directory so
+/// EXPERIMENTS.md numbers are regenerable.
+pub fn save_json(path: &str, value: &serde_json::Value) {
+    match std::fs::write(path, serde_json::to_string_pretty(value).unwrap()) {
+        Ok(()) => println!("(wrote {path})"),
+        Err(e) => eprintln!("(could not write {path}: {e})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printing_does_not_panic_on_ragged_rows() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into()], vec!["1".into(), "2".into(), "3".into()]],
+        );
+        print_series("s", &[(0.0, 1.0)]);
+    }
+}

@@ -1,0 +1,80 @@
+//! The LLC control-plane definition (tables per paper Table 3 / Fig. 6).
+
+use pard_cp::{ColumnDef, ControlPlane, CpType, DsTable};
+
+/// Parameter-table columns of the LLC control plane.
+///
+/// * `waymask` — way-partitioning mask bits for the DS-id (Table 3). The
+///   default allows all 16 ways, i.e. unpartitioned sharing.
+pub const LLC_PARAM_COLUMNS: &[&str] = &["waymask"];
+
+/// Statistics-table columns of the LLC control plane.
+///
+/// * `miss_rate` — percent, over the last statistics window (Fig. 6),
+/// * `capacity` — bytes currently occupied by the DS-id (Fig. 6; computed
+///   by counting the DS-id in the tag array, footnote 6),
+/// * `hit_cnt` / `miss_cnt` — cumulative counters (Fig. 2).
+pub const LLC_STATS_COLUMNS: &[&str] = &["miss_rate", "capacity", "hit_cnt", "miss_cnt"];
+
+/// Offset of `miss_rate` in the statistics table (trigger conditions use
+/// column offsets).
+pub const STAT_MISS_RATE: usize = 0;
+/// Offset of `capacity`.
+pub const STAT_CAPACITY: usize = 1;
+/// Offset of `hit_cnt`.
+pub const STAT_HIT_CNT: usize = 2;
+/// Offset of `miss_cnt`.
+pub const STAT_MISS_CNT: usize = 3;
+
+/// Builds the LLC control plane with `max_ds` table rows and
+/// `trigger_slots` trigger entries.
+///
+/// # Example
+///
+/// ```
+/// use pard_icn::DsId;
+/// let cp = pard_cache::llc_control_plane(256, 64);
+/// assert_eq!(cp.ident(), "CACHE_CP");
+/// // Default waymask shares all ways.
+/// assert_eq!(cp.param(DsId::new(3), "waymask").unwrap(), 0xFFFF);
+/// ```
+pub fn llc_control_plane(max_ds: usize, trigger_slots: usize) -> ControlPlane {
+    let params = DsTable::new(
+        "parameter",
+        vec![ColumnDef::with_default("waymask", 0xFFFF)],
+        max_ds,
+    );
+    let stats = DsTable::new(
+        "statistics",
+        LLC_STATS_COLUMNS
+            .iter()
+            .map(|name| ColumnDef::new(name))
+            .collect(),
+        max_ds,
+    );
+    ControlPlane::new("CACHE_CP", CpType::Cache, params, stats, trigger_slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_icn::DsId;
+
+    #[test]
+    fn stats_schema_matches_offsets() {
+        let cp = llc_control_plane(8, 4);
+        let stats = cp.stats();
+        assert_eq!(stats.column_offset("miss_rate").unwrap(), STAT_MISS_RATE);
+        assert_eq!(stats.column_offset("capacity").unwrap(), STAT_CAPACITY);
+        assert_eq!(stats.column_offset("hit_cnt").unwrap(), STAT_HIT_CNT);
+        assert_eq!(stats.column_offset("miss_cnt").unwrap(), STAT_MISS_CNT);
+    }
+
+    #[test]
+    fn default_mask_is_unpartitioned() {
+        let cp = llc_control_plane(8, 4);
+        for ds in 0..8u16 {
+            assert_eq!(cp.param(DsId::new(ds), "waymask").unwrap(), 0xFFFF);
+        }
+    }
+}

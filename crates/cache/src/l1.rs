@@ -1,0 +1,177 @@
+//! The private per-core L1 data cache.
+
+use pard_icn::LAddr;
+
+use crate::geometry::CacheGeometry;
+use crate::plru::PlruTree;
+
+/// Outcome of an L1 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Outcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// A dirty line displaced by the fill on a miss, to be written back to
+    /// the LLC (tagged with the core's DS-id — the L1 is private, so the
+    /// core's current tag register *is* the owner).
+    pub writeback: Option<LAddr>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+}
+
+/// A private write-back, write-allocate L1 cache (Table 2: 64 KB 2-way,
+/// 2-cycle hit).
+///
+/// The L1 needs no DS-id in its tags: it belongs to exactly one core, whose
+/// tag register identifies all of its traffic. It fills on every miss
+/// (the miss itself goes to the LLC as a tagged packet).
+///
+/// # Example
+///
+/// ```
+/// use pard_cache::{CacheGeometry, L1Cache};
+/// use pard_icn::LAddr;
+///
+/// let mut l1 = L1Cache::new(CacheGeometry::new(64 * 1024, 2, 64));
+/// assert!(!l1.access(LAddr::new(0x40), false).hit);
+/// assert!(l1.access(LAddr::new(0x40), false).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    geom: CacheGeometry,
+    entries: Vec<Entry>,
+    plru: Vec<PlruTree>,
+}
+
+impl L1Cache {
+    /// Creates an empty L1.
+    pub fn new(geom: CacheGeometry) -> Self {
+        L1Cache {
+            geom,
+            entries: vec![Entry::default(); geom.lines() as usize],
+            plru: vec![PlruTree::new(geom.ways()); geom.sets() as usize],
+        }
+    }
+
+    /// The geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    #[inline]
+    fn idx(&self, set: u64, way: u32) -> usize {
+        (set * u64::from(self.geom.ways()) + u64::from(way)) as usize
+    }
+
+    /// Performs an access; on a miss the line is filled (write-allocate)
+    /// and any displaced dirty line is reported for writeback.
+    pub fn access(&mut self, addr: LAddr, is_write: bool) -> L1Outcome {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+
+        for w in 0..self.geom.ways() {
+            let i = self.idx(set, w);
+            if self.entries[i].valid && self.entries[i].tag == tag {
+                self.plru[set as usize].touch(w);
+                if is_write {
+                    self.entries[i].dirty = true;
+                }
+                return L1Outcome {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+        }
+
+        // Miss: fill, preferring an invalid way.
+        let way = (0..self.geom.ways())
+            .find(|&w| !self.entries[self.idx(set, w)].valid)
+            .unwrap_or_else(|| self.plru[set as usize].victim(u64::MAX));
+        let i = self.idx(set, way);
+        let old = self.entries[i];
+        let writeback = (old.valid && old.dirty).then(|| self.geom.addr_of(old.tag, set));
+        self.entries[i] = Entry {
+            valid: true,
+            dirty: is_write,
+            tag,
+        };
+        self.plru[set as usize].touch(way);
+        L1Outcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Invalidates everything (LDom reassignment of the core).
+    pub fn flush(&mut self) {
+        for e in &mut self.entries {
+            *e = Entry::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> L1Cache {
+        // Tiny: 2 sets × 2 ways.
+        L1Cache::new(CacheGeometry::new(2 * 2 * 64, 2, 64))
+    }
+
+    fn addr(set: u64, tag: u64) -> LAddr {
+        LAddr::new((tag * 2 + set) * 64)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = l1();
+        assert!(!c.access(addr(0, 1), false).hit);
+        assert!(c.access(addr(0, 1), false).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = l1();
+        c.access(addr(0, 1), true); // dirty
+        c.access(addr(0, 2), false);
+        let out = c.access(addr(0, 3), false); // evicts one of them
+                                               // Whichever was evicted, a writeback appears only if it was dirty.
+        if let Some(wb) = out.writeback {
+            assert_eq!(wb, addr(0, 1));
+        } else {
+            // The clean line was evicted; next fill must evict the dirty one.
+            let out = c.access(addr(0, 4), false);
+            assert_eq!(out.writeback, Some(addr(0, 1)));
+        }
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = l1();
+        c.access(addr(1, 1), false);
+        c.access(addr(1, 2), false);
+        let out = c.access(addr(1, 3), false);
+        assert!(out.writeback.is_none());
+    }
+
+    #[test]
+    fn flush_empties_the_cache() {
+        let mut c = l1();
+        c.access(addr(0, 1), true);
+        c.flush();
+        assert!(!c.access(addr(0, 1), false).hit);
+    }
+
+    #[test]
+    fn table2_l1_geometry_works() {
+        let mut c = L1Cache::new(CacheGeometry::new(64 * 1024, 2, 64));
+        assert_eq!(c.geometry().sets(), 512);
+        assert!(!c.access(LAddr::new(0), false).hit);
+        assert!(c.access(LAddr::new(0), false).hit);
+    }
+}

@@ -1,0 +1,238 @@
+//! Tree pseudo-LRU with way-mask support.
+//!
+//! The paper's LLC control plane supplies per-DS-id **way-partitioning mask
+//! bits** to the replacement logic (Fig. 4 step 2): the pseudo-LRU tree
+//! picks a victim *among the ways allowed by the requesting DS-id's mask*,
+//! so each LDom only ever evicts within its own partition while hits can be
+//! served from any way.
+
+/// A tree pseudo-LRU state machine for one cache set.
+///
+/// Supports up to 64 ways (power of two). Internal nodes are stored in heap
+/// order in a bit vector: node 1 is the root, node `i` has children `2i`
+/// and `2i+1`; leaves `ways..2*ways` map to way `leaf - ways`. A node bit
+/// of 0 means "the LRU side is the left subtree".
+///
+/// # Example
+///
+/// ```
+/// use pard_cache::PlruTree;
+/// let mut p = PlruTree::new(4);
+/// // Touch ways 0..3 in order; way 0 becomes least recently used.
+/// for w in 0..4 { p.touch(w); }
+/// assert_eq!(p.victim(0b1111), 0);
+/// // Restrict the victim to ways {2,3}.
+/// assert!(p.victim(0b1100) >= 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlruTree {
+    bits: u64,
+    ways: u32,
+}
+
+impl PlruTree {
+    /// Creates a tree for `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` is a power of two in `1..=64`.
+    pub fn new(ways: u32) -> Self {
+        assert!(
+            ways.is_power_of_two() && (1..=64).contains(&ways),
+            "ways must be a power of two in 1..=64"
+        );
+        PlruTree { bits: 0, ways }
+    }
+
+    /// Number of ways this tree covers.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    #[inline]
+    fn bit(&self, node: u32) -> bool {
+        (self.bits >> node) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, node: u32, v: bool) {
+        if v {
+            self.bits |= 1 << node;
+        } else {
+            self.bits &= !(1 << node);
+        }
+    }
+
+    /// Records an access to `way`, pointing every node on its root path
+    /// away from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn touch(&mut self, way: u32) {
+        assert!(way < self.ways, "way {way} out of range");
+        let mut node = self.ways + way; // leaf index
+        while node > 1 {
+            let parent = node / 2;
+            let came_from_left = node.is_multiple_of(2);
+            // Point the parent's LRU hint at the *other* child
+            // (bit = true means "victim search goes right").
+            self.set_bit(parent, came_from_left);
+            node = parent;
+        }
+    }
+
+    /// Selects a victim way among those allowed by `mask` (bit `w` set ⇒
+    /// way `w` allowed), following the PLRU hints where possible.
+    ///
+    /// An all-zero mask is treated as all-ways-allowed: a misprogrammed
+    /// parameter table must not deadlock the cache (the hardware would do
+    /// the same by OR-ing a fallback).
+    pub fn victim(&self, mask: u64) -> u32 {
+        let full = if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        };
+        let mask = {
+            let m = mask & full;
+            if m == 0 {
+                full
+            } else {
+                m
+            }
+        };
+        // Descend from the root; at each node prefer the LRU-hinted child,
+        // falling back to the other child when the hinted subtree contains
+        // no allowed way.
+        let mut node = 1u32;
+        let mut lo = 0u32;
+        let mut hi = self.ways; // leaf range [lo, hi)
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let left_mask = range_mask(lo, mid) & mask;
+            let right_mask = range_mask(mid, hi) & mask;
+            let go_right = if left_mask == 0 {
+                true
+            } else if right_mask == 0 {
+                false
+            } else {
+                self.bit(node)
+            };
+            if go_right {
+                node = node * 2 + 1;
+                lo = mid;
+            } else {
+                node *= 2;
+                // hi stays relative: new range [lo, mid)
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[inline]
+fn range_mask(lo: u32, hi: u32) -> u64 {
+    let width = hi - lo;
+    let ones = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    ones << lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_respects_mask() {
+        let mut p = PlruTree::new(16);
+        for w in 0..16 {
+            p.touch(w);
+        }
+        for mask in [0x0001u64, 0x8000, 0x00F0, 0xFF00, 0x00FF] {
+            let v = p.victim(mask);
+            assert!(mask & (1 << v) != 0, "victim {v} outside mask {mask:#x}");
+        }
+    }
+
+    #[test]
+    fn untouched_subtree_is_preferred_victim() {
+        // Tree PLRU guarantees the victim lands in a subtree that has not
+        // been touched since the other side was.
+        let mut p = PlruTree::new(8);
+        for w in [4, 5, 6, 7] {
+            p.touch(w);
+        }
+        assert!(p.victim(0xFF) < 4, "victim must come from the cold half");
+
+        let mut p = PlruTree::new(8);
+        for w in [0, 1, 2, 3] {
+            p.touch(w);
+        }
+        assert!(p.victim(0xFF) >= 4, "victim must come from the cold half");
+    }
+
+    #[test]
+    fn repeated_touch_cycles_through_all_ways() {
+        // Evict-then-touch must visit every way before repeating: PLRU is
+        // a permutation-ish policy under this access pattern.
+        let mut p = PlruTree::new(8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let v = p.victim(0xFF);
+            assert!(seen.insert(v), "way {v} evicted twice in one round");
+            p.touch(v);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn masked_round_robin_stays_in_partition() {
+        let mut p = PlruTree::new(16);
+        let mask = 0x00FFu64; // the paper's "rightmost 8 ways"
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let v = p.victim(mask);
+            assert!(v < 8);
+            seen.insert(v);
+            p.touch(v);
+        }
+        assert_eq!(seen.len(), 8, "partition uses all of its ways");
+    }
+
+    #[test]
+    fn zero_mask_falls_back_to_all_ways() {
+        let p = PlruTree::new(4);
+        let v = p.victim(0);
+        assert!(v < 4);
+    }
+
+    #[test]
+    fn single_way_cache() {
+        let mut p = PlruTree::new(1);
+        p.touch(0);
+        assert_eq!(p.victim(1), 0);
+    }
+
+    #[test]
+    fn sixty_four_ways() {
+        let mut p = PlruTree::new(64);
+        for w in 0..64 {
+            p.touch(w);
+        }
+        let v = p.victim(u64::MAX);
+        assert!(v < 64);
+        assert_eq!(p.victim(1 << 63), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn touch_out_of_range_panics() {
+        let mut p = PlruTree::new(4);
+        p.touch(4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the cache structures' invariants.
+
+use pard_cache::{CacheGeometry, PlruTree, TagArray};
+use pard_icn::{DsId, LAddr};
+use proptest::prelude::*;
+
+fn small_geom() -> CacheGeometry {
+    CacheGeometry::new(8 * 4 * 64, 4, 64) // 8 sets x 4 ways
+}
+
+proptest! {
+    /// The PLRU victim always lies within the allowed mask (or anywhere
+    /// for an empty mask), for any tree state.
+    #[test]
+    fn plru_victim_respects_mask(
+        touches in prop::collection::vec(0u32..16, 0..64),
+        mask in 0u64..=0xFFFF,
+    ) {
+        let mut p = PlruTree::new(16);
+        for &w in &touches {
+            p.touch(w);
+        }
+        let v = p.victim(mask);
+        prop_assert!(v < 16);
+        if mask & 0xFFFF != 0 {
+            prop_assert!(mask & (1 << v) != 0, "victim {v} outside mask {mask:#x}");
+        }
+    }
+
+    /// Per-DS-id occupancy counters always equal the number of resident
+    /// lines, across any interleaving of fills and invalidations.
+    #[test]
+    fn occupancy_counters_stay_exact(
+        ops in prop::collection::vec((0u16..4, 0u64..64, any::<bool>()), 1..200),
+    ) {
+        let mut a = TagArray::new(small_geom(), 4);
+        let mut resident: std::collections::HashSet<(u16, u64)> = Default::default();
+        for &(ds_raw, line, invalidate) in &ops {
+            let ds = DsId::new(ds_raw);
+            let addr = LAddr::new(line * 64);
+            if invalidate {
+                a.invalidate_ds(ds);
+                resident.retain(|&(d, _)| d != ds_raw);
+            } else if a.probe(ds, addr).is_none() {
+                let out = a.fill(ds, addr, u64::MAX, false);
+                resident.insert((ds_raw, addr.line_base().raw()));
+                if let Some(v) = out.evicted {
+                    resident.remove(&(v.owner.raw(), v.addr.raw()));
+                }
+            }
+            // Invariant: counters match the ground truth set.
+            for d in 0..4u16 {
+                let expected = resident.iter().filter(|&&(dd, _)| dd == d).count() as u64;
+                prop_assert_eq!(a.occupancy_lines(DsId::new(d)), expected);
+            }
+        }
+        let total: u64 = (0..4u16).map(|d| a.occupancy_lines(DsId::new(d))).sum();
+        prop_assert_eq!(a.total_valid_lines(), total);
+        prop_assert!(total <= small_geom().lines());
+    }
+
+    /// A hit is possible only for the (ds, address) pairs actually filled:
+    /// no LDom ever observes another LDom's line.
+    #[test]
+    fn no_cross_ldom_hits(
+        fills in prop::collection::vec((0u16..4, 0u64..32), 1..64),
+        probes in prop::collection::vec((0u16..4, 0u64..32), 1..64),
+    ) {
+        let mut a = TagArray::new(small_geom(), 4);
+        let mut filled: std::collections::HashSet<(u16, u64)> = Default::default();
+        for &(ds, line) in &fills {
+            let addr = LAddr::new(line * 64);
+            if a.probe(DsId::new(ds), addr).is_none() {
+                let out = a.fill(DsId::new(ds), addr, u64::MAX, false);
+                filled.insert((ds, addr.raw()));
+                if let Some(v) = out.evicted {
+                    filled.remove(&(v.owner.raw(), v.addr.raw()));
+                }
+            }
+        }
+        for &(ds, line) in &probes {
+            let addr = LAddr::new(line * 64);
+            let hit = a.probe(DsId::new(ds), addr).is_some();
+            let legal = filled.contains(&(ds, addr.raw()));
+            prop_assert_eq!(hit, legal, "probe (ds{}, {:?})", ds, addr);
+        }
+    }
+
+    /// Fills under a mask place the block in an allowed way.
+    #[test]
+    fn fills_land_inside_the_partition(
+        lines in prop::collection::vec(0u64..64, 1..64),
+        mask in 1u64..=0xF,
+    ) {
+        let mut a = TagArray::new(small_geom(), 4);
+        for &line in &lines {
+            let addr = LAddr::new(line * 64);
+            if a.probe(DsId::new(1), addr).is_none() {
+                let out = a.fill(DsId::new(1), addr, mask, false);
+                prop_assert!(mask & (1 << out.way) != 0);
+            }
+        }
+    }
+
+    /// Geometry round trip: any address reconstructs to its line base.
+    #[test]
+    fn geometry_round_trips(raw in 0u64..(1 << 40)) {
+        let g = CacheGeometry::new(4 << 20, 16, 64);
+        let a = LAddr::new(raw);
+        prop_assert_eq!(g.addr_of(g.tag_of(a), g.set_of(a)), a.line_base());
+    }
+}

@@ -1,0 +1,157 @@
+//! Whole-system configuration.
+
+use pard_cache::LlcConfig;
+use pard_dram::MemCtrlConfig;
+use pard_io::{IdeConfig, IoBridgeConfig, NicConfig};
+use pard_sim::Time;
+
+use crate::core_model::CoreConfig;
+
+/// Configuration of a whole PARD server.
+///
+/// [`SystemConfig::asplos15`] reproduces the paper's Table 2 platform:
+/// four 2 GHz out-of-order x86 cores with 64 KB 2-way L1s, a shared 4 MB
+/// 16-way LLC (20-cycle hit), 8 GB DDR3-1600 11-11-11 (one channel, two
+/// ranks of eight banks, 1 KB rows), a 4-channel IDE controller with eight
+/// disks, and a PRM with four control-plane adaptors.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// Per-core configuration.
+    pub core: CoreConfig,
+    /// Shared LLC configuration.
+    pub llc: LlcConfig,
+    /// Memory-controller configuration.
+    pub mem: MemCtrlConfig,
+    /// I/O-bridge configuration.
+    pub bridge: IoBridgeConfig,
+    /// IDE-controller configuration.
+    pub ide: IdeConfig,
+    /// NIC configuration.
+    pub nic: NicConfig,
+    /// PRM firmware polling interval (the trigger ⇒ action reaction
+    /// latency floor; the PRM runs at 100 MHz).
+    pub prm_poll: Time,
+    /// Maximum DS-ids across all control planes.
+    pub max_ds: usize,
+    /// Master switch for PARD's differentiated data-path mechanisms
+    /// (memory priority queues + high-priority row buffers). With this
+    /// `false` the machine behaves like a conventional server: tags are
+    /// still carried (for statistics), but nothing acts on them — the
+    /// paper's "without PARD" baseline.
+    pub pard_enabled: bool,
+}
+
+impl SystemConfig {
+    /// The paper's Table 2 evaluation platform.
+    pub fn asplos15() -> Self {
+        SystemConfig::default()
+    }
+
+    /// A smaller, faster-to-simulate platform for tests: two cores, a
+    /// 256 KB LLC, 64 MB of memory, short statistics windows.
+    pub fn small_test() -> Self {
+        let mut cfg = SystemConfig {
+            cores: 2,
+            ..SystemConfig::default()
+        };
+        cfg.llc = LlcConfig {
+            geometry: pard_cache::CacheGeometry::new(256 * 1024, 16, 64),
+            window: Time::from_us(20),
+            max_ds: 16,
+            ..LlcConfig::default()
+        };
+        cfg.mem = MemCtrlConfig {
+            window: Time::from_us(20),
+            max_ds: 16,
+            ..MemCtrlConfig::default()
+        };
+        cfg.bridge = IoBridgeConfig {
+            max_ds: 16,
+            ..IoBridgeConfig::default()
+        };
+        cfg.ide = IdeConfig {
+            max_ds: 16,
+            ..IdeConfig::default()
+        };
+        cfg.nic = NicConfig {
+            max_ds: 16,
+            ..NicConfig::default()
+        };
+        cfg.prm_poll = Time::from_us(20);
+        cfg.max_ds = 16;
+        cfg
+    }
+
+    /// Disables the differentiated data path (the "without PARD"
+    /// baseline).
+    pub fn without_pard(mut self) -> Self {
+        self.pard_enabled = false;
+        self.mem.priorities_enabled = false;
+        self
+    }
+
+    /// Sets consistent `max_ds` across every control plane.
+    pub fn with_max_ds(mut self, max_ds: usize) -> Self {
+        self.max_ds = max_ds;
+        self.llc.max_ds = max_ds;
+        self.mem.max_ds = max_ds;
+        self.bridge.max_ds = max_ds;
+        self.ide.max_ds = max_ds;
+        self.nic.max_ds = max_ds;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            cores: 4,
+            core: CoreConfig::default(),
+            llc: LlcConfig::default(),
+            mem: MemCtrlConfig::default(),
+            bridge: IoBridgeConfig::default(),
+            ide: IdeConfig::default(),
+            nic: NicConfig::default(),
+            prm_poll: Time::from_us(100),
+            max_ds: 256,
+            pard_enabled: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_platform_shape() {
+        let cfg = SystemConfig::asplos15();
+        assert_eq!(cfg.cores, 4);
+        assert_eq!(cfg.llc.geometry.size_bytes(), 4 * 1024 * 1024);
+        assert_eq!(cfg.llc.geometry.ways(), 16);
+        assert_eq!(cfg.core.l1.size_bytes(), 64 * 1024);
+        assert_eq!(cfg.mem.geometry.total_banks(), 16);
+        assert_eq!(cfg.ide.channels, 4);
+        assert_eq!(cfg.ide.disks, 8);
+        assert!(cfg.pard_enabled);
+    }
+
+    #[test]
+    fn without_pard_disables_memory_priorities() {
+        let cfg = SystemConfig::asplos15().without_pard();
+        assert!(!cfg.pard_enabled);
+        assert!(!cfg.mem.priorities_enabled);
+    }
+
+    #[test]
+    fn with_max_ds_propagates() {
+        let cfg = SystemConfig::asplos15().with_max_ds(32);
+        assert_eq!(cfg.llc.max_ds, 32);
+        assert_eq!(cfg.mem.max_ds, 32);
+        assert_eq!(cfg.bridge.max_ds, 32);
+        assert_eq!(cfg.ide.max_ds, 32);
+        assert_eq!(cfg.nic.max_ds, 32);
+    }
+}

@@ -1,0 +1,68 @@
+//! # pard — Programmable Architecture for Resourcing-on-Demand
+//!
+//! A full-system reproduction of *"Supporting Differentiated Services in
+//! Computers via Programmable Architecture for Resourcing-on-Demand
+//! (PARD)"* (ASPLOS 2015) as a cycle-level architectural simulator.
+//!
+//! PARD applies software-defined-networking principles to the
+//! *intra-computer network*: every memory / I/O / interrupt packet carries
+//! a DS-id tag; programmable control planes inside the LLC, memory
+//! controller, I/O bridge, IDE controller, and NIC process packets
+//! differentially by tag; and a platform resource manager (PRM) running a
+//! Linux-like firmware exposes every control plane as a device file tree
+//! with a "trigger ⇒ action" programming methodology.
+//!
+//! This crate is the assembly point: [`SystemConfig`] describes the
+//! paper's Table 2 platform, [`PardServer`] wires cores, caches, DRAM,
+//! I/O, and the PRM onto the simulation kernel, and [`Core`] is the
+//! tag-registered CPU model that executes
+//! [workload engines](pard_workloads::WorkloadEngine).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pard::{LDomSpec, PardServer, SystemConfig};
+//! use pard_sim::Time;
+//! use pard_workloads::{Stream, StreamConfig};
+//!
+//! // A four-core Table 2 server.
+//! let mut server = PardServer::new(SystemConfig::asplos15());
+//!
+//! // Create an LDom on core 0 with 512 MiB and run STREAM in it.
+//! let ds = server
+//!     .create_ldom(LDomSpec::new("demo", vec![0], 512 << 20))
+//!     .unwrap();
+//! server.install_engine(0, Box::new(Stream::new(StreamConfig::default())));
+//! server.launch(ds).unwrap();
+//!
+//! server.run_for(Time::from_ms(1));
+//! assert!(server.llc_occupancy_bytes(ds) > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod core_model;
+mod server;
+
+pub use config::SystemConfig;
+pub use core_model::{Core, CoreConfig, CoreStats};
+pub use server::PardServer;
+
+// The vocabulary types users need, re-exported from the sub-crates.
+pub use pard_cp::{CmpOp, CpHandle, CpType, Trigger};
+pub use pard_icn::{DsId, LAddr, MAddr, PardEvent};
+pub use pard_prm::{Action, FwHandle, LDomSpec, Priority};
+pub use pard_sim::Time;
+
+/// The sub-crates, re-exported for deep access.
+pub mod subsystems {
+    pub use pard_cache as cache;
+    pub use pard_cp as cp;
+    pub use pard_dram as dram;
+    pub use pard_icn as icn;
+    pub use pard_io as io;
+    pub use pard_prm as prm;
+    pub use pard_sim as sim;
+    pub use pard_workloads as workloads;
+}

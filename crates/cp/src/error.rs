@@ -1,0 +1,85 @@
+//! Control-plane access errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by a control-plane table or programming-interface
+/// access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpError {
+    /// The DS-id exceeds the number of table rows this control plane was
+    /// synthesised with.
+    DsOutOfRange {
+        /// The offending DS-id row index.
+        ds: usize,
+        /// Number of rows available.
+        rows: usize,
+    },
+    /// No column with the requested name or offset exists in the table.
+    UnknownColumn {
+        /// Table name.
+        table: &'static str,
+        /// The offending column description.
+        column: String,
+    },
+    /// The `addr` register's 2-bit table selector named a reserved table.
+    BadTableSelect(u8),
+    /// The `cmd` register held a value that is neither READ nor WRITE.
+    BadCommand(u32),
+    /// The trigger slot index exceeds the trigger table's capacity.
+    TriggerSlotOutOfRange {
+        /// The offending slot.
+        slot: usize,
+        /// Number of slots available.
+        slots: usize,
+    },
+    /// Register-file access at an offset that is not a defined register.
+    BadRegister(u64),
+}
+
+impl fmt::Display for CpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpError::DsOutOfRange { ds, rows } => {
+                write!(f, "ds-id {ds} out of range for a {rows}-row table")
+            }
+            CpError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column:?} in {table} table")
+            }
+            CpError::BadTableSelect(sel) => write!(f, "reserved table selector {sel}"),
+            CpError::BadCommand(cmd) => write!(f, "unknown control-plane command {cmd:#x}"),
+            CpError::TriggerSlotOutOfRange { slot, slots } => {
+                write!(f, "trigger slot {slot} out of range for {slots} slots")
+            }
+            CpError::BadRegister(off) => write!(f, "no CPA register at offset {off:#x}"),
+        }
+    }
+}
+
+impl Error for CpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CpError::DsOutOfRange { ds: 300, rows: 256 };
+        assert!(e.to_string().contains("300"));
+        assert!(e.to_string().contains("256"));
+        let e = CpError::UnknownColumn {
+            table: "parameter",
+            column: "bogus".into(),
+        };
+        assert!(e.to_string().contains("bogus"));
+        assert!(CpError::BadTableSelect(3).to_string().contains('3'));
+        assert!(CpError::BadCommand(9).to_string().contains("0x9"));
+        assert!(CpError::BadRegister(0x40).to_string().contains("0x40"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(CpError::BadCommand(0));
+    }
+}

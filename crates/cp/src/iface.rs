@@ -1,0 +1,447 @@
+//! The CPA programming interface — the 32-byte register file of Fig. 6.
+//!
+//! The PRM reserves a 64 KB I/O address space for control-plane adaptors
+//! (CPAs); each CPA occupies 32 bytes:
+//!
+//! ```text
+//! offset  size  register
+//! 0x00    8     IDENT        (first 8 bytes of the identity string)
+//! 0x08    4     IDENT_HIGH   (next 4 bytes of the identity string)
+//! 0x0C    4     type         (resource type code: 'C', 'M', 'B', ...)
+//! 0x10    4     addr         { 16-bit DS-id | 14-bit column offset | 2-bit table }
+//! 0x14    4     cmd          (1 = READ, 2 = WRITE)
+//! 0x18    8     data
+//! ```
+//!
+//! To write a table cell the driver programs `addr`, fills `data`, then
+//! writes WRITE into `cmd`. To read, it programs `addr`, writes READ into
+//! `cmd`, then reads `data`.
+
+use pard_icn::DsId;
+
+use crate::error::CpError;
+use crate::plane::CpHandle;
+
+/// Size of one CPA register window in bytes.
+pub const CPA_BYTES: u64 = 32;
+
+/// Offset of the IDENT register.
+pub const REG_IDENT: u64 = 0x00;
+/// Offset of the IDENT_HIGH register.
+pub const REG_IDENT_HIGH: u64 = 0x08;
+/// Offset of the type register.
+pub const REG_TYPE: u64 = 0x0C;
+/// Offset of the addr register.
+pub const REG_ADDR: u64 = 0x10;
+/// Offset of the cmd register.
+pub const REG_CMD: u64 = 0x14;
+/// Offset of the data register.
+pub const REG_DATA: u64 = 0x18;
+
+/// The 2-bit table selector inside the `addr` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableSel {
+    /// The parameter table.
+    Parameter,
+    /// The statistics table.
+    Statistics,
+    /// The trigger table (row = slot index in the DS-id field).
+    Trigger,
+}
+
+impl TableSel {
+    /// Encodes the selector into its 2-bit field value.
+    pub fn encode(self) -> u32 {
+        match self {
+            TableSel::Parameter => 0,
+            TableSel::Statistics => 1,
+            TableSel::Trigger => 2,
+        }
+    }
+
+    /// Decodes a 2-bit field value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::BadTableSelect`] for the reserved encoding `3`.
+    pub fn decode(raw: u32) -> Result<Self, CpError> {
+        Ok(match raw & 0b11 {
+            0 => TableSel::Parameter,
+            1 => TableSel::Statistics,
+            2 => TableSel::Trigger,
+            other => return Err(CpError::BadTableSelect(other as u8)),
+        })
+    }
+}
+
+/// The decoded contents of the CPA `addr` register.
+///
+/// # Example
+///
+/// ```
+/// use pard_cp::{CpAddr, TableSel};
+/// use pard_icn::DsId;
+///
+/// let a = CpAddr::new(DsId::new(2), 5, TableSel::Statistics);
+/// let raw = a.encode();
+/// assert_eq!(CpAddr::decode(raw).unwrap(), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpAddr {
+    /// The table row (a DS-id for parameter/statistics tables, a slot index
+    /// for the trigger table).
+    pub ds: DsId,
+    /// The column offset within the row (14 bits).
+    pub offset: u16,
+    /// Which table to access.
+    pub table: TableSel,
+}
+
+impl CpAddr {
+    /// Maximum encodable column offset (14 bits).
+    pub const MAX_OFFSET: u16 = (1 << 14) - 1;
+
+    /// Creates an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds [`CpAddr::MAX_OFFSET`].
+    pub fn new(ds: DsId, offset: u16, table: TableSel) -> Self {
+        assert!(
+            offset <= Self::MAX_OFFSET,
+            "column offset exceeds the 14-bit addr field"
+        );
+        CpAddr { ds, offset, table }
+    }
+
+    /// Packs into the 32-bit `addr` register layout:
+    /// `[31:16]` DS-id, `[15:2]` offset, `[1:0]` table selector.
+    pub fn encode(self) -> u32 {
+        (u32::from(self.ds.raw()) << 16) | (u32::from(self.offset) << 2) | self.table.encode()
+    }
+
+    /// Unpacks a raw `addr` register value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::BadTableSelect`] for the reserved table encoding.
+    pub fn decode(raw: u32) -> Result<Self, CpError> {
+        Ok(CpAddr {
+            ds: DsId::new((raw >> 16) as u16),
+            offset: ((raw >> 2) & 0x3FFF) as u16,
+            table: TableSel::decode(raw)?,
+        })
+    }
+}
+
+/// The CPA `cmd` register values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpCommand {
+    /// Latch the addressed cell into `data`.
+    Read,
+    /// Store `data` into the addressed cell.
+    Write,
+}
+
+impl CpCommand {
+    /// Encodes into the `cmd` register value.
+    pub fn encode(self) -> u32 {
+        match self {
+            CpCommand::Read => 1,
+            CpCommand::Write => 2,
+        }
+    }
+
+    /// Decodes a `cmd` register value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::BadCommand`] for undefined values.
+    pub fn decode(raw: u32) -> Result<Self, CpError> {
+        match raw {
+            1 => Ok(CpCommand::Read),
+            2 => Ok(CpCommand::Write),
+            other => Err(CpError::BadCommand(other)),
+        }
+    }
+}
+
+/// One CPA register window: the hardware the PRM's drivers actually touch.
+///
+/// Holds the plane handle plus the `addr`/`data` latches; writing
+/// [`CpCommand`] values into the `cmd` register executes table accesses
+/// against the attached control plane.
+///
+/// # Example
+///
+/// ```
+/// use pard_cp::{ColumnDef, ControlPlane, CpAddr, CpCommand, CpType, CpaRegisterFile, DsTable,
+///               TableSel, REG_ADDR, REG_CMD, REG_DATA};
+/// use pard_icn::DsId;
+///
+/// let params = DsTable::new("parameter", vec![ColumnDef::new("waymask")], 8);
+/// let stats = DsTable::new("statistics", vec![ColumnDef::new("miss_rate")], 8);
+/// let plane = pard_cp::shared(ControlPlane::new("CACHE_CP", CpType::Cache, params, stats, 4));
+/// let mut cpa = CpaRegisterFile::new(plane);
+///
+/// // Program waymask for ds1 via the documented sequence.
+/// let addr = CpAddr::new(DsId::new(1), 0, TableSel::Parameter).encode();
+/// cpa.write(REG_ADDR, addr.into()).unwrap();
+/// cpa.write(REG_DATA, 0x00FF).unwrap();
+/// cpa.write(REG_CMD, CpCommand::Write.encode().into()).unwrap();
+///
+/// // Read it back.
+/// cpa.write(REG_CMD, CpCommand::Read.encode().into()).unwrap();
+/// assert_eq!(cpa.read(REG_DATA).unwrap(), 0x00FF);
+/// ```
+#[derive(Debug)]
+pub struct CpaRegisterFile {
+    plane: CpHandle,
+    addr: u32,
+    data: u64,
+}
+
+impl CpaRegisterFile {
+    /// Creates a register file attached to `plane`.
+    pub fn new(plane: CpHandle) -> Self {
+        CpaRegisterFile {
+            plane,
+            addr: 0,
+            data: 0,
+        }
+    }
+
+    /// The attached control plane.
+    pub fn plane(&self) -> &CpHandle {
+        &self.plane
+    }
+
+    /// Reads a register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::BadRegister`] for undefined offsets.
+    pub fn read(&self, offset: u64) -> Result<u64, CpError> {
+        match offset {
+            REG_IDENT => Ok(ident_bytes(&self.plane, 0)),
+            REG_IDENT_HIGH => Ok(ident_bytes(&self.plane, 8) & 0xFFFF_FFFF),
+            REG_TYPE => Ok(u64::from(self.plane.lock().cp_type().encode())),
+            REG_ADDR => Ok(u64::from(self.addr)),
+            REG_CMD => Ok(0),
+            REG_DATA => Ok(self.data),
+            other => Err(CpError::BadRegister(other)),
+        }
+    }
+
+    /// Writes a register; writing `cmd` executes the latched access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::BadRegister`] for undefined or read-only offsets
+    /// and propagates decode/table errors from command execution.
+    pub fn write(&mut self, offset: u64, value: u64) -> Result<(), CpError> {
+        match offset {
+            REG_ADDR => {
+                self.addr = value as u32;
+                Ok(())
+            }
+            REG_DATA => {
+                self.data = value;
+                Ok(())
+            }
+            REG_CMD => self.execute(CpCommand::decode(value as u32)?),
+            REG_IDENT | REG_IDENT_HIGH | REG_TYPE => Err(CpError::BadRegister(offset)),
+            other => Err(CpError::BadRegister(other)),
+        }
+    }
+
+    fn execute(&mut self, cmd: CpCommand) -> Result<(), CpError> {
+        let addr = CpAddr::decode(self.addr)?;
+        let mut plane = self.plane.lock();
+        match (cmd, addr.table) {
+            (CpCommand::Read, TableSel::Parameter) => {
+                self.data = plane
+                    .params()
+                    .get_by_offset(addr.ds, addr.offset as usize)?;
+            }
+            (CpCommand::Read, TableSel::Statistics) => {
+                self.data = plane.stats().get_by_offset(addr.ds, addr.offset as usize)?;
+            }
+            (CpCommand::Read, TableSel::Trigger) => {
+                self.data = plane
+                    .triggers()
+                    .get_field(addr.ds.index(), addr.offset as usize)?;
+            }
+            (CpCommand::Write, TableSel::Parameter) => {
+                // Route through set_param so the generation counter bumps.
+                let column = plane
+                    .params()
+                    .columns()
+                    .get(addr.offset as usize)
+                    .ok_or(CpError::UnknownColumn {
+                        table: "parameter",
+                        column: format!("offset {}", addr.offset),
+                    })?
+                    .name;
+                plane.set_param(addr.ds, column, self.data)?;
+            }
+            (CpCommand::Write, TableSel::Statistics) => {
+                let data = self.data;
+                plane.stats_set_by_offset(addr.ds, addr.offset as usize, data)?;
+            }
+            (CpCommand::Write, TableSel::Trigger) => {
+                let data = self.data;
+                plane
+                    .triggers_mut()
+                    .set_field(addr.ds.index(), addr.offset as usize, data)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn ident_bytes(plane: &CpHandle, start: usize) -> u64 {
+    let plane = plane.lock();
+    let bytes = plane.ident().as_bytes();
+    let mut out = [0u8; 8];
+    for (i, slot) in out.iter_mut().enumerate() {
+        if let Some(&b) = bytes.get(start + i) {
+            *slot = b;
+        }
+    }
+    u64::from_le_bytes(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::{shared, ControlPlane, CpType};
+    use crate::table::{ColumnDef, DsTable};
+
+    fn cpa() -> CpaRegisterFile {
+        let params = DsTable::new(
+            "parameter",
+            vec![ColumnDef::new("waymask"), ColumnDef::new("priority")],
+            16,
+        );
+        let stats = DsTable::new(
+            "statistics",
+            vec![ColumnDef::new("miss_rate"), ColumnDef::new("capacity")],
+            16,
+        );
+        CpaRegisterFile::new(shared(ControlPlane::new(
+            "CACHE_CP",
+            CpType::Cache,
+            params,
+            stats,
+            8,
+        )))
+    }
+
+    fn access(cpa: &mut CpaRegisterFile, addr: CpAddr, cmd: CpCommand, data: u64) -> u64 {
+        cpa.write(REG_ADDR, addr.encode().into()).unwrap();
+        if cmd == CpCommand::Write {
+            cpa.write(REG_DATA, data).unwrap();
+        }
+        cpa.write(REG_CMD, cmd.encode().into()).unwrap();
+        cpa.read(REG_DATA).unwrap()
+    }
+
+    #[test]
+    fn addr_field_packs_per_figure6() {
+        let a = CpAddr::new(DsId::new(0xABCD), 0x3FFF, TableSel::Trigger);
+        let raw = a.encode();
+        assert_eq!(raw >> 16, 0xABCD);
+        assert_eq!((raw >> 2) & 0x3FFF, 0x3FFF);
+        assert_eq!(raw & 0b11, 2);
+        assert_eq!(CpAddr::decode(raw).unwrap(), a);
+    }
+
+    #[test]
+    fn reserved_table_selector_rejected() {
+        assert!(matches!(
+            CpAddr::decode(0b11),
+            Err(CpError::BadTableSelect(3))
+        ));
+        assert!(TableSel::decode(3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "14-bit")]
+    fn oversized_offset_panics() {
+        let _ = CpAddr::new(DsId::new(0), 0x4000, TableSel::Parameter);
+    }
+
+    #[test]
+    fn ident_reads_back_as_string_bytes() {
+        let cpa = cpa();
+        let lo = cpa.read(REG_IDENT).unwrap().to_le_bytes();
+        assert_eq!(&lo, b"CACHE_CP");
+        let hi = cpa.read(REG_IDENT_HIGH).unwrap();
+        assert_eq!(hi, 0); // 8-byte ident fits entirely in IDENT.
+        assert_eq!(cpa.read(REG_TYPE).unwrap(), u64::from(b'C'));
+    }
+
+    #[test]
+    fn parameter_write_read_round_trip() {
+        let mut cpa = cpa();
+        let addr = CpAddr::new(DsId::new(3), 0, TableSel::Parameter);
+        access(&mut cpa, addr, CpCommand::Write, 0xFF00);
+        assert_eq!(access(&mut cpa, addr, CpCommand::Read, 0), 0xFF00);
+        // The native view agrees, and the generation was bumped.
+        let plane = cpa.plane().clone();
+        assert_eq!(plane.lock().param(DsId::new(3), "waymask").unwrap(), 0xFF00);
+        assert_eq!(plane.lock().generation(), 1);
+    }
+
+    #[test]
+    fn statistics_access_round_trip() {
+        let mut cpa = cpa();
+        {
+            let plane = cpa.plane().clone();
+            plane.lock().set_stat(DsId::new(2), "capacity", 77).unwrap();
+        }
+        let addr = CpAddr::new(DsId::new(2), 1, TableSel::Statistics);
+        assert_eq!(access(&mut cpa, addr, CpCommand::Read, 0), 77);
+        access(&mut cpa, addr, CpCommand::Write, 0);
+        assert_eq!(access(&mut cpa, addr, CpCommand::Read, 0), 0);
+    }
+
+    #[test]
+    fn trigger_programming_sequence() {
+        let mut cpa = cpa();
+        // Program slot 2: ds=4, stats column 0 (miss_rate), Gt, 30, enable.
+        let slot = DsId::new(2);
+        for (field, value) in [(0u16, 4u64), (1, 0), (2, 0), (3, 30), (4, 1)] {
+            let addr = CpAddr::new(slot, field, TableSel::Trigger);
+            access(&mut cpa, addr, CpCommand::Write, value);
+        }
+        let plane = cpa.plane().clone();
+        let guard = plane.lock();
+        let t = guard.triggers().get(2).expect("trigger installed");
+        assert_eq!(t.ds, DsId::new(4));
+        assert_eq!(t.stats_column, 0);
+        assert_eq!(t.value, 30);
+        assert!(t.enabled);
+    }
+
+    #[test]
+    fn bad_accesses_error() {
+        let mut cpa = cpa();
+        assert!(cpa.read(0x40).is_err());
+        assert!(cpa.write(0x40, 0).is_err());
+        assert!(cpa.write(REG_TYPE, 0).is_err());
+        assert!(cpa.write(REG_CMD, 99).is_err());
+        // Column offset out of schema.
+        let addr = CpAddr::new(DsId::new(0), 9, TableSel::Parameter);
+        cpa.write(REG_ADDR, addr.encode().into()).unwrap();
+        assert!(cpa.write(REG_CMD, CpCommand::Read.encode().into()).is_err());
+    }
+
+    #[test]
+    fn cmd_register_reads_zero() {
+        let cpa = cpa();
+        assert_eq!(cpa.read(REG_CMD).unwrap(), 0);
+        assert_eq!(cpa.read(REG_ADDR).unwrap(), 0);
+    }
+}

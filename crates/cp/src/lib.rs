@@ -1,0 +1,42 @@
+//! # pard-cp — the programmable control-plane framework
+//!
+//! PARD's second mechanism (§3 ②): every shared hardware resource embeds a
+//! **programmable control plane** that processes DS-id-tagged packets
+//! according to tag-based rules. All control planes share one basic
+//! structure, instantiated with component-specific table columns:
+//!
+//! * a **parameter table** holding per-DS-id resource-allocation policy
+//!   (LLC way masks, memory address maps and priorities, disk bandwidth),
+//! * a **statistics table** holding per-DS-id usage information (hit/miss
+//!   counts, bandwidth, average queueing latency),
+//! * a **trigger table** holding per-DS-id performance triggers
+//!   (`stats column ⋄ value` conditions that raise an interrupt to the
+//!   platform resource manager when they become true),
+//! * a **programming interface**: a 32-byte register file (Fig. 6) through
+//!   which the PRM firmware reads and writes table cells, and
+//! * an **interrupt line** to the PRM.
+//!
+//! The hot data path of a resource (e.g. the LLC lookup pipeline) does not
+//! lock the control plane per access; resources cache parameters against a
+//! [`generation`](ControlPlane::generation) counter and flush statistics at
+//! window boundaries, mirroring how the RTL hides control-plane work inside
+//! the cache pipeline (§7.2).
+
+#![warn(missing_docs)]
+
+mod error;
+mod iface;
+mod plane;
+mod table;
+mod trigger;
+
+pub use error::CpError;
+pub use iface::{
+    CpAddr, CpCommand, CpaRegisterFile, TableSel, CPA_BYTES, REG_ADDR, REG_CMD, REG_DATA,
+    REG_IDENT, REG_IDENT_HIGH, REG_TYPE,
+};
+pub use plane::{
+    shared, ControlPlane, CpHandle, CpInterrupt, CpType, InterruptLine, InterruptSink,
+};
+pub use table::{ColumnDef, DsTable};
+pub use trigger::{CmpOp, Trigger, TriggerTable};

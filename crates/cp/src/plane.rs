@@ -1,0 +1,442 @@
+//! The control plane proper: three tables + interrupt line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use pard_icn::DsId;
+use pard_sim::Time;
+use parking_lot::Mutex;
+
+use crate::error::CpError;
+use crate::table::DsTable;
+use crate::trigger::{Trigger, TriggerTable};
+
+/// The kind of resource a control plane is embedded in.
+///
+/// The single-character codes match the firmware's `type` file
+/// (paper Fig. 6: cache `C`, memory `M`, I/O bridge `B`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpType {
+    /// Last-level cache control plane.
+    Cache,
+    /// Memory-controller control plane.
+    Memory,
+    /// I/O-bridge control plane.
+    Bridge,
+    /// Disk (IDE) control plane.
+    Io,
+    /// Network-interface control plane.
+    Nic,
+}
+
+impl CpType {
+    /// The single-character type code exposed through the device file tree.
+    pub fn code(self) -> char {
+        match self {
+            CpType::Cache => 'C',
+            CpType::Memory => 'M',
+            CpType::Bridge => 'B',
+            CpType::Io => 'I',
+            CpType::Nic => 'N',
+        }
+    }
+
+    /// Encodes the code for the CPA `type` register.
+    pub fn encode(self) -> u32 {
+        self.code() as u32
+    }
+}
+
+/// An interrupt raised by a control plane toward the PRM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpInterrupt {
+    /// Index of the control-plane adaptor (CPA) that raised the interrupt.
+    pub cpa: usize,
+    /// DS-id whose trigger fired.
+    pub ds: DsId,
+    /// Trigger-table slot that fired.
+    pub slot: usize,
+    /// Simulated time of the firing.
+    pub at: Time,
+}
+
+/// The sending half of the control-plane-network interrupt wire.
+#[derive(Debug, Clone)]
+pub struct InterruptLine {
+    tx: Sender<CpInterrupt>,
+}
+
+impl InterruptLine {
+    /// Creates a connected `(line, sink)` pair.
+    pub fn channel() -> (InterruptLine, InterruptSink) {
+        let (tx, rx) = unbounded();
+        (InterruptLine { tx }, InterruptSink { rx })
+    }
+
+    /// Raises an interrupt. Lost interrupts (disconnected PRM) are ignored,
+    /// like a wire with nothing attached.
+    pub fn raise(&self, irq: CpInterrupt) {
+        let _ = self.tx.send(irq);
+    }
+}
+
+/// The receiving half of the interrupt wire, polled by the PRM firmware.
+#[derive(Debug)]
+pub struct InterruptSink {
+    rx: Receiver<CpInterrupt>,
+}
+
+impl InterruptSink {
+    /// Takes one pending interrupt, if any.
+    pub fn try_recv(&self) -> Option<CpInterrupt> {
+        match self.rx.try_recv() {
+            Ok(irq) => Some(irq),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drains all pending interrupts.
+    pub fn drain(&self) -> Vec<CpInterrupt> {
+        std::iter::from_fn(|| self.try_recv()).collect()
+    }
+}
+
+/// A programmable control plane: the basic structure of paper §3 ②,
+/// instantiated by each shared resource with its own table schemas.
+///
+/// # Example
+///
+/// ```
+/// use pard_cp::{ColumnDef, CmpOp, ControlPlane, CpType, DsTable, InterruptLine, Trigger};
+/// use pard_icn::DsId;
+/// use pard_sim::Time;
+///
+/// let params = DsTable::new("parameter", vec![ColumnDef::with_default("waymask", 0xFFFF)], 8);
+/// let stats = DsTable::new("statistics", vec![ColumnDef::new("miss_rate")], 8);
+/// let mut cp = ControlPlane::new("CACHE_CP", CpType::Cache, params, stats, 64);
+/// let (line, sink) = InterruptLine::channel();
+/// cp.attach(0, line);
+///
+/// cp.install_trigger(0, Trigger::new(DsId::new(2), 0, CmpOp::Gt, 30)).unwrap();
+/// cp.set_stat(DsId::new(2), "miss_rate", 45).unwrap();
+/// cp.evaluate_triggers(DsId::new(2), Time::from_us(100));
+/// let irq = sink.try_recv().unwrap();
+/// assert_eq!(irq.ds, DsId::new(2));
+/// assert_eq!(irq.slot, 0);
+/// ```
+#[derive(Debug)]
+pub struct ControlPlane {
+    ident: String,
+    cp_type: CpType,
+    cpa_index: usize,
+    params: DsTable,
+    stats: DsTable,
+    triggers: TriggerTable,
+    generation: Arc<AtomicU64>,
+    irq: Option<InterruptLine>,
+}
+
+impl ControlPlane {
+    /// Creates a control plane with the given identity and tables.
+    pub fn new(
+        ident: impl Into<String>,
+        cp_type: CpType,
+        params: DsTable,
+        stats: DsTable,
+        trigger_slots: usize,
+    ) -> Self {
+        ControlPlane {
+            ident: ident.into(),
+            cp_type,
+            cpa_index: usize::MAX,
+            params,
+            stats,
+            triggers: TriggerTable::new(trigger_slots),
+            generation: Arc::new(AtomicU64::new(0)),
+            irq: None,
+        }
+    }
+
+    /// Connects this plane to CPA `cpa_index` with the given interrupt line.
+    pub fn attach(&mut self, cpa_index: usize, irq: InterruptLine) {
+        self.cpa_index = cpa_index;
+        self.irq = Some(irq);
+    }
+
+    /// The plane's identity string (e.g. `"CACHE_CP"`).
+    pub fn ident(&self) -> &str {
+        &self.ident
+    }
+
+    /// The plane's resource type.
+    pub fn cp_type(&self) -> CpType {
+        self.cp_type
+    }
+
+    /// The CPA index assigned at [`attach`](Self::attach) time.
+    pub fn cpa_index(&self) -> usize {
+        self.cpa_index
+    }
+
+    /// The parameter table.
+    pub fn params(&self) -> &DsTable {
+        &self.params
+    }
+
+    /// The statistics table.
+    pub fn stats(&self) -> &DsTable {
+        &self.stats
+    }
+
+    /// The trigger table.
+    pub fn triggers(&self) -> &TriggerTable {
+        &self.triggers
+    }
+
+    /// Mutable trigger table (firmware-side installation path).
+    pub fn triggers_mut(&mut self) -> &mut TriggerTable {
+        &mut self.triggers
+    }
+
+    /// Monotonic counter bumped on every parameter write.
+    ///
+    /// Data-path components cache parameter values and re-read them only
+    /// when the generation changes, keeping the hot path lock-free in
+    /// spirit (the RTL reads parameters through a dedicated pipeline port).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A shared watch on the generation counter.
+    ///
+    /// Data-path components keep a clone and compare it against their
+    /// cached value on each access — a single atomic load — re-reading
+    /// parameters only when the PRM has reprogrammed something.
+    pub fn generation_watch(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.generation)
+    }
+
+    /// Reads a parameter cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table range errors.
+    pub fn param(&self, ds: DsId, column: &str) -> Result<u64, CpError> {
+        self.params.get(ds, column)
+    }
+
+    /// Writes a parameter cell and bumps the generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table range errors.
+    pub fn set_param(&mut self, ds: DsId, column: &str, value: u64) -> Result<(), CpError> {
+        self.params.set(ds, column, value)?;
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Reads a statistics cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table range errors.
+    pub fn stat(&self, ds: DsId, column: &str) -> Result<u64, CpError> {
+        self.stats.get(ds, column)
+    }
+
+    /// Overwrites a statistics cell (used at window rollover).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table range errors.
+    pub fn set_stat(&mut self, ds: DsId, column: &str, value: u64) -> Result<(), CpError> {
+        self.stats.set(ds, column, value)
+    }
+
+    /// Accumulates into a statistics cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table range errors.
+    pub fn add_stat(&mut self, ds: DsId, column: &str, delta: u64) -> Result<(), CpError> {
+        self.stats.add(ds, column, delta)
+    }
+
+    /// Overwrites a statistics cell by column offset (the CPA write path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table range errors.
+    pub fn stats_set_by_offset(
+        &mut self,
+        ds: DsId,
+        offset: usize,
+        value: u64,
+    ) -> Result<(), CpError> {
+        self.stats.set_by_offset(ds, offset, value)
+    }
+
+    /// Installs a trigger in `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trigger-table range errors.
+    pub fn install_trigger(&mut self, slot: usize, trigger: Trigger) -> Result<(), CpError> {
+        self.triggers.install(slot, trigger)
+    }
+
+    /// Evaluates all triggers watching `ds` against its current statistics
+    /// row, raising one interrupt per newly-firing slot. Returns the number
+    /// of interrupts raised.
+    pub fn evaluate_triggers(&mut self, ds: DsId, now: Time) -> usize {
+        let Ok(row) = self.stats.row(ds) else {
+            return 0;
+        };
+        let row = row.to_vec();
+        let fired = self.triggers.evaluate(ds, &row);
+        let n = fired.len();
+        if let Some(irq) = &self.irq {
+            for slot in fired {
+                irq.raise(CpInterrupt {
+                    cpa: self.cpa_index,
+                    ds,
+                    slot,
+                    at: now,
+                });
+            }
+        }
+        n
+    }
+
+    /// Resets both data tables' rows for a departing LDom.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table range errors.
+    pub fn reset_ds(&mut self, ds: DsId) -> Result<(), CpError> {
+        self.params.reset_row(ds)?;
+        self.stats.reset_row(ds)?;
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+}
+
+/// A shareable handle to a control plane.
+///
+/// The resource's data path and the PRM's programming interface both hold
+/// one; contention is negligible because the data path only locks at
+/// statistics-window boundaries or parameter-generation changes.
+pub type CpHandle = Arc<Mutex<ControlPlane>>;
+
+/// Wraps a control plane in a [`CpHandle`].
+pub fn shared(cp: ControlPlane) -> CpHandle {
+    Arc::new(Mutex::new(cp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ColumnDef;
+    use crate::trigger::CmpOp;
+
+    fn plane() -> ControlPlane {
+        let params = DsTable::new(
+            "parameter",
+            vec![ColumnDef::with_default("waymask", 0xFFFF)],
+            4,
+        );
+        let stats = DsTable::new(
+            "statistics",
+            vec![ColumnDef::new("miss_rate"), ColumnDef::new("capacity")],
+            4,
+        );
+        ControlPlane::new("CACHE_CP", CpType::Cache, params, stats, 8)
+    }
+
+    #[test]
+    fn generation_bumps_only_on_param_writes() {
+        let mut cp = plane();
+        assert_eq!(cp.generation(), 0);
+        cp.set_stat(DsId::new(0), "miss_rate", 10).unwrap();
+        cp.add_stat(DsId::new(0), "capacity", 5).unwrap();
+        assert_eq!(cp.generation(), 0);
+        cp.set_param(DsId::new(0), "waymask", 0x00FF).unwrap();
+        assert_eq!(cp.generation(), 1);
+        assert_eq!(cp.param(DsId::new(0), "waymask").unwrap(), 0x00FF);
+    }
+
+    #[test]
+    fn interrupts_carry_cpa_ds_slot_time() {
+        let mut cp = plane();
+        let (line, sink) = InterruptLine::channel();
+        cp.attach(3, line);
+        cp.install_trigger(5, Trigger::new(DsId::new(1), 0, CmpOp::Ge, 30))
+            .unwrap();
+        cp.set_stat(DsId::new(1), "miss_rate", 30).unwrap();
+        let n = cp.evaluate_triggers(DsId::new(1), Time::from_ms(2));
+        assert_eq!(n, 1);
+        let irq = sink.try_recv().unwrap();
+        assert_eq!(irq.cpa, 3);
+        assert_eq!(irq.ds, DsId::new(1));
+        assert_eq!(irq.slot, 5);
+        assert_eq!(irq.at, Time::from_ms(2));
+        assert!(sink.try_recv().is_none());
+    }
+
+    #[test]
+    fn evaluation_without_interrupt_line_is_safe() {
+        let mut cp = plane();
+        cp.install_trigger(0, Trigger::new(DsId::new(0), 0, CmpOp::Ge, 0))
+            .unwrap();
+        assert_eq!(cp.evaluate_triggers(DsId::new(0), Time::ZERO), 1);
+    }
+
+    #[test]
+    fn out_of_range_ds_evaluates_to_nothing() {
+        let mut cp = plane();
+        assert_eq!(cp.evaluate_triggers(DsId::new(100), Time::ZERO), 0);
+    }
+
+    #[test]
+    fn reset_ds_restores_defaults_and_bumps_generation() {
+        let mut cp = plane();
+        cp.set_param(DsId::new(2), "waymask", 1).unwrap();
+        cp.set_stat(DsId::new(2), "capacity", 9).unwrap();
+        let g = cp.generation();
+        cp.reset_ds(DsId::new(2)).unwrap();
+        assert_eq!(cp.param(DsId::new(2), "waymask").unwrap(), 0xFFFF);
+        assert_eq!(cp.stat(DsId::new(2), "capacity").unwrap(), 0);
+        assert!(cp.generation() > g);
+    }
+
+    #[test]
+    fn drain_collects_multiple() {
+        let mut cp = plane();
+        let (line, sink) = InterruptLine::channel();
+        cp.attach(0, line);
+        cp.install_trigger(0, Trigger::new(DsId::new(0), 0, CmpOp::Ge, 0))
+            .unwrap();
+        cp.install_trigger(1, Trigger::new(DsId::new(0), 1, CmpOp::Ge, 0))
+            .unwrap();
+        cp.evaluate_triggers(DsId::new(0), Time::ZERO);
+        assert_eq!(sink.drain().len(), 2);
+    }
+
+    #[test]
+    fn type_codes_match_figure6() {
+        assert_eq!(CpType::Cache.code(), 'C');
+        assert_eq!(CpType::Memory.code(), 'M');
+        assert_eq!(CpType::Bridge.code(), 'B');
+        assert_eq!(CpType::Cache.encode(), 0x43);
+    }
+
+    #[test]
+    fn shared_handle_is_cloneable() {
+        let h = shared(plane());
+        let h2 = h.clone();
+        h.lock().set_param(DsId::new(0), "waymask", 7).unwrap();
+        assert_eq!(h2.lock().param(DsId::new(0), "waymask").unwrap(), 7);
+    }
+}

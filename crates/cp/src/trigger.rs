@@ -1,0 +1,419 @@
+//! The trigger table: hardware performance triggers.
+
+use pard_icn::DsId;
+
+use crate::error::CpError;
+
+/// Comparison operator of a trigger condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the operator.
+    #[inline]
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// Encodes the operator for table storage / the CPA interface.
+    pub fn encode(self) -> u64 {
+        match self {
+            CmpOp::Gt => 0,
+            CmpOp::Ge => 1,
+            CmpOp::Lt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Eq => 4,
+            CmpOp::Ne => 5,
+        }
+    }
+
+    /// Decodes a table-stored operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::BadCommand`] for undefined encodings.
+    pub fn decode(raw: u64) -> Result<Self, CpError> {
+        Ok(match raw {
+            0 => CmpOp::Gt,
+            1 => CmpOp::Ge,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Eq,
+            5 => CmpOp::Ne,
+            other => return Err(CpError::BadCommand(other as u32)),
+        })
+    }
+
+    /// The shell-style mnemonic used by the `pardtrigger` command
+    /// (`gt`, `ge`, `lt`, `le`, `eq`, `ne`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+        }
+    }
+
+    /// Parses a shell-style mnemonic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::UnknownColumn`] (reused as a generic parse error)
+    /// for unknown mnemonics.
+    pub fn from_mnemonic(s: &str) -> Result<Self, CpError> {
+        Ok(match s {
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            other => {
+                return Err(CpError::UnknownColumn {
+                    table: "trigger",
+                    column: other.to_string(),
+                })
+            }
+        })
+    }
+}
+
+/// One installed trigger: "when `stats[ds][column] ⋄ value`, raise an
+/// interrupt naming this slot".
+///
+/// Triggers are level-latched: a trigger fires once when its condition
+/// becomes true and re-arms only after the condition is observed false
+/// again (or the firmware rewrites the slot). This prevents interrupt
+/// storms while a condition persists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trigger {
+    /// The DS-id whose statistics row is monitored.
+    pub ds: DsId,
+    /// Offset of the monitored column in the statistics table.
+    pub stats_column: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Comparison threshold.
+    pub value: u64,
+    /// Whether the trigger participates in evaluation.
+    pub enabled: bool,
+    /// Internal latch; `true` after firing until the condition clears.
+    pub latched: bool,
+}
+
+impl Trigger {
+    /// Creates an enabled, unlatched trigger.
+    pub fn new(ds: DsId, stats_column: usize, op: CmpOp, value: u64) -> Self {
+        Trigger {
+            ds,
+            stats_column,
+            op,
+            value,
+            enabled: true,
+            latched: false,
+        }
+    }
+}
+
+/// The trigger table: a fixed number of trigger slots, as synthesised in
+/// the RTL (the paper evaluates 16-, 32- and 64-entry trigger tables).
+///
+/// # Example
+///
+/// ```
+/// use pard_cp::{CmpOp, Trigger, TriggerTable};
+/// use pard_icn::DsId;
+///
+/// let mut tt = TriggerTable::new(64);
+/// tt.install(0, Trigger::new(DsId::new(2), 0, CmpOp::Gt, 30)).unwrap();
+/// // stats row for ds2 has column0 = 45 -> fires slot 0
+/// let fired = tt.evaluate(DsId::new(2), &[45]);
+/// assert_eq!(fired, vec![0]);
+/// // Still true: latched, no refire.
+/// assert!(tt.evaluate(DsId::new(2), &[45]).is_empty());
+/// // Condition clears, then fires again.
+/// assert!(tt.evaluate(DsId::new(2), &[10]).is_empty());
+/// assert_eq!(tt.evaluate(DsId::new(2), &[99]), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TriggerTable {
+    slots: Vec<Option<Trigger>>,
+}
+
+impl TriggerTable {
+    /// Creates a table with `slots` empty slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "trigger table needs at least one slot");
+        TriggerTable {
+            slots: vec![None; slots],
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Installs `trigger` in `slot`, replacing any previous occupant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::TriggerSlotOutOfRange`] if `slot` is out of range.
+    pub fn install(&mut self, slot: usize, trigger: Trigger) -> Result<(), CpError> {
+        let len = self.slots.len();
+        let cell = self
+            .slots
+            .get_mut(slot)
+            .ok_or(CpError::TriggerSlotOutOfRange { slot, slots: len })?;
+        *cell = Some(trigger);
+        Ok(())
+    }
+
+    /// Clears `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::TriggerSlotOutOfRange`] if `slot` is out of range.
+    pub fn clear(&mut self, slot: usize) -> Result<(), CpError> {
+        let len = self.slots.len();
+        let cell = self
+            .slots
+            .get_mut(slot)
+            .ok_or(CpError::TriggerSlotOutOfRange { slot, slots: len })?;
+        *cell = None;
+        Ok(())
+    }
+
+    /// The trigger in `slot`, if any.
+    pub fn get(&self, slot: usize) -> Option<&Trigger> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Installed `(slot, trigger)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Trigger)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (i, t)))
+    }
+
+    /// Reads a raw trigger-row field through the CPA programming path.
+    ///
+    /// Field offsets: `0` = DS-id, `1` = statistics column, `2` = operator
+    /// encoding, `3` = threshold value, `4` = enabled, `5` = latched.
+    /// An empty slot reads as all-zeroes with `enabled = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range slots or fields.
+    pub fn get_field(&self, slot: usize, field: usize) -> Result<u64, CpError> {
+        let len = self.slots.len();
+        let cell = self
+            .slots
+            .get(slot)
+            .ok_or(CpError::TriggerSlotOutOfRange { slot, slots: len })?;
+        let t = match cell {
+            Some(t) => *t,
+            None => Trigger {
+                ds: DsId::DEFAULT,
+                stats_column: 0,
+                op: CmpOp::Gt,
+                value: 0,
+                enabled: false,
+                latched: false,
+            },
+        };
+        Ok(match field {
+            0 => u64::from(t.ds.raw()),
+            1 => t.stats_column as u64,
+            2 => t.op.encode(),
+            3 => t.value,
+            4 => u64::from(t.enabled),
+            5 => u64::from(t.latched),
+            other => {
+                return Err(CpError::UnknownColumn {
+                    table: "trigger",
+                    column: format!("field {other}"),
+                })
+            }
+        })
+    }
+
+    /// Writes a raw trigger-row field through the CPA programming path.
+    ///
+    /// Writing to an empty slot materialises a disabled trigger first; the
+    /// `pardtrigger` command programs fields 0–3 and enables the slot last.
+    /// Writing `0` to the `latched` field re-arms a fired trigger.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range slots/fields or an undefined
+    /// operator encoding.
+    pub fn set_field(&mut self, slot: usize, field: usize, value: u64) -> Result<(), CpError> {
+        let len = self.slots.len();
+        let cell = self
+            .slots
+            .get_mut(slot)
+            .ok_or(CpError::TriggerSlotOutOfRange { slot, slots: len })?;
+        let t = cell.get_or_insert(Trigger {
+            ds: DsId::DEFAULT,
+            stats_column: 0,
+            op: CmpOp::Gt,
+            value: 0,
+            enabled: false,
+            latched: false,
+        });
+        match field {
+            0 => t.ds = DsId::new(value as u16),
+            1 => t.stats_column = value as usize,
+            2 => t.op = CmpOp::decode(value)?,
+            3 => t.value = value,
+            4 => t.enabled = value != 0,
+            5 => t.latched = value != 0,
+            other => {
+                return Err(CpError::UnknownColumn {
+                    table: "trigger",
+                    column: format!("field {other}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates all triggers watching `ds` against its statistics row,
+    /// returning the slots that fire (become true while unlatched).
+    ///
+    /// Conditions referencing columns beyond `stats_row` are treated as
+    /// false (the hardware comparator reads zeroes from undriven lines).
+    pub fn evaluate(&mut self, ds: DsId, stats_row: &[u64]) -> Vec<usize> {
+        let mut fired = Vec::new();
+        for (slot, t) in self.slots.iter_mut().enumerate() {
+            let Some(t) = t else { continue };
+            if !t.enabled || t.ds != ds {
+                continue;
+            }
+            let observed = stats_row.get(t.stats_column).copied().unwrap_or(0);
+            let cond = t.op.eval(observed, t.value);
+            if cond && !t.latched {
+                t.latched = true;
+                fired.push(slot);
+            } else if !cond {
+                t.latched = false;
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops_evaluate_correctly() {
+        assert!(CmpOp::Gt.eval(2, 1));
+        assert!(!CmpOp::Gt.eval(1, 1));
+        assert!(CmpOp::Ge.eval(1, 1));
+        assert!(CmpOp::Lt.eval(0, 1));
+        assert!(CmpOp::Le.eval(1, 1));
+        assert!(CmpOp::Eq.eval(5, 5));
+        assert!(CmpOp::Ne.eval(5, 6));
+    }
+
+    #[test]
+    fn cmp_op_encoding_round_trips() {
+        for op in [
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            assert_eq!(CmpOp::decode(op.encode()).unwrap(), op);
+            assert_eq!(CmpOp::from_mnemonic(op.mnemonic()).unwrap(), op);
+        }
+        assert!(CmpOp::decode(99).is_err());
+        assert!(CmpOp::from_mnemonic("??").is_err());
+    }
+
+    #[test]
+    fn triggers_only_watch_their_ds() {
+        let mut tt = TriggerTable::new(4);
+        tt.install(1, Trigger::new(DsId::new(3), 0, CmpOp::Gt, 10))
+            .unwrap();
+        assert!(tt.evaluate(DsId::new(2), &[100]).is_empty());
+        assert_eq!(tt.evaluate(DsId::new(3), &[100]), vec![1]);
+    }
+
+    #[test]
+    fn disabled_triggers_stay_silent() {
+        let mut tt = TriggerTable::new(2);
+        let mut t = Trigger::new(DsId::new(0), 0, CmpOp::Gt, 0);
+        t.enabled = false;
+        tt.install(0, t).unwrap();
+        assert!(tt.evaluate(DsId::new(0), &[5]).is_empty());
+    }
+
+    #[test]
+    fn missing_column_reads_zero() {
+        let mut tt = TriggerTable::new(1);
+        tt.install(0, Trigger::new(DsId::new(0), 9, CmpOp::Eq, 0))
+            .unwrap();
+        // Column 9 doesn't exist -> observed 0 -> Eq 0 fires.
+        assert_eq!(tt.evaluate(DsId::new(0), &[1, 2]), vec![0]);
+    }
+
+    #[test]
+    fn multiple_slots_fire_together() {
+        let mut tt = TriggerTable::new(4);
+        tt.install(0, Trigger::new(DsId::new(1), 0, CmpOp::Gt, 10))
+            .unwrap();
+        tt.install(3, Trigger::new(DsId::new(1), 1, CmpOp::Lt, 5))
+            .unwrap();
+        assert_eq!(tt.evaluate(DsId::new(1), &[20, 1]), vec![0, 3]);
+    }
+
+    #[test]
+    fn install_and_clear_bounds() {
+        let mut tt = TriggerTable::new(2);
+        assert!(tt
+            .install(5, Trigger::new(DsId::new(0), 0, CmpOp::Gt, 0))
+            .is_err());
+        assert!(tt.clear(5).is_err());
+        tt.install(0, Trigger::new(DsId::new(0), 0, CmpOp::Gt, 0))
+            .unwrap();
+        assert!(tt.get(0).is_some());
+        tt.clear(0).unwrap();
+        assert!(tt.get(0).is_none());
+        assert_eq!(tt.iter().count(), 0);
+        assert_eq!(tt.slots(), 2);
+    }
+}

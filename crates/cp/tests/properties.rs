@@ -1,0 +1,105 @@
+//! Property-based tests of the control-plane framework.
+
+use pard_cp::{CmpOp, ColumnDef, CpAddr, DsTable, TableSel, Trigger, TriggerTable};
+use pard_icn::DsId;
+use proptest::prelude::*;
+
+fn any_table_sel() -> impl Strategy<Value = TableSel> {
+    prop_oneof![
+        Just(TableSel::Parameter),
+        Just(TableSel::Statistics),
+        Just(TableSel::Trigger),
+    ]
+}
+
+fn any_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+proptest! {
+    /// The Fig. 6 addr-register encoding round-trips for every field value.
+    #[test]
+    fn cp_addr_round_trips(ds in any::<u16>(), offset in 0u16..(1 << 14), sel in any_table_sel()) {
+        let a = CpAddr::new(DsId::new(ds), offset, sel);
+        prop_assert_eq!(CpAddr::decode(a.encode()).unwrap(), a);
+    }
+
+    /// Comparison operators encode/decode and agree with Rust's semantics.
+    #[test]
+    fn cmp_ops_agree_with_rust(op in any_cmp_op(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(CmpOp::decode(op.encode()).unwrap(), op);
+        let expected = match op {
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        };
+        prop_assert_eq!(op.eval(a, b), expected);
+    }
+
+    /// Table cells hold exactly the last value written, independent of the
+    /// write order for other cells.
+    #[test]
+    fn ds_table_is_a_store(writes in prop::collection::vec((0u16..16, 0usize..3, any::<u64>()), 1..100)) {
+        let mut t = DsTable::new(
+            "p",
+            vec![ColumnDef::new("a"), ColumnDef::new("b"), ColumnDef::new("c")],
+            16,
+        );
+        let mut model = std::collections::HashMap::new();
+        for &(ds, col, v) in &writes {
+            t.set_by_offset(DsId::new(ds), col, v).unwrap();
+            model.insert((ds, col), v);
+        }
+        for (&(ds, col), &v) in &model {
+            prop_assert_eq!(t.get_by_offset(DsId::new(ds), col).unwrap(), v);
+        }
+    }
+
+    /// Trigger raw-field access round-trips through the CPA encoding for
+    /// every field.
+    #[test]
+    fn trigger_fields_round_trip(
+        slot in 0usize..16,
+        ds in any::<u16>(),
+        col in 0u64..(1 << 14),
+        op in any_cmp_op(),
+        value in any::<u64>(),
+    ) {
+        let mut tt = TriggerTable::new(16);
+        tt.set_field(slot, 0, u64::from(ds)).unwrap();
+        tt.set_field(slot, 1, col).unwrap();
+        tt.set_field(slot, 2, op.encode()).unwrap();
+        tt.set_field(slot, 3, value).unwrap();
+        tt.set_field(slot, 4, 1).unwrap();
+        prop_assert_eq!(tt.get_field(slot, 0).unwrap(), u64::from(ds));
+        prop_assert_eq!(tt.get_field(slot, 1).unwrap(), col);
+        prop_assert_eq!(tt.get_field(slot, 2).unwrap(), op.encode());
+        prop_assert_eq!(tt.get_field(slot, 3).unwrap(), value);
+        prop_assert_eq!(tt.get_field(slot, 4).unwrap(), 1);
+    }
+
+    /// Latching: for any stats sequence, a trigger fires exactly at
+    /// rising edges of its condition.
+    #[test]
+    fn triggers_fire_on_rising_edges(values in prop::collection::vec(0u64..100, 1..100)) {
+        let mut tt = TriggerTable::new(4);
+        tt.install(0, Trigger::new(DsId::new(0), 0, CmpOp::Gt, 50)).unwrap();
+        let mut prev = false;
+        for &v in &values {
+            let fired = !tt.evaluate(DsId::new(0), &[v]).is_empty();
+            let cond = v > 50;
+            prop_assert_eq!(fired, cond && !prev, "value {}, prev {}", v, prev);
+            prev = cond;
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Bank and rank state machines.
+
+use pard_sim::Time;
+
+use crate::timing::DramTiming;
+
+/// One DRAM bank: the normal row buffer, the **extra high-priority row
+/// buffer** (paper §4.2: "we add one extra row buffer into each DRAM chip
+/// for high-priority memory requests"), and the timing state needed to
+/// compute command schedules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bank {
+    /// Row currently open in the normal buffer.
+    pub open_row: Option<u64>,
+    /// Row currently open in the high-priority buffer.
+    pub open_row_hp: Option<u64>,
+    /// Time until which the bank is busy with the previous command.
+    pub busy_until: Time,
+    /// Start time of the most recent activate (for tRAS).
+    pub last_activate: Time,
+}
+
+/// Outcome of scheduling one access on a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankService {
+    /// When the first data beat is ready on the pins.
+    pub data_ready: Time,
+    /// Whether the access hit an open row.
+    pub row_hit: bool,
+    /// When the bank can accept its next column command (tCCD after this
+    /// one; the data burst itself streams from the sense amplifiers).
+    pub bank_free: Time,
+}
+
+impl Bank {
+    /// Whether an access to `row` would hit an open row buffer.
+    ///
+    /// High-priority requests may hit either buffer; low-priority requests
+    /// only the normal buffer (they cannot see — or disturb — the
+    /// high-priority buffer).
+    pub fn would_hit(&self, row: u64, high_priority: bool) -> bool {
+        if self.open_row == Some(row) {
+            return true;
+        }
+        high_priority && self.open_row_hp == Some(row)
+    }
+
+    /// Whether the bank can accept a new command at `now`.
+    pub fn ready_at(&self, now: Time) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Schedules an access to `row` starting no earlier than `start`,
+    /// updating row buffers and activate bookkeeping. The caller accounts
+    /// for data-bus occupancy and sets [`Bank::busy_until`].
+    ///
+    /// `use_hp_buffer` selects the high-priority buffer for any activate
+    /// this access needs (granted by the control plane's row-buffer mask).
+    pub fn schedule(
+        &mut self,
+        row: u64,
+        start: Time,
+        high_priority: bool,
+        use_hp_buffer: bool,
+        timing: &DramTiming,
+        rank: &mut RankTracker,
+    ) -> BankService {
+        if self.would_hit(row, high_priority) {
+            return BankService {
+                data_ready: start + timing.tcl,
+                row_hit: true,
+                bank_free: start + timing.tccd,
+            };
+        }
+
+        // Which buffer are we (re)filling?
+        let target_open = if use_hp_buffer {
+            self.open_row_hp
+        } else {
+            self.open_row
+        };
+
+        let act_start = if target_open.is_some() {
+            // Precharge the old row first, respecting tRAS.
+            let prech_ok = start.max(self.last_activate + timing.tras);
+            rank.activate_ok(prech_ok + timing.trp, timing)
+        } else {
+            rank.activate_ok(start, timing)
+        };
+        self.last_activate = act_start;
+        if use_hp_buffer {
+            self.open_row_hp = Some(row);
+        } else {
+            self.open_row = Some(row);
+        }
+        BankService {
+            data_ready: act_start + timing.trcd + timing.tcl,
+            row_hit: false,
+            bank_free: act_start + timing.trcd + timing.tccd,
+        }
+    }
+}
+
+/// Per-rank activate spacing (tRRD).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RankTracker {
+    last_activate: Option<Time>,
+}
+
+impl RankTracker {
+    /// Returns the earliest activate time ≥ `earliest` that respects tRRD,
+    /// and records it.
+    pub fn activate_ok(&mut self, earliest: Time, timing: &DramTiming) -> Time {
+        let t = match self.last_activate {
+            Some(prev) => earliest.max(prev + timing.trrd),
+            None => earliest,
+        };
+        self.last_activate = Some(t);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_icn::mem_cycles;
+
+    fn t() -> DramTiming {
+        DramTiming::ddr3_1600_11()
+    }
+
+    #[test]
+    fn row_hit_costs_only_cas() {
+        let timing = t();
+        let mut bank = Bank::default();
+        let mut rank = RankTracker::default();
+        bank.open_row = Some(7);
+        let s = bank.schedule(7, Time::from_ns(100), false, false, &timing, &mut rank);
+        assert!(s.row_hit);
+        assert_eq!(s.data_ready, Time::from_ns(100) + timing.tcl);
+    }
+
+    #[test]
+    fn empty_bank_pays_activate_plus_cas() {
+        let timing = t();
+        let mut bank = Bank::default();
+        let mut rank = RankTracker::default();
+        let s = bank.schedule(3, Time::from_ns(100), false, false, &timing, &mut rank);
+        assert!(!s.row_hit);
+        assert_eq!(s.data_ready, Time::from_ns(100) + timing.trcd + timing.tcl);
+        assert_eq!(bank.open_row, Some(3));
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge_too() {
+        let timing = t();
+        let mut bank = Bank::default();
+        let mut rank = RankTracker::default();
+        // Open row 1 at t=1000ns (sets last_activate).
+        bank.schedule(1, Time::from_ns(1000), false, false, &timing, &mut rank);
+        let act = bank.last_activate;
+        // Conflict long after tRAS has elapsed.
+        let start = act + Time::from_ns(100);
+        let s = bank.schedule(2, start, false, false, &timing, &mut rank);
+        assert!(!s.row_hit);
+        assert_eq!(s.data_ready, start + timing.trp + timing.trcd + timing.tcl);
+        assert_eq!(bank.open_row, Some(2));
+    }
+
+    #[test]
+    fn tras_delays_early_precharge() {
+        let timing = t();
+        let mut bank = Bank::default();
+        let mut rank = RankTracker::default();
+        bank.schedule(1, Time::from_ns(1000), false, false, &timing, &mut rank);
+        let act = bank.last_activate;
+        // Immediately conflict: precharge must wait until act + tRAS.
+        let s = bank.schedule(2, act + mem_cycles(1), false, false, &timing, &mut rank);
+        assert_eq!(
+            s.data_ready,
+            act + timing.tras + timing.trp + timing.trcd + timing.tcl
+        );
+    }
+
+    #[test]
+    fn high_priority_buffer_survives_low_priority_conflicts() {
+        let timing = t();
+        let mut bank = Bank::default();
+        let mut rank = RankTracker::default();
+        // High-priority opens row 5 in the HP buffer.
+        bank.schedule(5, Time::from_ns(1000), true, true, &timing, &mut rank);
+        assert_eq!(bank.open_row_hp, Some(5));
+        // Low-priority stream opens rows 1, 2 in the normal buffer.
+        bank.schedule(1, Time::from_us(1), false, false, &timing, &mut rank);
+        bank.schedule(2, Time::from_us(2), false, false, &timing, &mut rank);
+        // High-priority returns to row 5: still a hit.
+        let s = bank.schedule(5, Time::from_us(3), true, true, &timing, &mut rank);
+        assert!(s.row_hit, "HP row buffer was not disturbed");
+    }
+
+    #[test]
+    fn low_priority_cannot_hit_hp_buffer() {
+        let timing = t();
+        let mut bank = Bank::default();
+        let mut rank = RankTracker::default();
+        bank.schedule(5, Time::from_ns(1000), true, true, &timing, &mut rank);
+        assert!(!bank.would_hit(5, false));
+        assert!(bank.would_hit(5, true));
+    }
+
+    #[test]
+    fn trrd_spaces_activates_within_a_rank() {
+        let timing = t();
+        let mut rank = RankTracker::default();
+        let a = rank.activate_ok(Time::from_ns(100), &timing);
+        let b = rank.activate_ok(Time::from_ns(100), &timing);
+        assert_eq!(a, Time::from_ns(100));
+        assert_eq!(b, a + timing.trrd);
+    }
+}

@@ -1,0 +1,101 @@
+//! The memory control-plane definition (Fig. 5 / Table 3).
+
+use pard_cp::{ColumnDef, ControlPlane, CpType, DsTable};
+
+/// Parameter-table columns of the memory control plane.
+///
+/// * `addr_base` / `addr_limit` — LDom-physical → machine-physical mapping
+///   (base + bounded offset); default identity with an unbounded limit,
+/// * `priority` — scheduling class (0 = low, 1 = high),
+/// * `rowbuf` — row-buffer mask bit: 1 grants use of the per-bank
+///   high-priority row buffer,
+/// * `compress` — 1 enables the MXT-style compression engine for this
+///   DS-id's transfers (the paper's §8 functionality extension: an IBM
+///   MXT-like engine programmed to compress packets for designated DS-id
+///   sets only).
+pub const MEM_PARAM_COLUMNS: &[&str] =
+    &["addr_base", "addr_limit", "priority", "rowbuf", "compress"];
+
+/// Statistics-table columns of the memory control plane.
+///
+/// * `avg_qlat` — average queueing delay over the last window, in memory
+///   cycles (the paper's `avgQLat`),
+/// * `serv_cnt` — cumulative served requests (`ServCnt`),
+/// * `bandwidth` — bytes moved per second over the last window, in MB/s,
+/// * `row_hits` — cumulative row-buffer hits (ablation observability),
+/// * `comp_saved` — cumulative bus bytes saved by the compression engine.
+pub const MEM_STATS_COLUMNS: &[&str] = &[
+    "avg_qlat",
+    "serv_cnt",
+    "bandwidth",
+    "row_hits",
+    "comp_saved",
+];
+
+/// Offset of `avg_qlat` in the statistics table.
+pub const MSTAT_AVG_QLAT: usize = 0;
+/// Offset of `serv_cnt`.
+pub const MSTAT_SERV_CNT: usize = 1;
+/// Offset of `bandwidth`.
+pub const MSTAT_BANDWIDTH: usize = 2;
+/// Offset of `row_hits`.
+pub const MSTAT_ROW_HITS: usize = 3;
+/// Offset of `comp_saved`.
+pub const MSTAT_COMP_SAVED: usize = 4;
+
+/// Builds the memory control plane.
+///
+/// # Example
+///
+/// ```
+/// use pard_icn::DsId;
+/// let cp = pard_dram::mem_control_plane(256, 64);
+/// assert_eq!(cp.ident(), "MEMORY_CP");
+/// assert_eq!(cp.param(DsId::new(1), "priority").unwrap(), 0);
+/// ```
+pub fn mem_control_plane(max_ds: usize, trigger_slots: usize) -> ControlPlane {
+    let params = DsTable::new(
+        "parameter",
+        vec![
+            ColumnDef::new("addr_base"),
+            ColumnDef::with_default("addr_limit", u64::MAX),
+            ColumnDef::new("priority"),
+            ColumnDef::new("rowbuf"),
+            ColumnDef::new("compress"),
+        ],
+        max_ds,
+    );
+    let stats = DsTable::new(
+        "statistics",
+        MEM_STATS_COLUMNS
+            .iter()
+            .map(|name| ColumnDef::new(name))
+            .collect(),
+        max_ds,
+    );
+    ControlPlane::new("MEMORY_CP", CpType::Memory, params, stats, trigger_slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_icn::DsId;
+
+    #[test]
+    fn schema_offsets_match_constants() {
+        let cp = mem_control_plane(8, 4);
+        let stats = cp.stats();
+        assert_eq!(stats.column_offset("avg_qlat").unwrap(), MSTAT_AVG_QLAT);
+        assert_eq!(stats.column_offset("serv_cnt").unwrap(), MSTAT_SERV_CNT);
+        assert_eq!(stats.column_offset("bandwidth").unwrap(), MSTAT_BANDWIDTH);
+        assert_eq!(stats.column_offset("row_hits").unwrap(), MSTAT_ROW_HITS);
+    }
+
+    #[test]
+    fn default_mapping_is_identity_unbounded() {
+        let cp = mem_control_plane(8, 4);
+        assert_eq!(cp.param(DsId::new(3), "addr_base").unwrap(), 0);
+        assert_eq!(cp.param(DsId::new(3), "addr_limit").unwrap(), u64::MAX);
+        assert_eq!(cp.param(DsId::new(3), "rowbuf").unwrap(), 0);
+    }
+}

@@ -1,0 +1,900 @@
+//! The memory-controller component (Fig. 5).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pard_cp::{shared, CpHandle};
+use pard_icn::{to_mem_cycles, DsId, MemPacket, MemResp, PardEvent, TickKind, MEM_CYCLE};
+use pard_sim::stats::LatencySample;
+use pard_sim::{Component, Ctx, Time};
+
+use crate::bank::{Bank, RankTracker};
+use crate::cpdef::mem_control_plane;
+use crate::geometry::{BankAddr, DramGeometry};
+use crate::timing::DramTiming;
+
+/// Configuration of the [`MemCtrl`] component.
+#[derive(Debug, Clone)]
+pub struct MemCtrlConfig {
+    /// DDR timing parameters.
+    pub timing: DramTiming,
+    /// DRAM organisation.
+    pub geometry: DramGeometry,
+    /// Statistics-window length.
+    pub window: Time,
+    /// DS-id rows in the control-plane tables.
+    pub max_ds: usize,
+    /// Trigger-table slots.
+    pub trigger_slots: usize,
+    /// Whether the control plane's priority queues and high-priority row
+    /// buffers are active on the data path. `false` models the baseline
+    /// ("w/o control plane") memory controller of Figure 11: a stock
+    /// MIG-style controller that services requests **in order** from a
+    /// single queue, so every request queues behind all earlier ones.
+    pub priorities_enabled: bool,
+    /// Whether to record the per-request queueing-delay distribution
+    /// (costs memory; used by the Figure 11 harness).
+    pub record_queueing: bool,
+    /// FR-FCFS lookahead window of the single-queue scheduler used when
+    /// `priorities_enabled` is false. The default (16) models a competent
+    /// conventional controller (the gem5-style baseline of Figure 8); the
+    /// Figure 11 harness sets 2 to model the stock MIG-style controller
+    /// the paper's FPGA baseline used.
+    pub baseline_window: usize,
+}
+
+impl Default for MemCtrlConfig {
+    fn default() -> Self {
+        MemCtrlConfig {
+            timing: DramTiming::ddr3_1600_11(),
+            geometry: DramGeometry::table2(),
+            window: Time::from_us(50),
+            max_ds: 256,
+            trigger_slots: 64,
+            priorities_enabled: true,
+            record_queueing: false,
+            baseline_window: 16,
+        }
+    }
+}
+
+/// Summary of recorded queueing delays, split by priority class.
+#[derive(Debug, Clone)]
+pub struct QueueingStats {
+    /// Delays of high-priority requests, in memory cycles.
+    pub high: Vec<u64>,
+    /// Delays of low-priority requests, in memory cycles.
+    pub low: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    pkt: MemPacket,
+    loc: BankAddr,
+    enqueued_at: Time,
+    high: bool,
+    use_hp_buffer: bool,
+}
+
+/// The DDR3 memory controller with its embedded control plane.
+///
+/// Request flow (Fig. 5):
+///
+/// 1. The DS-id selects address mapping, priority, and row-buffer mask from
+///    the parameter table.
+/// 2. The LDom-physical address is translated to a DRAM physical address.
+/// 3. The request enters the queue of its priority class.
+/// 4. The arbiter picks *high-priority first*, FR-FCFS within a class,
+///    among requests whose banks are ready.
+/// 5. Statistics update and trigger checks happen at window boundaries.
+pub struct MemCtrl {
+    cfg: MemCtrlConfig,
+    cp: CpHandle,
+    gen_watch: Arc<AtomicU64>,
+    cached_gen: u64,
+    bases: Vec<u64>,
+    limits: Vec<u64>,
+    prios: Vec<bool>,
+    rowbufs: Vec<bool>,
+    compress: Vec<bool>,
+    banks: Vec<Bank>,
+    ranks: Vec<RankTracker>,
+    bus_free_at: Time,
+    high_q: VecDeque<Pending>,
+    low_q: VecDeque<Pending>,
+    wb_q: VecDeque<Pending>,
+    tick_armed: bool,
+    next_tick_at: Time,
+    window_armed: bool,
+    // Per-DS window statistics.
+    qlat_sum: Vec<u64>,
+    qlat_cnt: Vec<u64>,
+    win_bytes: Vec<u64>,
+    serv_cum: Vec<u64>,
+    rowhit_cum: Vec<u64>,
+    comp_saved_cum: Vec<u64>,
+    active_ds: Vec<bool>,
+    // Figure 11 recorders.
+    rec_high: LatencySample,
+    rec_low: LatencySample,
+    served_total: u64,
+}
+
+impl MemCtrl {
+    /// Creates a controller and returns it with its control-plane handle.
+    pub fn new(cfg: MemCtrlConfig) -> (Self, CpHandle) {
+        let cp = shared(mem_control_plane(cfg.max_ds, cfg.trigger_slots));
+        let gen_watch = cp.lock().generation_watch();
+        let nbanks = cfg.geometry.total_banks() as usize;
+        let nranks = cfg.geometry.ranks as usize;
+        let ctrl = MemCtrl {
+            gen_watch,
+            cached_gen: u64::MAX,
+            bases: vec![0; cfg.max_ds],
+            limits: vec![u64::MAX; cfg.max_ds],
+            prios: vec![false; cfg.max_ds],
+            rowbufs: vec![false; cfg.max_ds],
+            compress: vec![false; cfg.max_ds],
+            banks: vec![Bank::default(); nbanks],
+            ranks: vec![RankTracker::default(); nranks],
+            bus_free_at: Time::ZERO,
+            high_q: VecDeque::new(),
+            low_q: VecDeque::new(),
+            wb_q: VecDeque::new(),
+            tick_armed: false,
+            next_tick_at: Time::MAX,
+            window_armed: false,
+            qlat_sum: vec![0; cfg.max_ds],
+            qlat_cnt: vec![0; cfg.max_ds],
+            win_bytes: vec![0; cfg.max_ds],
+            serv_cum: vec![0; cfg.max_ds],
+            rowhit_cum: vec![0; cfg.max_ds],
+            comp_saved_cum: vec![0; cfg.max_ds],
+            active_ds: vec![false; cfg.max_ds],
+            rec_high: LatencySample::new(),
+            rec_low: LatencySample::new(),
+            served_total: 0,
+            cp: cp.clone(),
+            cfg,
+        };
+        (ctrl, cp)
+    }
+
+    /// The control-plane handle.
+    pub fn control_plane(&self) -> &CpHandle {
+        &self.cp
+    }
+
+    /// Total requests served.
+    pub fn served_total(&self) -> u64 {
+        self.served_total
+    }
+
+    /// Current queue depths `(high, low)`.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.high_q.len(), self.low_q.len())
+    }
+
+    /// Current write-buffer depth.
+    pub fn write_queue_depth(&self) -> usize {
+        self.wb_q.len()
+    }
+
+    /// The recorded queueing-delay samples in memory cycles (requires
+    /// [`MemCtrlConfig::record_queueing`]).
+    pub fn queueing_stats(&self) -> QueueingStats {
+        let to_cycles = |s: &LatencySample| -> Vec<u64> {
+            let mut s = s.clone();
+            s.cdf()
+                .into_iter()
+                .flat_map(|(t, _)| std::iter::once(to_mem_cycles(t)))
+                .collect()
+        };
+        QueueingStats {
+            high: to_cycles(&self.rec_high),
+            low: to_cycles(&self.rec_low),
+        }
+    }
+
+    /// Mean queueing delay in memory cycles per priority class
+    /// `(high, low)`.
+    pub fn mean_queueing_cycles(&self) -> (f64, f64) {
+        (
+            self.rec_high.mean().as_ns() / self.cfg.timing.tck.as_ns(),
+            self.rec_low.mean().as_ns() / self.cfg.timing.tck.as_ns(),
+        )
+    }
+
+    /// Raw per-class latency samples (for CDF plotting).
+    pub fn queueing_samples(&self) -> (&LatencySample, &LatencySample) {
+        (&self.rec_high, &self.rec_low)
+    }
+
+    fn refresh_params(&mut self) {
+        let gen = self.gen_watch.load(Ordering::Acquire);
+        if gen == self.cached_gen {
+            return;
+        }
+        let cp = self.cp.lock();
+        for i in 0..self.cfg.max_ds {
+            let ds = DsId::new(i as u16);
+            self.bases[i] = cp.param(ds, "addr_base").unwrap_or(0);
+            self.limits[i] = cp.param(ds, "addr_limit").unwrap_or(u64::MAX);
+            self.prios[i] = cp.param(ds, "priority").unwrap_or(0) != 0;
+            self.rowbufs[i] = cp.param(ds, "rowbuf").unwrap_or(0) != 0;
+            self.compress[i] = cp.param(ds, "compress").unwrap_or(0) != 0;
+        }
+        self.cached_gen = gen;
+    }
+
+    fn on_mem_req(&mut self, pkt: MemPacket, ctx: &mut Ctx<'_, PardEvent>) {
+        #[cfg(feature = "prof")]
+        let _t = crate::ctrl::prof::Scope::new(1);
+        self.refresh_params();
+        let i = pkt.ds.index().min(self.cfg.max_ds - 1);
+        self.active_ds[i] = true;
+
+        // LDom-physical -> machine-physical translation (parameter table).
+        let limit = self.limits[i].max(1);
+        let maddr = pard_icn::MAddr::new(self.bases[i].wrapping_add(pkt.addr.raw() % limit));
+        let loc = self.cfg.geometry.decompose(maddr);
+
+        let high = self.cfg.priorities_enabled && self.prios[i];
+        let use_hp_buffer = self.cfg.priorities_enabled && self.rowbufs[i];
+        let pending = Pending {
+            pkt,
+            loc,
+            enqueued_at: ctx.now(),
+            high,
+            use_hp_buffer,
+        };
+        // Writebacks drain from a separate write buffer with read priority
+        // (standard controller practice); demand reads never queue behind
+        // them.
+        if pkt.kind == pard_icn::MemKind::Writeback {
+            self.wb_q.push_back(pending);
+        } else if high {
+            self.high_q.push_back(pending);
+        } else {
+            self.low_q.push_back(pending);
+        }
+        self.arm_tick(ctx);
+    }
+
+    /// Arms (or pulls forward) the scheduler wake-up. A request arriving
+    /// while the controller sleeps until a far-future bank-ready time must
+    /// be able to issue at the next cycle edge, so an earlier tick is
+    /// scheduled alongside; stale ticks are harmless (they arbitrate and
+    /// find nothing new to do).
+    fn arm_tick(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
+        let at = ctx.now().align_up(MEM_CYCLE);
+        if self.tick_armed && self.next_tick_at <= at {
+            return;
+        }
+        self.tick_armed = true;
+        self.next_tick_at = at;
+        ctx.send_at(ctx.self_id(), at, PardEvent::Tick(TickKind::Dram));
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
+        #[cfg(feature = "prof")]
+        let _t = crate::ctrl::prof::Scope::new(0);
+        let now = ctx.now();
+        if self.next_tick_at <= now {
+            self.tick_armed = false;
+            self.next_tick_at = Time::MAX;
+        }
+
+        // Data-bus admission: a column command only issues if its data
+        // slot is not hopelessly behind the bus schedule — otherwise the
+        // command queue stalls, which is where bus-bound queueing delay
+        // comes from on real controllers. With the control plane enabled,
+        // high-priority commands bypass the gate: the controller reserves
+        // data slots for the high class (the data-path half of DiffServ).
+        let gated = if self.cfg.priorities_enabled && !self.high_q.is_empty() {
+            false
+        } else {
+            !self.low_q.is_empty() || !self.high_q.is_empty() || !self.wb_q.is_empty()
+        };
+        if gated && self.bus_free_at > now + self.cfg.timing.tcl {
+            let resume = (self.bus_free_at - self.cfg.timing.tcl).align_up(MEM_CYCLE);
+            if !self.tick_armed || resume < self.next_tick_at {
+                self.tick_armed = true;
+                self.next_tick_at = resume;
+                ctx.send_at(ctx.self_id(), resume, PardEvent::Tick(TickKind::Dram));
+            }
+            return;
+        }
+
+        // With the control plane: the per-class hardware queues are FIFOs
+        // and the arbiter is strictly "high-priority first" (§4.2): while
+        // any high-priority request is pending, the low queue does not
+        // issue — which is what buys the 5.6x for high priority at the
+        // cost of the paper's +33.6% for low priority. Baseline: strict
+        // in-order service from the single queue, like the stock
+        // controller.
+        let head_ready = |q: &VecDeque<Pending>, banks: &[Bank]| {
+            q.front()
+                .is_some_and(|h| banks[h.loc.bank as usize].ready_at(now))
+        };
+        // FR-FCFS over a bounded reorder window: prefer a ready row-hit
+        // among the first `window` entries, else the oldest ready entry.
+        fn fr_fcfs_pick(
+            q: &mut VecDeque<Pending>,
+            banks: &[Bank],
+            now: Time,
+            window: usize,
+        ) -> Option<Pending> {
+            let mut pick = None;
+            for (i, p) in q.iter().enumerate().take(window) {
+                let bank = &banks[p.loc.bank as usize];
+                if !bank.ready_at(now) {
+                    continue;
+                }
+                if bank.would_hit(p.loc.row, p.high) {
+                    pick = Some(i);
+                    break;
+                }
+                if pick.is_none() {
+                    pick = Some(i);
+                }
+            }
+            pick.and_then(|i| q.remove(i))
+        }
+
+        const CLASS_WINDOW: usize = 16;
+        // Forced write drain: if the write buffer is deep, writes take a
+        // turn even while reads are pending (real controllers bound their
+        // write occupancy the same way).
+        let mut chosen = if self.wb_q.len() > 64 {
+            fr_fcfs_pick(&mut self.wb_q, &self.banks, now, CLASS_WINDOW)
+        } else {
+            None
+        };
+        if chosen.is_none() {
+            chosen = if self.cfg.priorities_enabled {
+                // §4.2: high-priority first, FR-FCFS within the class.
+                if !self.high_q.is_empty() {
+                    fr_fcfs_pick(&mut self.high_q, &self.banks, now, CLASS_WINDOW)
+                } else {
+                    fr_fcfs_pick(&mut self.low_q, &self.banks, now, CLASS_WINDOW)
+                }
+            } else {
+                // Baseline: single-queue FR-FCFS over the configured window.
+                fr_fcfs_pick(&mut self.low_q, &self.banks, now, self.cfg.baseline_window)
+            };
+        }
+        // Otherwise the write buffer drains when no read can issue.
+        if chosen.is_none() {
+            chosen = fr_fcfs_pick(&mut self.wb_q, &self.banks, now, CLASS_WINDOW);
+        }
+        let _ = head_ready;
+
+        if let Some(p) = chosen {
+            self.serve(p, now, ctx);
+        }
+
+        if !self.high_q.is_empty() || !self.low_q.is_empty() || !self.wb_q.is_empty() {
+            let next = self.next_interesting_time(now);
+            if !self.tick_armed || next < self.next_tick_at || self.next_tick_at <= now {
+                self.tick_armed = true;
+                self.next_tick_at = next;
+                ctx.send_at(ctx.self_id(), next, PardEvent::Tick(TickKind::Dram));
+            }
+        } else {
+            self.tick_armed = false;
+            self.next_tick_at = Time::MAX;
+        }
+    }
+
+    fn next_interesting_time(&self, now: Time) -> Time {
+        #[cfg(feature = "prof")]
+        let _n = crate::ctrl::prof::Scope::new(1);
+        // Earliest time a schedulable request's bank frees, but no sooner
+        // than the next memory cycle. Only requests the arbiter could
+        // actually pick next matter: the reorder window of the high queue
+        // while it is non-empty (strict priority), else of the low queue,
+        // plus the write buffer when it could drain.
+        let floor = (now + MEM_CYCLE).align_up(MEM_CYCLE);
+        let mut earliest = Time::MAX;
+        let mut consider = |p: &Pending| {
+            let b = &self.banks[p.loc.bank as usize];
+            let t = if b.busy_until <= now {
+                floor
+            } else {
+                b.busy_until.align_up(MEM_CYCLE)
+            };
+            earliest = earliest.min(t);
+        };
+        const WINDOW: usize = 16;
+        if self.cfg.priorities_enabled && !self.high_q.is_empty() {
+            self.high_q.iter().take(WINDOW).for_each(&mut consider);
+        } else if !self.low_q.is_empty() {
+            let window = if self.cfg.priorities_enabled {
+                WINDOW
+            } else {
+                self.cfg.baseline_window
+            };
+            self.low_q.iter().take(window).for_each(&mut consider);
+        }
+        let _ = &mut consider;
+        if earliest == Time::MAX || self.wb_q.len() > 64 {
+            for p in self.wb_q.iter().take(WINDOW) {
+                let b = &self.banks[p.loc.bank as usize];
+                let t = if b.busy_until <= now {
+                    floor
+                } else {
+                    b.busy_until.align_up(MEM_CYCLE)
+                };
+                earliest = earliest.min(t);
+            }
+        }
+        earliest.max(floor)
+    }
+
+    fn serve(&mut self, p: Pending, now: Time, ctx: &mut Ctx<'_, PardEvent>) {
+        #[cfg(feature = "prof")]
+        let _t = crate::ctrl::prof::Scope::new(2);
+        let timing = self.cfg.timing;
+        let rank = p.loc.rank as usize;
+        let bank_idx = p.loc.bank as usize;
+        let service = self.banks[bank_idx].schedule(
+            p.loc.row,
+            now,
+            p.high,
+            p.use_hp_buffer,
+            &timing,
+            &mut self.ranks[rank],
+        );
+
+        // MXT-style compression (paper §8): transfers of DS-ids with the
+        // `compress` parameter set move half the bus beats (2:1 typical
+        // MXT ratio), modelled as halved burst counts. Enabled per DS-id,
+        // differentiated like every other PARD service.
+        let raw_bursts = timing.bursts_for(p.pkt.size);
+        let i0 = p.pkt.ds.index().min(self.cfg.max_ds - 1);
+        let nbursts = if self.cfg.priorities_enabled && self.compress[i0] {
+            let compressed = raw_bursts.div_ceil(2);
+            self.comp_saved_cum[i0] += (raw_bursts - compressed) * u64::from(timing.burst_bytes());
+            compressed
+        } else {
+            raw_bursts
+        };
+        let transfer = timing.burst_time() * nbursts;
+        let mut data_done = service.data_ready + transfer;
+        // Data-bus serialisation across banks.
+        if self.bus_free_at > service.data_ready {
+            data_done += self.bus_free_at - service.data_ready;
+        }
+        self.bus_free_at = data_done;
+        // A single-burst access frees the bank after tCCD (DDR allows
+        // back-to-back column commands); a long DMA burst streams from the
+        // sense amplifiers and holds the bank to the end.
+        self.banks[bank_idx].busy_until = if nbursts <= 1 {
+            service.bank_free
+        } else {
+            data_done
+        };
+
+        // Statistics: queueing delay is enqueue -> command issue.
+        let qdelay = now - p.enqueued_at;
+        let i = p.pkt.ds.index().min(self.cfg.max_ds - 1);
+        self.qlat_sum[i] += qdelay.units();
+        self.qlat_cnt[i] += 1;
+        self.win_bytes[i] += u64::from(p.pkt.size);
+        self.serv_cum[i] += 1;
+        if service.row_hit {
+            self.rowhit_cum[i] += 1;
+        }
+        self.served_total += 1;
+        if self.cfg.record_queueing {
+            if p.high {
+                self.rec_high.record(qdelay);
+            } else {
+                self.rec_low.record(qdelay);
+            }
+        }
+
+        if p.pkt.kind.wants_response() {
+            let resp = MemResp {
+                id: p.pkt.id,
+                ds: p.pkt.ds,
+                addr: p.pkt.addr,
+                llc_hit: false,
+            };
+            ctx.send_at(p.pkt.reply_to, data_done, PardEvent::MemResp(resp));
+        }
+    }
+
+    fn arm_window(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
+        if !self.window_armed {
+            self.window_armed = true;
+            let window = self.cfg.window;
+            ctx.send(ctx.self_id(), window, PardEvent::Tick(TickKind::CpWindow));
+        }
+    }
+
+    fn on_window(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
+        let now = ctx.now();
+        let secs = self.cfg.window.as_secs();
+        {
+            let mut cp = self.cp.lock();
+            for i in 0..self.cfg.max_ds {
+                if !self.active_ds[i] {
+                    continue;
+                }
+                let ds = DsId::new(i as u16);
+                if let Some(avg_units) = self.qlat_sum[i].checked_div(self.qlat_cnt[i]) {
+                    let avg_cycles = avg_units / MEM_CYCLE.units();
+                    let _ = cp.set_stat(ds, "avg_qlat", avg_cycles);
+                }
+                let mbps = (self.win_bytes[i] as f64 / secs / 1e6) as u64;
+                let _ = cp.set_stat(ds, "bandwidth", mbps);
+                let _ = cp.set_stat(ds, "serv_cnt", self.serv_cum[i]);
+                let _ = cp.set_stat(ds, "row_hits", self.rowhit_cum[i]);
+                let _ = cp.set_stat(ds, "comp_saved", self.comp_saved_cum[i]);
+                cp.evaluate_triggers(ds, now);
+                self.qlat_sum[i] = 0;
+                self.qlat_cnt[i] = 0;
+                self.win_bytes[i] = 0;
+            }
+        }
+        let window = self.cfg.window;
+        ctx.send(ctx.self_id(), window, PardEvent::Tick(TickKind::CpWindow));
+    }
+}
+
+impl Component<PardEvent> for MemCtrl {
+    fn name(&self) -> &str {
+        "memctrl"
+    }
+
+    fn handle(&mut self, ev: PardEvent, ctx: &mut Ctx<'_, PardEvent>) {
+        self.arm_window(ctx);
+        match ev {
+            PardEvent::MemReq(pkt) => self.on_mem_req(pkt, ctx),
+            PardEvent::Tick(TickKind::Dram) => self.on_tick(ctx),
+            PardEvent::Tick(TickKind::CpWindow) => self.on_window(ctx),
+            PardEvent::MemResp(_) => {} // loop-back responses are ignorable
+            other => debug_assert!(false, "memctrl received unexpected event {other:?}"),
+        }
+    }
+
+    pard_sim::impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_icn::{LAddr, MemKind, PacketId};
+    use pard_sim::{ComponentId, Simulation};
+
+    struct Collector {
+        responses: Vec<(PacketId, Time)>,
+    }
+
+    impl Component<PardEvent> for Collector {
+        fn name(&self) -> &str {
+            "collector"
+        }
+        fn handle(&mut self, ev: PardEvent, ctx: &mut Ctx<'_, PardEvent>) {
+            if let PardEvent::MemResp(r) = ev {
+                self.responses.push((r.id, ctx.now()));
+            }
+        }
+        pard_sim::impl_as_any!();
+    }
+
+    struct Rig {
+        sim: Simulation<PardEvent>,
+        ctrl: ComponentId,
+        collector: ComponentId,
+        cp: CpHandle,
+    }
+
+    fn rig(cfg: MemCtrlConfig) -> Rig {
+        let mut sim = Simulation::new();
+        let (ctrl, cp) = MemCtrl::new(cfg);
+        let ctrl = sim.add_component(Box::new(ctrl));
+        let collector = sim.add_component(Box::new(Collector {
+            responses: Vec::new(),
+        }));
+        Rig {
+            sim,
+            ctrl,
+            collector,
+            cp,
+        }
+    }
+
+    fn read(rig: &Rig, id: u64, ds: u16, addr: u64) -> PardEvent {
+        PardEvent::MemReq(MemPacket {
+            id: PacketId(id),
+            ds: DsId::new(ds),
+            addr: LAddr::new(addr),
+            kind: MemKind::Read,
+            size: 64,
+            reply_to: rig.collector,
+            issued_at: Time::ZERO,
+            dma: false,
+        })
+    }
+
+    #[test]
+    fn single_read_latency_is_activate_cas_burst() {
+        let mut r = rig(MemCtrlConfig::default());
+        r.sim.post(r.ctrl, Time::ZERO, read(&r, 1, 0, 0));
+        r.sim.run_until(Time::from_us(1));
+        let t = DramTiming::ddr3_1600_11();
+        r.sim.with_component::<Collector, _, _>(r.collector, |c| {
+            assert_eq!(c.responses.len(), 1);
+            let (_, at) = c.responses[0];
+            assert_eq!(at, t.trcd + t.tcl + t.burst_time());
+        });
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let mut r = rig(MemCtrlConfig::default());
+        // Same row twice, then a different row in the same bank.
+        r.sim.post(r.ctrl, Time::ZERO, read(&r, 1, 0, 0));
+        r.sim.run_until(Time::from_us(1));
+        let t0 = Time::from_us(1);
+        r.sim.post(r.ctrl, Time::ZERO, read(&r, 2, 0, 64));
+        r.sim.run_until(Time::from_us(2));
+        let t1 = Time::from_us(2);
+        // 16 KB stride = same bank (16 banks x 1 KB rows), different row.
+        r.sim.post(r.ctrl, Time::ZERO, read(&r, 3, 0, 16 * 1024));
+        r.sim.run_until(Time::from_us(3));
+        r.sim.with_component::<Collector, _, _>(r.collector, |c| {
+            let hit_latency = c.responses[1].1 - t0;
+            let miss_latency = c.responses[2].1 - t1;
+            assert!(
+                hit_latency < miss_latency,
+                "row hit {hit_latency:?} !< row miss {miss_latency:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn address_translation_separates_ldoms() {
+        let mut r = rig(MemCtrlConfig::default());
+        {
+            let mut cp = r.cp.lock();
+            cp.set_param(DsId::new(1), "addr_base", 0).unwrap();
+            cp.set_param(DsId::new(1), "addr_limit", 1 << 30).unwrap();
+            cp.set_param(DsId::new(2), "addr_base", 1 << 30).unwrap();
+            cp.set_param(DsId::new(2), "addr_limit", 1 << 30).unwrap();
+        }
+        // Both LDoms read "address 0"; they land in different DRAM rows,
+        // observable through bank behaviour: ds2's read of laddr 0 should
+        // open a different row than ds1's (no row hit).
+        r.sim.post(r.ctrl, Time::ZERO, read(&r, 1, 1, 0));
+        r.sim.run_until(Time::from_us(1));
+        r.sim.post(r.ctrl, Time::ZERO, read(&r, 2, 2, 0));
+        r.sim.run_until(Time::from_us(2));
+        let t = DramTiming::ddr3_1600_11();
+        r.sim.with_component::<Collector, _, _>(r.collector, |c| {
+            // ds2 at 1 GiB maps to bank 0 row 65536: same bank as ds1's
+            // row 0 (1 GiB / 1 KiB / 16 banks = 65536) -> row conflict.
+            let lat = c.responses[1].1 - Time::from_us(1);
+            assert!(lat >= t.trp + t.trcd + t.tcl, "expected a row conflict");
+        });
+    }
+
+    #[test]
+    fn high_priority_jumps_the_queue() {
+        let cfg = MemCtrlConfig {
+            record_queueing: true,
+            ..MemCtrlConfig::default()
+        };
+        let mut r = rig(cfg);
+        {
+            let mut cp = r.cp.lock();
+            cp.set_param(DsId::new(7), "priority", 1).unwrap();
+            cp.set_param(DsId::new(7), "rowbuf", 1).unwrap();
+        }
+        // Flood with low-priority traffic to one bank region, inject
+        // high-priority requests mid-stream.
+        for i in 0..50u64 {
+            r.sim
+                .post(r.ctrl, Time::from_ns(i), read(&r, i, 1, (i % 4) * 64));
+        }
+        for i in 0..5u64 {
+            r.sim.post(
+                r.ctrl,
+                Time::from_ns(200 + i),
+                read(&r, 100 + i, 7, 1024 + i * 64),
+            );
+        }
+        r.sim.run_until(Time::from_us(50));
+        r.sim.with_component::<MemCtrl, _, _>(r.ctrl, |m| {
+            let (high, low) = m.mean_queueing_cycles();
+            assert!(
+                high < low,
+                "high-priority mean {high:.1} !< low-priority mean {low:.1}"
+            );
+            assert_eq!(m.served_total(), 55);
+            assert_eq!(m.queue_depths(), (0, 0));
+        });
+    }
+
+    #[test]
+    fn baseline_mode_ignores_priorities() {
+        let cfg = MemCtrlConfig {
+            priorities_enabled: false,
+            record_queueing: true,
+            ..MemCtrlConfig::default()
+        };
+        let mut r = rig(cfg);
+        {
+            let mut cp = r.cp.lock();
+            cp.set_param(DsId::new(7), "priority", 1).unwrap();
+        }
+        r.sim.post(r.ctrl, Time::ZERO, read(&r, 1, 7, 0));
+        r.sim.run_until(Time::from_us(1));
+        r.sim.with_component::<MemCtrl, _, _>(r.ctrl, |m| {
+            let stats = m.queueing_stats();
+            assert!(stats.high.is_empty(), "everything is low in baseline");
+            assert!(!stats.low.is_empty());
+        });
+    }
+
+    #[test]
+    fn writebacks_get_no_response_but_count() {
+        let mut r = rig(MemCtrlConfig::default());
+        let wb = PardEvent::MemReq(MemPacket {
+            id: PacketId(1),
+            ds: DsId::new(1),
+            addr: LAddr::new(0),
+            kind: MemKind::Writeback,
+            size: 64,
+            reply_to: r.collector,
+            issued_at: Time::ZERO,
+            dma: false,
+        });
+        r.sim.post(r.ctrl, Time::ZERO, wb);
+        r.sim.run_until(Time::from_us(1));
+        r.sim.with_component::<Collector, _, _>(r.collector, |c| {
+            assert!(c.responses.is_empty());
+        });
+        r.sim
+            .with_component::<MemCtrl, _, _>(r.ctrl, |m| assert_eq!(m.served_total(), 1));
+    }
+
+    #[test]
+    fn window_publishes_statistics() {
+        let cfg = MemCtrlConfig {
+            window: Time::from_us(10),
+            ..MemCtrlConfig::default()
+        };
+        let mut r = rig(cfg);
+        for i in 0..16u64 {
+            r.sim
+                .post(r.ctrl, Time::from_ns(i * 10), read(&r, i, 3, i * 1024));
+        }
+        r.sim.run_until(Time::from_us(40));
+        let cp = r.cp.lock();
+        assert_eq!(cp.stat(DsId::new(3), "serv_cnt").unwrap(), 16);
+        // 16 x 64B in one window; bandwidth was recorded in some window.
+        // (value may be 0 in later windows; serv_cnt is cumulative).
+        assert!(cp.stat(DsId::new(3), "row_hits").is_ok());
+    }
+
+    #[test]
+    fn compression_halves_burst_occupancy_for_designated_ds() {
+        // The §8 MXT extension: identical DMA bursts, one DS-id compressed.
+        let mut r = rig(MemCtrlConfig::default());
+        r.cp.lock().set_param(DsId::new(2), "compress", 1).unwrap();
+        let burst = |id, ds| {
+            PardEvent::MemReq(MemPacket {
+                id: PacketId(id),
+                ds: DsId::new(ds),
+                addr: LAddr::new(0),
+                kind: MemKind::Read,
+                size: 4096,
+                reply_to: r.collector,
+                issued_at: Time::ZERO,
+                dma: true,
+            })
+        };
+        r.sim.post(r.ctrl, Time::ZERO, burst(1, 1));
+        r.sim.run_until(Time::from_us(2));
+        r.sim.post(r.ctrl, Time::ZERO, burst(2, 2));
+        r.sim.run_until(Time::from_us(4));
+        r.sim.with_component::<Collector, _, _>(r.collector, |c| {
+            let plain = c.responses[0].1;
+            let compressed = c.responses[1].1 - Time::from_us(2);
+            assert!(
+                compressed < plain,
+                "compressed {compressed:?} !< plain {plain:?}"
+            );
+        });
+        // The saved bytes show up in the statistics table at the window.
+        r.sim.run_until(Time::from_ms(1));
+        assert_eq!(r.cp.lock().stat(DsId::new(2), "comp_saved").unwrap(), 2048);
+        assert_eq!(r.cp.lock().stat(DsId::new(1), "comp_saved").unwrap(), 0);
+    }
+
+    #[test]
+    fn dma_bursts_occupy_the_bus_longer() {
+        let mut r = rig(MemCtrlConfig::default());
+        let burst = PardEvent::MemReq(MemPacket {
+            id: PacketId(1),
+            ds: DsId::new(1),
+            addr: LAddr::new(0),
+            kind: MemKind::Read,
+            size: 4096,
+            reply_to: r.collector,
+            issued_at: Time::ZERO,
+            dma: true,
+        });
+        r.sim.post(r.ctrl, Time::ZERO, burst);
+        r.sim.run_until(Time::from_us(2));
+        let t = DramTiming::ddr3_1600_11();
+        r.sim.with_component::<Collector, _, _>(r.collector, |c| {
+            let (_, at) = c.responses[0];
+            assert_eq!(at, t.trcd + t.tcl + t.burst_time() * 64);
+        });
+    }
+}
+
+/// Crude section profiler, enabled by the `prof` feature (dev only).
+#[cfg(feature = "prof")]
+pub mod prof {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    pub static NS: [AtomicU64; 6] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+    pub static CALLS: [AtomicU64; 6] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
+    pub struct Scope {
+        which: usize,
+        start: Instant,
+    }
+    impl Scope {
+        pub fn new(which: usize) -> Self {
+            Scope {
+                which,
+                start: Instant::now(),
+            }
+        }
+    }
+    impl Drop for Scope {
+        fn drop(&mut self) {
+            NS[self.which].fetch_add(self.start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            CALLS[self.which].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Dumps and resets the counters.
+    pub fn dump() {
+        for (i, name) in ["on_tick", "next_interesting_time", "serve"]
+            .iter()
+            .enumerate()
+        {
+            let ns = NS[i].swap(0, Ordering::Relaxed);
+            let calls = CALLS[i].swap(0, Ordering::Relaxed);
+            eprintln!(
+                "{name}: {calls} calls, {:.1} ms total, {:.0} ns/call",
+                ns as f64 / 1e6,
+                ns as f64 / calls.max(1) as f64
+            );
+        }
+    }
+}

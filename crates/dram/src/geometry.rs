@@ -1,0 +1,134 @@
+//! DRAM organisation and machine-address decomposition.
+
+use pard_icn::MAddr;
+
+/// Location of a machine-physical address within the DRAM organisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankAddr {
+    /// Flat bank index across ranks (`rank * banks_per_rank + bank`).
+    pub bank: u32,
+    /// Rank index.
+    pub rank: u32,
+    /// Row within the bank.
+    pub row: u64,
+    /// Byte offset within the row (column address × bus width).
+    pub col_offset: u32,
+}
+
+/// DRAM organisation (Table 2: 1 channel, 2 ranks × 8 banks, 1 KB rows,
+/// 8 GB total).
+///
+/// Consecutive rows interleave across banks so that streaming accesses
+/// exploit bank-level parallelism — the conventional open-page mapping.
+///
+/// # Example
+///
+/// ```
+/// use pard_dram::DramGeometry;
+/// use pard_icn::MAddr;
+///
+/// let g = DramGeometry::table2();
+/// assert_eq!(g.total_banks(), 16);
+/// let a = g.decompose(MAddr::new(1024));
+/// let b = g.decompose(MAddr::new(2048));
+/// assert_ne!(a.bank, b.bank, "adjacent rows land in different banks");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramGeometry {
+    /// Number of ranks on the channel.
+    pub ranks: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u32,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl DramGeometry {
+    /// The paper's Table 2 configuration: 8 GB, one channel, 2 ranks ×
+    /// 8 banks, 1 KB row buffer.
+    pub fn table2() -> Self {
+        DramGeometry {
+            ranks: 2,
+            banks_per_rank: 8,
+            row_bytes: 1024,
+            capacity_bytes: 8 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Total banks across all ranks.
+    pub fn total_banks(&self) -> u32 {
+        self.ranks * self.banks_per_rank
+    }
+
+    /// Decomposes a machine address into its bank/row/column location.
+    pub fn decompose(&self, addr: MAddr) -> BankAddr {
+        let wrapped = addr.raw() % self.capacity_bytes;
+        let row_id = wrapped / u64::from(self.row_bytes);
+        let bank = (row_id % u64::from(self.total_banks())) as u32;
+        let row = row_id / u64::from(self.total_banks());
+        BankAddr {
+            bank,
+            rank: bank / self.banks_per_rank,
+            row,
+            col_offset: (wrapped % u64::from(self.row_bytes)) as u32,
+        }
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_organisation() {
+        let g = DramGeometry::table2();
+        assert_eq!(g.total_banks(), 16);
+        assert_eq!(g.row_bytes, 1024);
+    }
+
+    #[test]
+    fn same_row_same_bank() {
+        let g = DramGeometry::table2();
+        let a = g.decompose(MAddr::new(0));
+        let b = g.decompose(MAddr::new(1023));
+        assert_eq!((a.bank, a.row), (b.bank, b.row));
+        assert_eq!(b.col_offset, 1023);
+    }
+
+    #[test]
+    fn rows_interleave_across_all_banks_before_repeating() {
+        let g = DramGeometry::table2();
+        let banks: Vec<u32> = (0..16u64)
+            .map(|i| g.decompose(MAddr::new(i * 1024)).bank)
+            .collect();
+        let unique: std::collections::HashSet<_> = banks.iter().collect();
+        assert_eq!(unique.len(), 16);
+        // The 17th row wraps to bank 0, next row index.
+        let wrap = g.decompose(MAddr::new(16 * 1024));
+        assert_eq!(wrap.bank, 0);
+        assert_eq!(wrap.row, 1);
+    }
+
+    #[test]
+    fn rank_derivation() {
+        let g = DramGeometry::table2();
+        assert_eq!(g.decompose(MAddr::new(0)).rank, 0);
+        assert_eq!(g.decompose(MAddr::new(8 * 1024)).rank, 1);
+    }
+
+    #[test]
+    fn addresses_wrap_at_capacity() {
+        let g = DramGeometry::table2();
+        let a = g.decompose(MAddr::new(5));
+        let b = g.decompose(MAddr::new(g.capacity_bytes + 5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the DRAM models.
+
+use pard_dram::{Bank, DramGeometry, DramTiming, RankTracker};
+use pard_icn::MAddr;
+use pard_sim::Time;
+use proptest::prelude::*;
+
+proptest! {
+    /// Address decomposition stays within the organisation's bounds and
+    /// is consistent: same row+bank => same 1 KB-aligned region.
+    #[test]
+    fn decompose_is_bounded_and_consistent(addr in any::<u64>()) {
+        let g = DramGeometry::table2();
+        let loc = g.decompose(MAddr::new(addr));
+        prop_assert!(loc.bank < g.total_banks());
+        prop_assert!(loc.rank < g.ranks);
+        prop_assert_eq!(loc.rank, loc.bank / g.banks_per_rank);
+        prop_assert!(u64::from(loc.col_offset) < u64::from(g.row_bytes));
+        // Same row base => identical (bank, row).
+        let base = addr % g.capacity_bytes / 1024 * 1024;
+        let loc2 = g.decompose(MAddr::new(base));
+        prop_assert_eq!((loc.bank, loc.row), (loc2.bank, loc2.row));
+    }
+
+    /// Bank scheduling obeys causality and the JEDEC floor: data is never
+    /// ready before tCL, and a conflict never beats a hit issued at the
+    /// same instant.
+    #[test]
+    fn bank_timing_has_jedec_floors(rows in prop::collection::vec(0u64..8, 1..50)) {
+        let t = DramTiming::ddr3_1600_11();
+        let mut bank = Bank::default();
+        let mut rank = RankTracker::default();
+        let mut now = Time::from_us(1);
+        for &row in &rows {
+            now += Time::from_ns(100);
+            let hit_predicted = bank.would_hit(row, false);
+            let svc = bank.schedule(row, now, false, false, &t, &mut rank);
+            prop_assert!(svc.data_ready >= now + t.tcl, "tCL floor violated");
+            prop_assert_eq!(svc.row_hit, hit_predicted);
+            if svc.row_hit {
+                prop_assert_eq!(svc.data_ready, now + t.tcl);
+            } else {
+                prop_assert!(svc.data_ready >= now + t.trcd + t.tcl);
+            }
+            prop_assert!(svc.bank_free >= now);
+            // After scheduling, the row is open (normal buffer).
+            prop_assert!(bank.would_hit(row, false));
+        }
+    }
+
+    /// The high-priority row buffer is invisible to low-priority requests
+    /// and immune to them, for any interleaving.
+    #[test]
+    fn hp_buffer_isolation(low_rows in prop::collection::vec(0u64..100, 1..50)) {
+        let t = DramTiming::ddr3_1600_11();
+        let mut bank = Bank::default();
+        let mut rank = RankTracker::default();
+        // High priority pins row 7777 in the HP buffer.
+        bank.schedule(7777, Time::from_us(1), true, true, &t, &mut rank);
+        let mut now = Time::from_us(2);
+        for &row in &low_rows {
+            now += Time::from_ns(100);
+            bank.schedule(row, now, false, false, &t, &mut rank);
+            prop_assert!(!bank.would_hit(7777, false), "low priority saw the HP row");
+            prop_assert!(bank.would_hit(7777, true), "HP row was disturbed");
+        }
+    }
+
+    /// Activates within a rank are always spaced by at least tRRD.
+    #[test]
+    fn trrd_spacing_holds(gaps in prop::collection::vec(0u64..50, 1..50)) {
+        let t = DramTiming::ddr3_1600_11();
+        let mut rank = RankTracker::default();
+        let mut now = Time::from_us(1);
+        let mut last: Option<Time> = None;
+        for &g in &gaps {
+            now += Time::from_ns(g);
+            let act = rank.activate_ok(now, &t);
+            if let Some(prev) = last {
+                prop_assert!(act >= prev + t.trrd);
+            }
+            prop_assert!(act >= now);
+            last = Some(act);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! FPGA resource vectors.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// An FPGA resource count: logic LUTs, LUTRAM (distributed RAM), and
+/// flip-flops — the three quantities Figure 12 plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceCost {
+    /// Logic look-up tables.
+    pub lut: u64,
+    /// Distributed-RAM look-up tables.
+    pub lutram: u64,
+    /// Flip-flops.
+    pub ff: u64,
+}
+
+impl ResourceCost {
+    /// The zero cost.
+    pub const ZERO: ResourceCost = ResourceCost {
+        lut: 0,
+        lutram: 0,
+        ff: 0,
+    };
+
+    /// Creates a cost vector.
+    pub const fn new(lut: u64, lutram: u64, ff: u64) -> Self {
+        ResourceCost { lut, lutram, ff }
+    }
+
+    /// Total "LUT/FF" count as the paper aggregates it
+    /// (logic LUTs + LUTRAM + flip-flops).
+    pub fn total(&self) -> u64 {
+        self.lut + self.lutram + self.ff
+    }
+
+    /// This cost as a percentage of a baseline total.
+    pub fn percent_of(&self, baseline_total: u64) -> f64 {
+        if baseline_total == 0 {
+            0.0
+        } else {
+            self.total() as f64 / baseline_total as f64 * 100.0
+        }
+    }
+}
+
+impl Add for ResourceCost {
+    type Output = ResourceCost;
+    fn add(self, rhs: ResourceCost) -> ResourceCost {
+        ResourceCost {
+            lut: self.lut + rhs.lut,
+            lutram: self.lutram + rhs.lutram,
+            ff: self.ff + rhs.ff,
+        }
+    }
+}
+
+impl Sum for ResourceCost {
+    fn sum<I: Iterator<Item = ResourceCost>>(iter: I) -> ResourceCost {
+        iter.fold(ResourceCost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ResourceCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUT + {} LUTRAM + {} FF (total {})",
+            self.lut,
+            self.lutram,
+            self.ff,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_percentages() {
+        let c = ResourceCost::new(100, 50, 25);
+        assert_eq!(c.total(), 175);
+        assert!((c.percent_of(1750) - 10.0).abs() < 1e-12);
+        assert_eq!(c.percent_of(0), 0.0);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let a = ResourceCost::new(1, 2, 3);
+        let b = ResourceCost::new(10, 20, 30);
+        assert_eq!(a + b, ResourceCost::new(11, 22, 33));
+        let s: ResourceCost = [a, b].into_iter().sum();
+        assert_eq!(s.total(), 66);
+    }
+
+    #[test]
+    fn display_mentions_every_field() {
+        let s = ResourceCost::new(1, 2, 3).to_string();
+        assert!(s.contains("1 LUT") && s.contains("2 LUTRAM") && s.contains("3 FF"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # pard-hwcost — FPGA resource and latency model of the control planes
+//!
+//! The paper's hardware-overhead evaluation (§7.2, Figure 12) synthesised
+//! a preliminary RTL implementation (OpenSPARC T1 + control planes) with
+//! Xilinx Vivado on a VC709 board. This reproduction has no FPGA, so this
+//! crate provides the **substitution**: an analytical resource model of
+//! the control-plane structures, calibrated against every data point the
+//! paper reports:
+//!
+//! * memory CP, 256-entry parameter+statistics tables: 220 LUT + 688 LUTRAM,
+//! * memory CP, 64-entry trigger table: 582 LUT + 387 FF + 40 LUTRAM,
+//! * two 16-deep priority queues: 324 LUT + 30 FF,
+//! * memory CP total 1526 LUT/FF ≈ **10.1 %** of the MIGv7 memory
+//!   controller (15 178 LUT/FF),
+//! * LLC CP total 2359 LUT/FF ≈ **3.1 %** of the 768 KB 12-way LLC
+//!   controller (75 032 LUT/FF, tag array only),
+//! * owner-DS-id storage: +6 block RAMs (12 → 18) for 8-bit DS-ids,
+//! * the LLC control plane adds **zero** pipeline cycles (its work hides
+//!   in the 8-stage L2 pipeline of the OpenSPARC T1).
+//!
+//! The model exposes the scaling laws (storage ∝ entries × row bits,
+//! comparator logic ∝ trigger slots), so Figure 12 can be regenerated at
+//! the paper's sweep points and extrapolated beyond them.
+
+#![warn(missing_docs)]
+
+mod cost;
+mod pipeline;
+mod planes;
+mod tables;
+
+pub use cost::ResourceCost;
+pub use pipeline::{LlcPipeline, PipelineStep};
+pub use planes::{
+    llc_cp_cost, mem_cp_cost, tag_array_brams, LLC_BASELINE_LUT_FF, LLC_ROW_BITS,
+    MEM_BASELINE_LUT_FF, MEM_ROW_BITS,
+};
+pub use tables::{priority_queue_cost, table_cost, trigger_table_cost, TRIGGER_ROW_BITS};

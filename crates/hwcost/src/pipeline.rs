@@ -1,0 +1,151 @@
+//! The §7.2 latency argument: control-plane work hides in the LLC
+//! pipeline.
+
+/// One control-plane operation mapped onto the cache controller pipeline
+/// (the numbered steps of the paper's Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStep {
+    /// What the control plane does.
+    pub name: &'static str,
+    /// The pipeline stage the work executes in, if it can be overlapped
+    /// with existing stages; `None` means it needs its own cycle.
+    pub stage: Option<u8>,
+    /// Whether the step sits on the request's critical path at all
+    /// (statistics updates and trigger checks do not).
+    pub on_critical_path: bool,
+}
+
+/// The LLC pipeline with the control-plane steps mapped onto it.
+///
+/// The OpenSPARC T1's L2 cache has eight pipeline stages; every
+/// control-plane operation either overlaps an existing stage (parameter
+/// lookup with tag read, mask merge with victim selection, owner-DS-id
+/// compare with tag compare) or is off the critical path entirely
+/// (statistics, triggers, interrupts) — so the control plane adds **zero**
+/// cycles, which is exactly what the paper's FPGA emulation found.
+///
+/// # Example
+///
+/// ```
+/// let p = pard_hwcost::LlcPipeline::opensparc_t1();
+/// assert_eq!(p.stages(), 8);
+/// assert_eq!(p.added_cycles(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LlcPipeline {
+    stages: u8,
+    steps: Vec<PipelineStep>,
+}
+
+impl LlcPipeline {
+    /// The paper's OpenSPARC T1 L2 configuration: eight stages, all
+    /// control-plane work overlapped.
+    pub fn opensparc_t1() -> Self {
+        LlcPipeline {
+            stages: 8,
+            steps: vec![
+                PipelineStep {
+                    name: "parameter-table lookup (waymask by DS-id)",
+                    stage: Some(1), // overlaps tag-array read
+                    on_critical_path: true,
+                },
+                PipelineStep {
+                    name: "owner-DS-id compare",
+                    stage: Some(3), // overlaps tag compare
+                    on_critical_path: true,
+                },
+                PipelineStep {
+                    name: "way-mask merge into pseudo-LRU victim select",
+                    stage: Some(4),
+                    on_critical_path: true,
+                },
+                PipelineStep {
+                    name: "statistics-table update",
+                    stage: None,
+                    on_critical_path: false,
+                },
+                PipelineStep {
+                    name: "trigger evaluation + PRM interrupt",
+                    stage: None,
+                    on_critical_path: false,
+                },
+            ],
+        }
+    }
+
+    /// A hypothetical *unpipelined* controller where every critical-path
+    /// control-plane step needs its own cycle — what the design avoids.
+    pub fn unpipelined() -> Self {
+        let mut p = Self::opensparc_t1();
+        for s in &mut p.steps {
+            if s.on_critical_path {
+                s.stage = None;
+            }
+        }
+        p
+    }
+
+    /// Number of pipeline stages.
+    pub fn stages(&self) -> u8 {
+        self.stages
+    }
+
+    /// The mapped steps.
+    pub fn steps(&self) -> &[PipelineStep] {
+        &self.steps
+    }
+
+    /// Extra cycles the control plane adds to a cache access: the number
+    /// of critical-path steps that could not be overlapped with an
+    /// existing stage.
+    pub fn added_cycles(&self) -> u8 {
+        self.steps
+            .iter()
+            .filter(|s| s.on_critical_path && s.stage.is_none())
+            .count() as u8
+    }
+
+    /// Validates the stage mapping against the pipeline depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step is mapped beyond the last stage.
+    pub fn validate(&self) {
+        for s in &self.steps {
+            if let Some(stage) = s.stage {
+                assert!(
+                    stage >= 1 && stage <= self.stages,
+                    "step {:?} mapped to invalid stage {stage}",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_design_adds_zero_cycles() {
+        let p = LlcPipeline::opensparc_t1();
+        p.validate();
+        assert_eq!(p.added_cycles(), 0);
+        assert_eq!(p.stages(), 8);
+        assert_eq!(p.steps().len(), 5);
+    }
+
+    #[test]
+    fn unpipelined_design_would_add_cycles() {
+        let p = LlcPipeline::unpipelined();
+        assert_eq!(p.added_cycles(), 3, "three critical-path steps exposed");
+    }
+
+    #[test]
+    fn off_critical_path_steps_never_count() {
+        let p = LlcPipeline::opensparc_t1();
+        let off: Vec<_> = p.steps().iter().filter(|s| !s.on_critical_path).collect();
+        assert_eq!(off.len(), 2, "statistics and triggers are off-path");
+    }
+}

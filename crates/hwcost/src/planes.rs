@@ -1,0 +1,130 @@
+//! Whole-control-plane cost roll-ups and baselines.
+
+use crate::cost::ResourceCost;
+use crate::tables::{priority_queue_cost, table_cost, trigger_table_cost};
+
+/// LUT+FF of the baseline Xilinx MIGv7 memory controller the paper
+/// compares against.
+pub const MEM_BASELINE_LUT_FF: u64 = 15_178;
+
+/// LUT+FF of the baseline 768 KB 12-way LLC controller (tag array only).
+pub const LLC_BASELINE_LUT_FF: u64 = 75_032;
+
+/// Combined parameter+statistics row width of the memory control plane:
+/// address map (base 32 + limit 32), priority 2, row-buffer mask 2,
+/// avgQLat 16, ServCnt 32, bandwidth 32, spare ≈ 172 bits.
+pub const MEM_ROW_BITS: u64 = 172;
+
+/// Combined parameter+statistics row width of the LLC control plane:
+/// waymask 16, miss-rate 8, capacity 24, hit/miss counters 2 × 48,
+/// window state ≈ 200 bits.
+pub const LLC_ROW_BITS: u64 = 200;
+
+/// Full memory-control-plane cost: parameter+statistics tables with
+/// `entries` rows, a trigger table with `trigger_slots`, and the two
+/// 16-deep priority queues.
+///
+/// # Example
+///
+/// ```
+/// use pard_hwcost::{mem_cp_cost, MEM_BASELINE_LUT_FF};
+/// let c = mem_cp_cost(256, 64);
+/// let pct = (c.lut + c.ff) as f64 / MEM_BASELINE_LUT_FF as f64 * 100.0;
+/// assert!((9.8..=10.4).contains(&pct), "paper reports ~10.1%, got {pct:.1}");
+/// ```
+pub fn mem_cp_cost(entries: u64, trigger_slots: u64) -> ResourceCost {
+    table_cost(entries, MEM_ROW_BITS)
+        + trigger_table_cost(trigger_slots)
+        + priority_queue_cost(2, 16)
+}
+
+/// Data-path integration logic of the LLC control plane: per-way mask
+/// gating into the pseudo-LRU victim logic plus owner-DS-id comparison in
+/// the hit path (calibrated: 16 ways ⇒ 1146 LUT, closing the paper's 2359
+/// LUT/FF total).
+fn llc_integration_logic(ways: u64) -> ResourceCost {
+    ResourceCost::new(ways * 71 + 10, 0, 0)
+}
+
+/// Full LLC-control-plane cost for a `ways`-associative cache.
+///
+/// # Example
+///
+/// ```
+/// use pard_hwcost::{llc_cp_cost, LLC_BASELINE_LUT_FF};
+/// let c = llc_cp_cost(256, 64, 16);
+/// let pct = (c.lut + c.ff) as f64 / LLC_BASELINE_LUT_FF as f64 * 100.0;
+/// assert!((2.9..=3.3).contains(&pct), "paper reports ~3.1%, got {pct:.1}");
+/// ```
+pub fn llc_cp_cost(entries: u64, trigger_slots: u64, ways: u64) -> ResourceCost {
+    table_cost(entries, LLC_ROW_BITS)
+        + trigger_table_cost(trigger_slots)
+        + llc_integration_logic(ways)
+}
+
+/// Block RAMs for the LLC tag array `(base, with_owner_ds_id)`.
+///
+/// Each way's tag slice occupies whole 36 Kb block RAMs
+/// (`⌈sets × tag_bits / 36 Kb⌉` per way). The owner DS-ids are stored in
+/// separate narrow BRAMs whose 18-bit ports are shared by
+/// `⌊18 / ds_bits⌋` ways — which is how the paper's 12 base BRAMs grow by
+/// 6 (to 18) for 8-bit DS-ids on the 1024-set, 12-way OpenSPARC T1 L2.
+///
+/// # Example
+///
+/// ```
+/// let (base, with_ds) = pard_hwcost::tag_array_brams(12, 1024, 28, 8);
+/// assert_eq!((base, with_ds), (12, 18)); // the paper's 12 -> 18
+/// ```
+pub fn tag_array_brams(ways: u64, sets: u64, tag_bits: u64, ds_bits: u64) -> (u64, u64) {
+    const BRAM_BITS: u64 = 36 * 1024;
+    let base = ways * (sets * tag_bits).div_ceil(BRAM_BITS);
+    let ways_per_ds_bram = (18 / ds_bits.max(1)).max(1);
+    let extra = ways.div_ceil(ways_per_ds_bram);
+    (base, base + extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_cp_hits_the_papers_totals() {
+        let c = mem_cp_cost(256, 64);
+        let lut_ff = c.lut + c.ff;
+        // Paper: 1526 LUT/FF total, 10.1% of MIGv7.
+        assert!(
+            (1495..=1560).contains(&lut_ff),
+            "expected ~1526 LUT/FF, got {lut_ff}"
+        );
+        let pct = lut_ff as f64 / MEM_BASELINE_LUT_FF as f64 * 100.0;
+        assert!((9.8..=10.4).contains(&pct), "{pct:.2}%");
+    }
+
+    #[test]
+    fn llc_cp_hits_the_papers_totals() {
+        let c = llc_cp_cost(256, 64, 16);
+        let lut_ff = c.lut + c.ff;
+        // Paper: 2359 LUT/FF, 3.1% of the LLC controller.
+        assert!(
+            (2310..=2410).contains(&lut_ff),
+            "expected ~2359 LUT/FF, got {lut_ff}"
+        );
+        let pct = lut_ff as f64 / LLC_BASELINE_LUT_FF as f64 * 100.0;
+        assert!((3.0..=3.25).contains(&pct), "{pct:.2}%");
+    }
+
+    #[test]
+    fn owner_ds_id_brams_match_the_paper() {
+        assert_eq!(tag_array_brams(12, 1024, 28, 8), (12, 18));
+        // Wider DS-ids need one BRAM per way.
+        let (_, with16) = tag_array_brams(12, 1024, 28, 16);
+        assert_eq!(with16, 24);
+    }
+
+    #[test]
+    fn smaller_tables_cost_less() {
+        assert!(mem_cp_cost(64, 16).total() < mem_cp_cost(256, 64).total());
+        assert!(llc_cp_cost(64, 16, 16).total() < llc_cp_cost(256, 64, 16).total());
+    }
+}

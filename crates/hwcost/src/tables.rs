@@ -1,0 +1,100 @@
+//! Cost models of the three control-plane table structures.
+
+use crate::cost::ResourceCost;
+
+/// Bits stored per trigger-table row (DS-id 16 + column 8 + op 3 + value
+/// 12 + enable/latch ≈ 40, matching the synthesis data).
+pub const TRIGGER_ROW_BITS: u64 = 40;
+
+fn log2_ceil(x: u64) -> u64 {
+    64 - x.next_power_of_two().leading_zeros() as u64 - 1
+}
+
+/// Cost of a DS-id-indexed storage table (parameter or statistics) with
+/// `entries` rows of `row_bits` each.
+///
+/// Storage maps to 64-bit distributed-RAM LUTs
+/// (`LUTRAM = ⌈entries × row_bits / 64⌉`); the read/write muxing and
+/// address decode cost `≈ 0.9 × row_bits + 8 × log2(entries)` logic LUTs.
+/// Calibration: at 256 entries × 172 row bits (the memory control plane's
+/// combined parameter+statistics width) this yields 688 LUTRAM + 219 LUT
+/// against the paper's 688 + 220.
+pub fn table_cost(entries: u64, row_bits: u64) -> ResourceCost {
+    let lutram = (entries * row_bits).div_ceil(64);
+    let lut = (row_bits * 9) / 10 + 8 * log2_ceil(entries.max(2));
+    ResourceCost::new(lut, lutram, 0)
+}
+
+/// Cost of a trigger table with `slots` comparator-backed rows.
+///
+/// Each slot needs a value comparator and condition decode
+/// (`≈ 9 LUT/slot`), registered state (`≈ 6 FF/slot`), and
+/// [`TRIGGER_ROW_BITS`] of storage. Calibration: 64 slots yields
+/// 582 LUT + 387 FF + 40 LUTRAM, the paper's exact figures.
+pub fn trigger_table_cost(slots: u64) -> ResourceCost {
+    let lut = slots * 9 + 6;
+    let ff = slots * 6 + 3;
+    let lutram = (slots * TRIGGER_ROW_BITS).div_ceil(64);
+    ResourceCost::new(lut, lutram, ff)
+}
+
+/// Cost of the memory controller's priority queues: `queues` queues of
+/// `depth` entries each.
+///
+/// Calibration: two 16-deep queues cost 324 LUT + 30 FF (paper §7.2).
+pub fn priority_queue_cost(queues: u64, depth: u64) -> ResourceCost {
+    let lut = queues * depth * 10 + 4;
+    let ff = queues * depth.saturating_sub(1);
+    ResourceCost::new(lut, 0, ff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_table_matches_paper_calibration() {
+        // Memory CP parameter+statistics at 256 entries: 220 LUT, 688 LUTRAM.
+        let c = table_cost(256, 172);
+        assert_eq!(c.lutram, 688);
+        assert!((215..=225).contains(&c.lut), "lut = {}", c.lut);
+        assert_eq!(c.ff, 0);
+    }
+
+    #[test]
+    fn trigger_table_matches_paper_calibration() {
+        // 64-entry trigger table: 582 LUT + 387 FF + 40 LUTRAM.
+        let c = trigger_table_cost(64);
+        assert_eq!(c.lut, 582);
+        assert_eq!(c.ff, 387);
+        assert_eq!(c.lutram, 40);
+    }
+
+    #[test]
+    fn priority_queues_match_paper_calibration() {
+        // Two 16-deep priority queues: 324 LUT + 30 FF.
+        let c = priority_queue_cost(2, 16);
+        assert_eq!(c.lut, 324);
+        assert_eq!(c.ff, 30);
+        assert_eq!(c.lutram, 0);
+    }
+
+    #[test]
+    fn costs_scale_monotonically() {
+        for sizes in [(64, 128), (128, 256)] {
+            assert!(table_cost(sizes.0, 172).total() < table_cost(sizes.1, 172).total());
+        }
+        assert!(trigger_table_cost(16).total() < trigger_table_cost(32).total());
+        assert!(trigger_table_cost(32).total() < trigger_table_cost(64).total());
+    }
+
+    #[test]
+    fn storage_dominates_tables_but_logic_dominates_triggers() {
+        // The paper's observation: the trigger table consumes more logic
+        // than storage because of its comparators.
+        let t = trigger_table_cost(64);
+        assert!(t.lut > t.lutram);
+        let s = table_cost(256, 172);
+        assert!(s.lutram > s.lut);
+    }
+}

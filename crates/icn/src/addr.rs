@@ -1,0 +1,171 @@
+//! LDom-physical and machine-physical addresses.
+//!
+//! PARD partitions one server into multiple fully-virtualised LDoms, each of
+//! which runs an *unmodified* OS and therefore sees a physical address space
+//! starting at zero. Two different LDoms may issue requests for the *same*
+//! numeric address; the pair `(DS-id, address)` is what uniquely names data
+//! (paper §4.2, footnote 4). The memory control plane translates an
+//! LDom-physical address to a machine (DRAM) physical address using its
+//! parameter table.
+//!
+//! The two newtypes here make that distinction impossible to confuse in
+//! code: caches index by [`LAddr`] (plus DS-id), the DRAM bank mapping uses
+//! [`MAddr`].
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Bytes per cache line on the Table 2 platform.
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// The zero address.
+            pub const ZERO: $name = $name(0);
+
+            /// Creates an address from a raw byte offset.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// The raw byte offset.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// This address rounded down to its cache-line base.
+            #[inline]
+            pub const fn line_base(self) -> Self {
+                $name(self.0 & !(CACHE_LINE_BYTES - 1))
+            }
+
+            /// The cache-line number containing this address.
+            #[inline]
+            pub const fn line_number(self) -> u64 {
+                self.0 / CACHE_LINE_BYTES
+            }
+
+            /// Whether this address is cache-line aligned.
+            #[inline]
+            pub const fn is_line_aligned(self) -> bool {
+                self.0 % CACHE_LINE_BYTES == 0
+            }
+
+            /// Checked addition of a byte offset.
+            #[inline]
+            pub fn checked_add(self, bytes: u64) -> Option<Self> {
+                self.0.checked_add(bytes).map($name)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            #[inline]
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// An **LDom-physical** address: what an unmodified guest OS sees.
+    ///
+    /// Every LDom's address space starts at zero. An `LAddr` is only
+    /// meaningful together with the DS-id of the LDom that issued it.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pard_icn::LAddr;
+    /// let a = LAddr::new(0x1234);
+    /// assert_eq!(a.line_base(), LAddr::new(0x1200));
+    /// assert_eq!(a.line_number(), 0x48);
+    /// ```
+    LAddr
+}
+
+addr_newtype! {
+    /// A **machine-physical** (DRAM) address, produced by the memory
+    /// control plane's per-DS-id address translation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pard_icn::MAddr;
+    /// let a = MAddr::new(0x8000_0040);
+    /// assert!(a.is_line_aligned());
+    /// ```
+    MAddr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        let a = LAddr::new(127);
+        assert_eq!(a.line_base(), LAddr::new(64));
+        assert_eq!(a.line_number(), 1);
+        assert!(!a.is_line_aligned());
+        assert!(LAddr::new(128).is_line_aligned());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = MAddr::new(100);
+        assert_eq!(a + 28, MAddr::new(128));
+        assert_eq!(MAddr::new(128) - a, 28);
+        assert_eq!(a.checked_add(u64::MAX), None);
+        assert_eq!(a.checked_add(28), Some(MAddr::new(128)));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{}", LAddr::new(0x40)), "0x40");
+        assert_eq!(format!("{:?}", MAddr::new(0x40)), "MAddr(0x40)");
+        assert_eq!(format!("{:x}", MAddr::new(0x40)), "40");
+    }
+
+    #[test]
+    fn types_are_distinct() {
+        // This test documents intent: LAddr and MAddr cannot be mixed
+        // without an explicit conversion through the control plane.
+        fn takes_laddr(_: LAddr) {}
+        takes_laddr(LAddr::new(1));
+    }
+}

@@ -1,0 +1,75 @@
+//! Clock domains of the Table 2 platform.
+//!
+//! The simulated server runs its cores at 2 GHz and its DDR3-1600 memory
+//! bus at 800 MHz (tCK = 1.25 ns). Both are exact multiples of the kernel's
+//! quarter-nanosecond base unit, so cycle arithmetic is lossless.
+
+use pard_sim::Time;
+
+/// One 2 GHz CPU cycle (0.5 ns).
+pub const CPU_CYCLE: Time = Time::from_units(2);
+
+/// One DDR3-1600 I/O-clock cycle (tCK = 1.25 ns).
+pub const MEM_CYCLE: Time = Time::from_units(5);
+
+/// `n` CPU cycles as a [`Time`].
+///
+/// # Example
+///
+/// ```
+/// use pard_icn::cpu_cycles;
+/// assert_eq!(cpu_cycles(2).as_ns(), 1.0);
+/// ```
+#[inline]
+pub const fn cpu_cycles(n: u64) -> Time {
+    Time::from_units(n * CPU_CYCLE.units())
+}
+
+/// `n` memory cycles as a [`Time`].
+///
+/// # Example
+///
+/// ```
+/// use pard_icn::mem_cycles;
+/// // The paper's 11-11-11 DDR3 timings: tCL = 13.75 ns.
+/// assert_eq!(mem_cycles(11).as_ns(), 13.75);
+/// ```
+#[inline]
+pub const fn mem_cycles(n: u64) -> Time {
+    Time::from_units(n * MEM_CYCLE.units())
+}
+
+/// A duration expressed in whole CPU cycles (truncating).
+#[inline]
+pub fn to_cpu_cycles(t: Time) -> u64 {
+    t.units() / CPU_CYCLE.units()
+}
+
+/// A duration expressed in whole memory cycles (truncating).
+#[inline]
+pub fn to_mem_cycles(t: Time) -> u64 {
+    t.units() / MEM_CYCLE.units()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_lengths_match_table2() {
+        assert_eq!(CPU_CYCLE.as_ns(), 0.5);
+        assert_eq!(MEM_CYCLE.as_ns(), 1.25);
+    }
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(to_cpu_cycles(cpu_cycles(123)), 123);
+        assert_eq!(to_mem_cycles(mem_cycles(456)), 456);
+    }
+
+    #[test]
+    fn cross_domain_truncation() {
+        // 3 memory cycles = 3.75 ns = 7.5 CPU cycles -> truncates to 7.
+        assert_eq!(to_cpu_cycles(mem_cycles(3)), 7);
+    }
+}

@@ -1,0 +1,106 @@
+//! The differentiated-service identifier.
+
+use std::fmt;
+
+/// A differentiated-service identifier (DS-id).
+///
+/// A DS-id names a high-level entity — in this reproduction, a *logical
+/// domain* (LDom): a submachine owning CPU cores, memory capacity, and
+/// storage. The platform resource manager assigns one DS-id per LDom; every
+/// request source (CPU core, DMA engine, v-NIC) holds a **tag register**
+/// whose DS-id is attached to each packet it generates, and the tag travels
+/// with the packet for its whole lifetime (paper §3 ①).
+///
+/// The RTL implementation used 8-bit tags; the architecture supports up to
+/// 16 bits (the CPA `addr` field reserves 16 bits for the DS-id, Fig. 6),
+/// which is what we use here.
+///
+/// # Example
+///
+/// ```
+/// use pard_icn::DsId;
+/// let ds = DsId::new(2);
+/// assert_eq!(ds.index(), 2);
+/// assert_eq!(ds.to_string(), "ds2");
+/// assert_eq!(DsId::DEFAULT.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DsId(u16);
+
+impl DsId {
+    /// The default tag, used for packets generated before any LDom exists
+    /// (e.g. platform bring-up) — the paper's parameter-table row "default".
+    pub const DEFAULT: DsId = DsId(0);
+
+    /// Creates a DS-id from its raw 16-bit value.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        DsId(raw)
+    }
+
+    /// The raw 16-bit tag value.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The tag as a table-row index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for DsId {
+    fn from(raw: u16) -> Self {
+        DsId(raw)
+    }
+}
+
+impl From<DsId> for u16 {
+    fn from(ds: DsId) -> Self {
+        ds.0
+    }
+}
+
+impl fmt::Debug for DsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DsId({})", self.0)
+    }
+}
+
+impl fmt::Display for DsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ds{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(DsId::DEFAULT, DsId::new(0));
+        assert_eq!(DsId::default(), DsId::DEFAULT);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let ds: DsId = 7u16.into();
+        let raw: u16 = ds.into();
+        assert_eq!(raw, 7);
+        assert_eq!(ds.index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(DsId::new(1) < DsId::new(2));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", DsId::new(3)), "DsId(3)");
+        assert_eq!(format!("{}", DsId::new(3)), "ds3");
+    }
+}

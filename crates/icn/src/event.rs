@@ -1,0 +1,93 @@
+//! The system-wide event type.
+
+use crate::packet::{
+    DiskDone, DiskRequest, InterruptPacket, MemPacket, MemResp, NetFrame, PioPacket, PioResp,
+};
+
+/// Distinguishes the purposes of self-scheduled ticks.
+///
+/// Several components schedule periodic or demand-driven wake-ups for
+/// themselves; the kind lets one component own several independent timers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TickKind {
+    /// DRAM controller scheduling quantum (one memory cycle).
+    Dram,
+    /// IDE controller service-loop quantum.
+    Ide,
+    /// PRM firmware polling interval.
+    Prm,
+    /// Experiment sampler interval.
+    Sampler,
+    /// Core pipeline resume.
+    Core,
+    /// Control-plane statistics window rollover.
+    CpWindow,
+    /// NIC receive-processing quantum.
+    Nic,
+}
+
+/// Control messages sent to a CPU core by the PRM or an experiment harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreCommand {
+    /// Begin executing the installed workload engine.
+    Start,
+    /// Halt execution (pending memory responses are ignored on arrival).
+    Stop,
+    /// Load the core's DS-id tag register.
+    ///
+    /// The raw `u16` is a [`DsId`](crate::DsId); carried raw so the command
+    /// stays `Copy` and trivially serialisable.
+    SetTag(u16),
+}
+
+/// Every event that can travel the simulated machine.
+///
+/// One shared enum keeps the kernel monomorphic and the component wiring
+/// simple; components ignore variants that are not addressed to them (and
+/// panic in debug builds on protocol violations).
+#[derive(Clone, Copy, Debug)]
+pub enum PardEvent {
+    /// A memory request heading to the LLC or DRAM controller.
+    MemReq(MemPacket),
+    /// A memory response heading back to the requester.
+    MemResp(MemResp),
+    /// A disk request heading to the I/O bridge / IDE controller.
+    DiskReq(DiskRequest),
+    /// Disk completion payload (delivered to the core via the APIC).
+    DiskDone(DiskDone),
+    /// A network frame arriving at the NIC.
+    NetFrame(NetFrame),
+    /// An interrupt travelling device → APIC → core.
+    Interrupt(InterruptPacket),
+    /// A programmed-I/O register access.
+    Pio(PioPacket),
+    /// A programmed-I/O response.
+    PioResp(PioResp),
+    /// A self-scheduled timer.
+    Tick(TickKind),
+    /// Core control from the PRM or harness.
+    CoreCtl(CoreCommand),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // The event enum is the unit of queue traffic; keep it compact.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<PardEvent>();
+        assert!(
+            std::mem::size_of::<PardEvent>() <= 96,
+            "PardEvent grew to {} bytes; keep queue traffic lean",
+            std::mem::size_of::<PardEvent>()
+        );
+    }
+
+    #[test]
+    fn tick_kinds_compare() {
+        assert_eq!(TickKind::Dram, TickKind::Dram);
+        assert_ne!(TickKind::Dram, TickKind::Ide);
+    }
+}

@@ -1,0 +1,107 @@
+//! A serialising point-to-point link / bus model.
+
+use pard_sim::Time;
+
+/// A point-to-point link with fixed per-hop latency and finite bandwidth.
+///
+/// Components embed a `Link` on each of their output ports; before sending
+/// an event they ask the link when the payload can be delivered. The link
+/// serialises transfers: a payload of `n` bytes occupies the wire for
+/// `n / bytes_per_unit` time units after the previous transfer completes.
+///
+/// # Example
+///
+/// ```
+/// use pard_icn::Link;
+/// use pard_sim::Time;
+///
+/// // 64 bytes/ns at 1 ns latency ≈ a 64-byte-per-cycle on-chip link.
+/// let mut link = Link::new(Time::from_ns(1), 64.0);
+/// let t0 = link.delivery_time(Time::ZERO, 64);
+/// let t1 = link.delivery_time(Time::ZERO, 64);
+/// assert!(t1 > t0, "second transfer waits for the wire");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    latency: Time,
+    bytes_per_ns: f64,
+    wire_free_at: Time,
+}
+
+impl Link {
+    /// Creates a link with `latency` per hop and `bytes_per_ns` bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_ns` is not strictly positive.
+    pub fn new(latency: Time, bytes_per_ns: f64) -> Self {
+        assert!(bytes_per_ns > 0.0, "link bandwidth must be positive");
+        Link {
+            latency,
+            bytes_per_ns,
+            wire_free_at: Time::ZERO,
+        }
+    }
+
+    /// An effectively infinite-bandwidth link with fixed latency.
+    pub fn latency_only(latency: Time) -> Self {
+        Link::new(latency, f64::INFINITY)
+    }
+
+    /// The per-hop latency.
+    pub fn latency(&self) -> Time {
+        self.latency
+    }
+
+    /// Reserves the wire for a `bytes`-sized payload starting no earlier
+    /// than `now`, returning the time at which the payload arrives at the
+    /// far end.
+    pub fn delivery_time(&mut self, now: Time, bytes: u32) -> Time {
+        let start = now.max(self.wire_free_at);
+        let occupancy_ns = f64::from(bytes) / self.bytes_per_ns;
+        let occupancy = Time::from_units((occupancy_ns * Time::UNITS_PER_NS as f64).ceil() as u64);
+        self.wire_free_at = start + occupancy;
+        self.wire_free_at + self.latency
+    }
+
+    /// Time at which the wire next becomes free.
+    pub fn wire_free_at(&self) -> Time {
+        self.wire_free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_only_adds_fixed_delay() {
+        let mut l = Link::latency_only(Time::from_ns(3));
+        assert_eq!(l.delivery_time(Time::from_ns(10), 4096), Time::from_ns(13));
+        assert_eq!(l.delivery_time(Time::from_ns(10), 4096), Time::from_ns(13));
+    }
+
+    #[test]
+    fn bandwidth_serialises_back_to_back_transfers() {
+        // 1 byte per ns, zero latency: 10-byte payloads take 10 ns each.
+        let mut l = Link::new(Time::ZERO, 1.0);
+        assert_eq!(l.delivery_time(Time::ZERO, 10), Time::from_ns(10));
+        assert_eq!(l.delivery_time(Time::ZERO, 10), Time::from_ns(20));
+        // After the wire drains, transfers start immediately again.
+        assert_eq!(l.delivery_time(Time::from_ns(100), 10), Time::from_ns(110));
+        assert_eq!(l.wire_free_at(), Time::from_ns(110));
+    }
+
+    #[test]
+    fn partial_units_round_up() {
+        // 3 bytes at 2 bytes/ns = 1.5 ns -> 6 quarter-ns units exactly.
+        let mut l = Link::new(Time::ZERO, 2.0);
+        assert_eq!(l.delivery_time(Time::ZERO, 3), Time::from_units(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        let _ = Link::new(Time::ZERO, 0.0);
+    }
+}

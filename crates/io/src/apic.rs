@@ -1,0 +1,205 @@
+//! The DS-id-routed interrupt controller.
+
+use std::sync::Arc;
+
+use pard_icn::{cpu_cycles, DsId, InterruptPacket, PardEvent};
+use pard_sim::{Component, ComponentId, Ctx, Time};
+use parking_lot::Mutex;
+
+/// Interrupt vector used by IDE completions.
+pub const VEC_IDE: u8 = 14;
+/// Interrupt vector used by NIC receive notifications.
+pub const VEC_NIC: u8 = 11;
+
+/// The per-DS-id interrupt route tables, shared between the [`Apic`]
+/// component and the PRM firmware that programs them.
+///
+/// PARD duplicates the APIC's route table per DS-id (§4.1): when a device
+/// raises an interrupt tagged with a DS-id, the APIC uses that DS-id's
+/// table to pick the destination core.
+///
+/// # Example
+///
+/// ```
+/// use pard_io::ApicRoutes;
+/// use pard_icn::DsId;
+/// use pard_sim::ComponentId;
+///
+/// let routes = ApicRoutes::new(8);
+/// routes.set(DsId::new(2), ComponentId::from_raw(5));
+/// assert_eq!(routes.get(DsId::new(2)), Some(ComponentId::from_raw(5)));
+/// assert_eq!(routes.get(DsId::new(3)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApicRoutes {
+    tables: Arc<Mutex<Vec<Option<ComponentId>>>>,
+}
+
+impl ApicRoutes {
+    /// Creates empty route tables for DS-ids `0..max_ds`.
+    pub fn new(max_ds: usize) -> Self {
+        ApicRoutes {
+            tables: Arc::new(Mutex::new(vec![None; max_ds])),
+        }
+    }
+
+    /// Routes `ds`-tagged interrupts to `core`.
+    pub fn set(&self, ds: DsId, core: ComponentId) {
+        let mut t = self.tables.lock();
+        if ds.index() < t.len() {
+            t[ds.index()] = Some(core);
+        }
+    }
+
+    /// Clears the route for `ds`.
+    pub fn clear(&self, ds: DsId) {
+        let mut t = self.tables.lock();
+        if ds.index() < t.len() {
+            t[ds.index()] = None;
+        }
+    }
+
+    /// The destination core for `ds`, if routed.
+    pub fn get(&self, ds: DsId) -> Option<ComponentId> {
+        self.tables.lock().get(ds.index()).copied().flatten()
+    }
+}
+
+/// The augmented APIC component.
+///
+/// Receives [`InterruptPacket`]s from devices, consults the per-DS-id
+/// route table, and forwards the interrupt to the routed core after the
+/// interrupt-delivery latency. Unrouted interrupts are dropped and counted
+/// (a real system would fault to the PRM).
+pub struct Apic {
+    routes: ApicRoutes,
+    delivery_latency: Time,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl Apic {
+    /// Creates an APIC with the given shared route tables.
+    pub fn new(routes: ApicRoutes) -> Self {
+        Apic {
+            routes,
+            delivery_latency: cpu_cycles(100),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Interrupts delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Interrupts dropped for lack of a route.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Component<PardEvent> for Apic {
+    fn name(&self) -> &str {
+        "apic"
+    }
+
+    fn handle(&mut self, ev: PardEvent, ctx: &mut Ctx<'_, PardEvent>) {
+        let PardEvent::Interrupt(pkt) = ev else {
+            debug_assert!(false, "APIC received a non-interrupt event");
+            return;
+        };
+        match self.routes.get(pkt.ds) {
+            Some(core) => {
+                self.delivered += 1;
+                ctx.send(core, self.delivery_latency, PardEvent::Interrupt(pkt));
+            }
+            None => self.dropped += 1,
+        }
+    }
+
+    pard_sim::impl_as_any!();
+}
+
+/// Builds an interrupt packet for a disk completion.
+pub(crate) fn ide_interrupt(ds: DsId, done: pard_icn::DiskDone) -> InterruptPacket {
+    InterruptPacket {
+        ds,
+        vector: VEC_IDE,
+        disk_done: Some(done),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_icn::DiskDone;
+    use pard_icn::PacketId;
+    use pard_sim::Simulation;
+
+    struct CoreStub {
+        interrupts: Vec<InterruptPacket>,
+    }
+
+    impl Component<PardEvent> for CoreStub {
+        fn name(&self) -> &str {
+            "corestub"
+        }
+        fn handle(&mut self, ev: PardEvent, _ctx: &mut Ctx<'_, PardEvent>) {
+            if let PardEvent::Interrupt(pkt) = ev {
+                self.interrupts.push(pkt);
+            }
+        }
+        pard_sim::impl_as_any!();
+    }
+
+    #[test]
+    fn interrupts_follow_the_ds_route_table() {
+        let mut sim: Simulation<PardEvent> = Simulation::new();
+        let routes = ApicRoutes::new(8);
+        let apic = sim.add_component(Box::new(Apic::new(routes.clone())));
+        let core_a = sim.add_component(Box::new(CoreStub { interrupts: vec![] }));
+        let core_b = sim.add_component(Box::new(CoreStub { interrupts: vec![] }));
+        routes.set(DsId::new(1), core_a);
+        routes.set(DsId::new(2), core_b);
+
+        for ds in [1u16, 2, 2, 3] {
+            sim.post(
+                apic,
+                Time::ZERO,
+                PardEvent::Interrupt(ide_interrupt(
+                    DsId::new(ds),
+                    DiskDone {
+                        id: PacketId(u64::from(ds)),
+                        ds: DsId::new(ds),
+                        bytes: 0,
+                    },
+                )),
+            );
+        }
+        sim.run();
+
+        sim.with_component::<CoreStub, _, _>(core_a, |c| assert_eq!(c.interrupts.len(), 1));
+        sim.with_component::<CoreStub, _, _>(core_b, |c| assert_eq!(c.interrupts.len(), 2));
+        sim.with_component::<Apic, _, _>(apic, |a| {
+            assert_eq!(a.delivered(), 3);
+            assert_eq!(a.dropped(), 1, "ds3 has no route");
+        });
+    }
+
+    #[test]
+    fn routes_can_be_reprogrammed_and_cleared() {
+        let routes = ApicRoutes::new(4);
+        let a = ComponentId::from_raw(1);
+        let b = ComponentId::from_raw(2);
+        routes.set(DsId::new(0), a);
+        routes.set(DsId::new(0), b);
+        assert_eq!(routes.get(DsId::new(0)), Some(b));
+        routes.clear(DsId::new(0));
+        assert_eq!(routes.get(DsId::new(0)), None);
+        // Out-of-range is a no-op.
+        routes.set(DsId::new(100), a);
+        assert_eq!(routes.get(DsId::new(100)), None);
+    }
+}

@@ -1,0 +1,282 @@
+//! The I/O bridge and its control plane.
+
+use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable};
+use pard_icn::{cpu_cycles, DsId, PardEvent, TickKind};
+use pard_sim::{Component, ComponentId, Ctx, Time};
+
+/// Configuration of the [`IoBridge`].
+#[derive(Debug, Clone)]
+pub struct IoBridgeConfig {
+    /// Latency added per forwarded packet (PCIe-ish hop).
+    pub hop_latency: Time,
+    /// Statistics-window length.
+    pub window: Time,
+    /// DS-id rows in the control-plane tables.
+    pub max_ds: usize,
+    /// Trigger-table slots.
+    pub trigger_slots: usize,
+}
+
+impl Default for IoBridgeConfig {
+    fn default() -> Self {
+        IoBridgeConfig {
+            hop_latency: cpu_cycles(200),
+            window: Time::from_us(100),
+            max_ds: 256,
+            trigger_slots: 16,
+        }
+    }
+}
+
+/// Builds the I/O-bridge control plane (`type` code `B`, Fig. 6).
+///
+/// Parameters: `enable` (1 = forward traffic for the DS-id; 0 = drop — the
+/// bridge-level isolation knob). Statistics: per-DS-id `dma_bytes` and
+/// `reqs` over the run.
+pub fn bridge_control_plane(max_ds: usize, trigger_slots: usize) -> ControlPlane {
+    let params = DsTable::new(
+        "parameter",
+        vec![ColumnDef::with_default("enable", 1)],
+        max_ds,
+    );
+    let stats = DsTable::new(
+        "statistics",
+        vec![ColumnDef::new("dma_bytes"), ColumnDef::new("reqs")],
+        max_ds,
+    );
+    ControlPlane::new("BRIDGE_CP", CpType::Bridge, params, stats, trigger_slots)
+}
+
+/// The I/O bridge: the accounting hop between cores, devices, and memory.
+///
+/// * Core-to-device traffic ([`PardEvent::DiskReq`], [`PardEvent::Pio`]) is
+///   forwarded to the IDE controller.
+/// * Device-to-memory DMA ([`PardEvent::MemReq`] with `dma = true`) is
+///   forwarded to the memory controller, accumulating per-DS-id byte
+///   counts in the control plane's statistics table. Responses flow from
+///   the memory controller straight back to the device (`reply_to` is
+///   preserved), so the bridge is a one-way accounting hop.
+pub struct IoBridge {
+    cfg: IoBridgeConfig,
+    cp: CpHandle,
+    ide: ComponentId,
+    mem_ctrl: ComponentId,
+    // Locally accumulated, flushed at window boundaries.
+    win_bytes: Vec<u64>,
+    win_reqs: Vec<u64>,
+    dropped: u64,
+    window_armed: bool,
+}
+
+impl IoBridge {
+    /// Creates a bridge and returns it with its control-plane handle.
+    pub fn new(cfg: IoBridgeConfig) -> (Self, CpHandle) {
+        let cp = shared(bridge_control_plane(cfg.max_ds, cfg.trigger_slots));
+        let bridge = IoBridge {
+            ide: ComponentId::UNWIRED,
+            mem_ctrl: ComponentId::UNWIRED,
+            win_bytes: vec![0; cfg.max_ds],
+            win_reqs: vec![0; cfg.max_ds],
+            dropped: 0,
+            window_armed: false,
+            cp: cp.clone(),
+            cfg,
+        };
+        (bridge, cp)
+    }
+
+    /// Wires the downstream IDE controller.
+    pub fn set_ide(&mut self, id: ComponentId) {
+        self.ide = id;
+    }
+
+    /// Wires the memory controller.
+    pub fn set_mem_ctrl(&mut self, id: ComponentId) {
+        self.mem_ctrl = id;
+    }
+
+    /// The control-plane handle.
+    pub fn control_plane(&self) -> &CpHandle {
+        &self.cp
+    }
+
+    /// Packets dropped because their DS-id was disabled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn enabled(&self, ds: DsId) -> bool {
+        self.cp.lock().param(ds, "enable") != Ok(0)
+    }
+
+    fn account(&mut self, ds: DsId, bytes: u64) {
+        if ds.index() < self.cfg.max_ds {
+            self.win_bytes[ds.index()] += bytes;
+            self.win_reqs[ds.index()] += 1;
+        }
+    }
+
+    fn on_window(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
+        let now = ctx.now();
+        {
+            let mut cp = self.cp.lock();
+            for i in 0..self.cfg.max_ds {
+                if self.win_reqs[i] == 0 {
+                    continue;
+                }
+                let ds = DsId::new(i as u16);
+                let _ = cp.add_stat(ds, "dma_bytes", self.win_bytes[i]);
+                let _ = cp.add_stat(ds, "reqs", self.win_reqs[i]);
+                cp.evaluate_triggers(ds, now);
+                self.win_bytes[i] = 0;
+                self.win_reqs[i] = 0;
+            }
+        }
+        let window = self.cfg.window;
+        ctx.send(ctx.self_id(), window, PardEvent::Tick(TickKind::CpWindow));
+    }
+}
+
+impl Component<PardEvent> for IoBridge {
+    fn name(&self) -> &str {
+        "io-bridge"
+    }
+
+    fn handle(&mut self, ev: PardEvent, ctx: &mut Ctx<'_, PardEvent>) {
+        if !self.window_armed {
+            self.window_armed = true;
+            let window = self.cfg.window;
+            ctx.send(ctx.self_id(), window, PardEvent::Tick(TickKind::CpWindow));
+        }
+        match ev {
+            PardEvent::DiskReq(req) => {
+                if self.enabled(req.ds) {
+                    let hop = self.cfg.hop_latency;
+                    ctx.send(self.ide, hop, PardEvent::DiskReq(req));
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            PardEvent::Pio(pio) => {
+                if self.enabled(pio.ds) {
+                    let hop = self.cfg.hop_latency;
+                    ctx.send(self.ide, hop, PardEvent::Pio(pio));
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            PardEvent::MemReq(pkt) => {
+                debug_assert!(pkt.dma, "non-DMA memory traffic through the bridge");
+                if self.enabled(pkt.ds) {
+                    self.account(pkt.ds, u64::from(pkt.size));
+                    let hop = self.cfg.hop_latency;
+                    ctx.send(self.mem_ctrl, hop, PardEvent::MemReq(pkt));
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            PardEvent::Tick(TickKind::CpWindow) => self.on_window(ctx),
+            other => debug_assert!(false, "bridge received unexpected event {other:?}"),
+        }
+    }
+
+    pard_sim::impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_icn::{DiskKind, DiskRequest, LAddr, MemKind, MemPacket, PacketId};
+    use pard_sim::Simulation;
+
+    struct Sink {
+        disk_reqs: u64,
+        mem_reqs: u64,
+    }
+
+    impl Component<PardEvent> for Sink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn handle(&mut self, ev: PardEvent, _ctx: &mut Ctx<'_, PardEvent>) {
+            match ev {
+                PardEvent::DiskReq(_) => self.disk_reqs += 1,
+                PardEvent::MemReq(_) => self.mem_reqs += 1,
+                _ => {}
+            }
+        }
+        pard_sim::impl_as_any!();
+    }
+
+    fn rig() -> (Simulation<PardEvent>, ComponentId, ComponentId, CpHandle) {
+        let mut sim = Simulation::new();
+        let (mut bridge, cp) = IoBridge::new(IoBridgeConfig {
+            max_ds: 8,
+            ..IoBridgeConfig::default()
+        });
+        let sink = sim.add_component(Box::new(Sink {
+            disk_reqs: 0,
+            mem_reqs: 0,
+        }));
+        bridge.set_ide(sink);
+        bridge.set_mem_ctrl(sink);
+        let bridge = sim.add_component(Box::new(bridge));
+        (sim, bridge, sink, cp)
+    }
+
+    fn disk_req(ds: u16, reply: ComponentId) -> PardEvent {
+        PardEvent::DiskReq(DiskRequest {
+            id: PacketId(1),
+            ds: DsId::new(ds),
+            disk: 0,
+            kind: DiskKind::Write,
+            buffer: LAddr::ZERO,
+            bytes: 4096,
+            reply_to: reply,
+            issued_at: Time::ZERO,
+        })
+    }
+
+    fn dma(ds: u16, reply: ComponentId, size: u32) -> PardEvent {
+        PardEvent::MemReq(MemPacket {
+            id: PacketId(2),
+            ds: DsId::new(ds),
+            addr: LAddr::ZERO,
+            kind: MemKind::Read,
+            size,
+            reply_to: reply,
+            issued_at: Time::ZERO,
+            dma: true,
+        })
+    }
+
+    #[test]
+    fn forwards_and_accounts_dma_traffic() {
+        let (mut sim, bridge, sink, cp) = rig();
+        sim.post(bridge, Time::ZERO, disk_req(1, sink));
+        sim.post(bridge, Time::ZERO, dma(1, sink, 4096));
+        sim.post(bridge, Time::ZERO, dma(1, sink, 4096));
+        sim.run_until(Time::from_ms(1));
+        sim.with_component::<Sink, _, _>(sink, |s| {
+            assert_eq!(s.disk_reqs, 1);
+            assert_eq!(s.mem_reqs, 2);
+        });
+        let cp = cp.lock();
+        assert_eq!(cp.stat(DsId::new(1), "dma_bytes").unwrap(), 8192);
+        assert_eq!(cp.stat(DsId::new(1), "reqs").unwrap(), 2);
+    }
+
+    #[test]
+    fn disabled_ds_is_dropped() {
+        let (mut sim, bridge, sink, cp) = rig();
+        cp.lock().set_param(DsId::new(2), "enable", 0).unwrap();
+        sim.post(bridge, Time::ZERO, disk_req(2, sink));
+        sim.post(bridge, Time::ZERO, dma(2, sink, 64));
+        sim.run_until(Time::from_ms(1));
+        sim.with_component::<Sink, _, _>(sink, |s| {
+            assert_eq!(s.disk_reqs, 0);
+            assert_eq!(s.mem_reqs, 0);
+        });
+        sim.with_component::<IoBridge, _, _>(bridge, |b| assert_eq!(b.dropped(), 2));
+    }
+}

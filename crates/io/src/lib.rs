@@ -1,0 +1,31 @@
+//! # pard-io — the I/O subsystem
+//!
+//! Implements the paper's §4.1 I/O tagging mechanisms and the I/O-side
+//! control planes:
+//!
+//! * [`IoBridge`] — the hop between cores, devices, and memory; carries a
+//!   control plane accounting per-DS-id DMA traffic,
+//! * [`IdeCtrl`] — the disk controller: per-channel **DMA engines with tag
+//!   registers** (initialised by the DS-id riding on the driver's
+//!   descriptor write, then attached to every data transfer), per-DS-id
+//!   **bandwidth quotas** programmed through its control plane (the
+//!   Figure 10 experiment), and completion interrupts tagged with the DMA
+//!   engine's DS-id,
+//! * [`Apic`] — the augmented interrupt controller with one **interrupt
+//!   route table per DS-id**: a tagged interrupt is delivered to the core
+//!   that the firmware routed for that LDom,
+//! * [`Nic`] — the multi-queue NIC virtualised into v-NICs: an incoming
+//!   frame's destination MAC selects a v-NIC, whose tag register supplies
+//!   the DS-id for the receive DMA and interrupt.
+
+#![warn(missing_docs)]
+
+mod apic;
+mod bridge;
+mod ide;
+mod nic;
+
+pub use apic::{Apic, ApicRoutes, VEC_IDE, VEC_NIC};
+pub use bridge::{bridge_control_plane, IoBridge, IoBridgeConfig};
+pub use ide::{ide_control_plane, DiskProgress, IdeConfig, IdeCtrl};
+pub use nic::{mac_to_u64, nic_control_plane, u64_to_mac, Nic, NicConfig};

@@ -1,0 +1,44 @@
+//! Property-based tests of the I/O subsystem's pure logic.
+
+use pard_icn::DsId;
+use pard_io::{mac_to_u64, u64_to_mac, ApicRoutes};
+use pard_sim::ComponentId;
+use proptest::prelude::*;
+
+proptest! {
+    /// MAC packing round-trips for any address.
+    #[test]
+    fn mac_codec_round_trips(mac in any::<[u8; 6]>()) {
+        prop_assert_eq!(u64_to_mac(mac_to_u64(mac)), mac);
+    }
+
+    /// Packed MACs stay within 48 bits and are injective on random pairs.
+    #[test]
+    fn mac_packing_is_48_bit_and_injective(a in any::<[u8; 6]>(), b in any::<[u8; 6]>()) {
+        let pa = mac_to_u64(a);
+        let pb = mac_to_u64(b);
+        prop_assert!(pa < (1u64 << 48));
+        prop_assert_eq!(pa == pb, a == b);
+    }
+
+    /// APIC route tables behave like a map keyed by DS-id, for any
+    /// interleaving of set/clear operations.
+    #[test]
+    fn apic_routes_are_a_map(ops in prop::collection::vec((0u16..16, 0u32..8, any::<bool>()), 1..100)) {
+        let routes = ApicRoutes::new(16);
+        let mut model = std::collections::HashMap::new();
+        for &(ds, core, clear) in &ops {
+            if clear {
+                routes.clear(DsId::new(ds));
+                model.remove(&ds);
+            } else {
+                routes.set(DsId::new(ds), ComponentId::from_raw(core));
+                model.insert(ds, core);
+            }
+            for d in 0..16u16 {
+                let expected = model.get(&d).map(|&c| ComponentId::from_raw(c));
+                prop_assert_eq!(routes.get(DsId::new(d)), expected);
+            }
+        }
+    }
+}

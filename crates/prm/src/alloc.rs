@@ -1,0 +1,159 @@
+//! Machine-memory allocation for LDoms.
+
+use crate::error::FwError;
+
+/// A first-fit allocator over the server's machine-physical memory.
+///
+/// LDom creation carves a contiguous region out of DRAM and programs its
+/// base/limit into the memory control plane; destruction returns the
+/// region (with coalescing).
+///
+/// # Example
+///
+/// ```
+/// use pard_prm::MemAllocator;
+/// let mut a = MemAllocator::new(1 << 30);
+/// let r1 = a.allocate(256 << 20).unwrap();
+/// let r2 = a.allocate(256 << 20).unwrap();
+/// assert_ne!(r1, r2);
+/// a.free(r1, 256 << 20);
+/// assert_eq!(a.free_bytes(), (1 << 30) - (256 << 20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemAllocator {
+    capacity: u64,
+    /// Sorted, disjoint free extents `(base, size)`.
+    free: Vec<(u64, u64)>,
+}
+
+impl MemAllocator {
+    /// Creates an allocator over `capacity` bytes starting at address 0.
+    pub fn new(capacity: u64) -> Self {
+        MemAllocator {
+            capacity,
+            free: vec![(0, capacity)],
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Total free bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Allocates `bytes` contiguously, returning the base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FwError::OutOfMemory`] when no free extent is large
+    /// enough.
+    pub fn allocate(&mut self, bytes: u64) -> Result<u64, FwError> {
+        if bytes == 0 {
+            return Err(FwError::BadValue("zero-byte allocation".into()));
+        }
+        for i in 0..self.free.len() {
+            let (base, size) = self.free[i];
+            if size >= bytes {
+                if size == bytes {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (base + bytes, size - bytes);
+                }
+                return Ok(base);
+            }
+        }
+        Err(FwError::OutOfMemory {
+            requested: bytes,
+            largest_free: self.free.iter().map(|&(_, s)| s).max().unwrap_or(0),
+        })
+    }
+
+    /// Returns a previously allocated region, coalescing neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the region overlaps a free extent — that means a
+    /// double free.
+    pub fn free(&mut self, base: u64, bytes: u64) {
+        debug_assert!(
+            !self
+                .free
+                .iter()
+                .any(|&(b, s)| base < b + s && b < base + bytes),
+            "double free of [{base:#x}, +{bytes:#x})"
+        );
+        let pos = self.free.partition_point(|&(b, _)| b < base);
+        self.free.insert(pos, (base, bytes));
+        // Coalesce around the insertion point.
+        if pos + 1 < self.free.len() {
+            let (b, s) = self.free[pos];
+            let (nb, ns) = self.free[pos + 1];
+            if b + s == nb {
+                self.free[pos] = (b, s + ns);
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (pb, ps) = self.free[pos - 1];
+            let (b, s) = self.free[pos];
+            if pb + ps == b {
+                self.free[pos - 1] = (pb, ps + s);
+                self.free.remove(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_and_exhaustion() {
+        let mut a = MemAllocator::new(100);
+        assert_eq!(a.allocate(40).unwrap(), 0);
+        assert_eq!(a.allocate(60).unwrap(), 40);
+        match a.allocate(1) {
+            Err(FwError::OutOfMemory { largest_free, .. }) => assert_eq!(largest_free, 0),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_coalesces_both_sides() {
+        let mut a = MemAllocator::new(300);
+        let r1 = a.allocate(100).unwrap();
+        let r2 = a.allocate(100).unwrap();
+        let r3 = a.allocate(100).unwrap();
+        a.free(r1, 100);
+        a.free(r3, 100);
+        assert_eq!(a.free_bytes(), 200);
+        a.free(r2, 100);
+        assert_eq!(a.free, vec![(0, 300)]);
+        // Everything coalesced: a full-capacity allocation succeeds.
+        assert_eq!(a.allocate(300).unwrap(), 0);
+    }
+
+    #[test]
+    fn fragmentation_is_reported() {
+        let mut a = MemAllocator::new(300);
+        let _r1 = a.allocate(100).unwrap();
+        let r2 = a.allocate(100).unwrap();
+        let _r3 = a.allocate(100).unwrap();
+        a.free(r2, 100);
+        match a.allocate(150) {
+            Err(FwError::OutOfMemory { largest_free, .. }) => assert_eq!(largest_free, 100),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_allocation_rejected() {
+        let mut a = MemAllocator::new(10);
+        assert!(a.allocate(0).is_err());
+    }
+}

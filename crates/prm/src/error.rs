@@ -1,0 +1,107 @@
+//! Firmware errors.
+
+use std::error::Error;
+use std::fmt;
+
+use pard_cp::CpError;
+
+/// An error produced by the PRM firmware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FwError {
+    /// No node at the given device-file-tree path.
+    NoSuchPath(String),
+    /// The path names a directory where a file was needed (or vice versa).
+    NotAFile(String),
+    /// The file does not support the attempted operation.
+    ReadOnly(String),
+    /// A value failed to parse as a number.
+    BadValue(String),
+    /// A control-plane access failed.
+    Cp(CpError),
+    /// No LDom with the given DS-id.
+    NoSuchLDom(u16),
+    /// Not enough machine memory to satisfy an allocation.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Largest contiguous free block.
+        largest_free: u64,
+    },
+    /// All DS-ids are in use.
+    OutOfDsIds,
+    /// A `pardscript` program failed.
+    Script {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the failure.
+        message: String,
+    },
+    /// A shell command could not be parsed.
+    BadCommand(String),
+    /// The trigger file's content does not name a registered action.
+    NoSuchAction(String),
+}
+
+impl fmt::Display for FwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FwError::NoSuchPath(p) => write!(f, "no such path: {p}"),
+            FwError::NotAFile(p) => write!(f, "not a regular file: {p}"),
+            FwError::ReadOnly(p) => write!(f, "read-only file: {p}"),
+            FwError::BadValue(v) => write!(f, "cannot parse value {v:?}"),
+            FwError::Cp(e) => write!(f, "control-plane error: {e}"),
+            FwError::NoSuchLDom(ds) => write!(f, "no LDom with ds-id {ds}"),
+            FwError::OutOfMemory {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "out of machine memory: requested {requested} bytes, largest free block {largest_free}"
+            ),
+            FwError::OutOfDsIds => write!(f, "no free DS-ids"),
+            FwError::Script { line, message } => {
+                write!(f, "script error at line {line}: {message}")
+            }
+            FwError::BadCommand(c) => write!(f, "cannot parse command {c:?}"),
+            FwError::NoSuchAction(a) => write!(f, "no registered action {a:?}"),
+        }
+    }
+}
+
+impl Error for FwError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FwError::Cp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CpError> for FwError {
+    fn from(e: CpError) -> Self {
+        FwError::Cp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(FwError::NoSuchPath("/x".into()).to_string().contains("/x"));
+        assert!(FwError::NoSuchLDom(7).to_string().contains('7'));
+        let e = FwError::Script {
+            line: 3,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn cp_errors_convert_and_chain() {
+        let e: FwError = CpError::BadCommand(9).into();
+        assert!(e.source().is_some());
+    }
+}

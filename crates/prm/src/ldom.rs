@@ -1,0 +1,101 @@
+//! Logical-domain specifications.
+
+use pard_icn::DsId;
+use pard_sim::Time;
+
+/// Scheduling priority of an LDom, mapped to the memory control plane's
+/// priority class and row-buffer grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Normal (batch) priority: low memory-scheduling class.
+    #[default]
+    Normal,
+    /// High (latency-critical) priority: high memory-scheduling class and
+    /// use of the per-bank high-priority row buffer.
+    High,
+}
+
+/// A request to create an LDom: a fully-virtualised submachine owning CPU
+/// cores, memory capacity, and storage (paper §3, footnote 3).
+#[derive(Debug, Clone)]
+pub struct LDomSpec {
+    /// Human-readable name (shows up in the firmware log).
+    pub name: String,
+    /// Indices into the server's core list.
+    pub cores: Vec<usize>,
+    /// Memory capacity in bytes (contiguous machine-physical allocation).
+    pub mem_bytes: u64,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Optional disk-bandwidth quota in percent.
+    pub disk_quota_pct: Option<u64>,
+    /// Optional v-NIC MAC address.
+    pub mac: Option<[u8; 6]>,
+}
+
+impl LDomSpec {
+    /// Creates a normal-priority spec.
+    pub fn new(name: impl Into<String>, cores: Vec<usize>, mem_bytes: u64) -> Self {
+        LDomSpec {
+            name: name.into(),
+            cores,
+            mem_bytes,
+            priority: Priority::Normal,
+            disk_quota_pct: None,
+            mac: None,
+        }
+    }
+
+    /// Marks the LDom latency-critical.
+    pub fn high_priority(mut self) -> Self {
+        self.priority = Priority::High;
+        self
+    }
+
+    /// Sets a disk-bandwidth quota.
+    pub fn disk_quota(mut self, pct: u64) -> Self {
+        self.disk_quota_pct = Some(pct);
+        self
+    }
+
+    /// Attaches a v-NIC with the given MAC.
+    pub fn with_mac(mut self, mac: [u8; 6]) -> Self {
+        self.mac = Some(mac);
+        self
+    }
+}
+
+/// A created LDom.
+#[derive(Debug, Clone)]
+pub struct LDomInfo {
+    /// The DS-id assigned by the firmware.
+    pub ds: DsId,
+    /// The creation spec.
+    pub spec: LDomSpec,
+    /// Machine-physical base of the LDom's memory.
+    pub mem_base: u64,
+    /// Firmware time of creation.
+    pub created_at: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let spec = LDomSpec::new("mc", vec![0], 1 << 30)
+            .high_priority()
+            .disk_quota(80)
+            .with_mac([2, 0, 0, 0, 0, 1]);
+        assert_eq!(spec.priority, Priority::High);
+        assert_eq!(spec.disk_quota_pct, Some(80));
+        assert!(spec.mac.is_some());
+        assert_eq!(spec.cores, vec![0]);
+    }
+
+    #[test]
+    fn default_priority_is_normal() {
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+}

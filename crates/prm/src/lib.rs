@@ -1,0 +1,41 @@
+//! # pard-prm — the platform resource manager
+//!
+//! PARD's third and fourth mechanisms (§3 ③④, §5): an IPMI-like embedded
+//! system running a Linux-based firmware that
+//!
+//! * connects to every control plane through **control-plane adaptors**
+//!   (CPAs) mapped into a 64 KB I/O window,
+//! * abstracts the control planes as a **device file tree**
+//!   (`/sys/cpa/cpaN/ldoms/ldomM/{parameters,statistics,triggers}`)
+//!   accessible with `cat`/`echo`-style operations ([`Firmware::read`],
+//!   [`Firmware::write`], [`Firmware::shell`]),
+//! * manages **logical domains** (LDoms): DS-id assignment, machine-memory
+//!   allocation, control-plane programming, interrupt routing
+//!   ([`Firmware::create_ldom`]),
+//! * implements the **"trigger ⇒ action"** methodology: triggers installed
+//!   into control-plane trigger tables (via [`Firmware::pardtrigger`])
+//!   raise interrupts that the firmware dispatches to *actions* — either
+//!   [`pardscript`](crate::script) shell scripts (the paper's Example 2)
+//!   or native Rust hooks.
+//!
+//! The [`Prm`] component gives the firmware its place on the simulated
+//! machine: it polls the interrupt sink at the firmware's service interval
+//! (modelling the 100 MHz management core's latency) and issues queued
+//! core-control commands.
+
+#![warn(missing_docs)]
+
+mod alloc;
+mod error;
+mod firmware;
+mod ldom;
+mod prm;
+pub mod script;
+mod tree;
+
+pub use alloc::MemAllocator;
+pub use error::FwError;
+pub use firmware::{Action, ActionEnv, Firmware, FirmwareConfig, FwHandle, NativeAction};
+pub use ldom::{LDomInfo, LDomSpec, Priority};
+pub use prm::Prm;
+pub use tree::{DeviceFileTree, Node};

@@ -1,0 +1,157 @@
+//! The PRM component: the firmware's seat on the simulated machine.
+
+use pard_icn::{PardEvent, TickKind};
+use pard_sim::{Component, Ctx, Time};
+
+use crate::firmware::FwHandle;
+
+/// The platform-resource-manager component.
+///
+/// The PRM is an embedded SoC (Table 2: one 100 MHz core, 16 MB DRAM)
+/// polling its control-plane adaptors. This component models that service
+/// loop: every `poll` interval it advances the firmware clock, services
+/// pending control-plane interrupts (dispatching trigger actions), and
+/// issues any core-control commands the firmware queued (LDom tag loads,
+/// launches, stops).
+///
+/// The poll interval is the reaction latency of the whole
+/// "trigger ⇒ action" path — a property the ablation benchmarks measure.
+pub struct Prm {
+    fw: FwHandle,
+    poll: Time,
+    armed: bool,
+    interrupts_serviced: u64,
+}
+
+impl Prm {
+    /// Creates the component around a firmware handle.
+    pub fn new(fw: FwHandle, poll: Time) -> Self {
+        Prm {
+            fw,
+            poll,
+            armed: false,
+            interrupts_serviced: 0,
+        }
+    }
+
+    /// The firmware handle.
+    pub fn firmware(&self) -> &FwHandle {
+        &self.fw
+    }
+
+    /// Total interrupts serviced.
+    pub fn interrupts_serviced(&self) -> u64 {
+        self.interrupts_serviced
+    }
+
+    fn service(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
+        let cmds = {
+            let mut fw = self.fw.lock();
+            fw.set_now(ctx.now());
+            self.interrupts_serviced += fw.service_interrupts() as u64;
+            fw.take_core_cmds()
+        };
+        for (core, cmd) in cmds {
+            ctx.send(core, Time::ZERO, PardEvent::CoreCtl(cmd));
+        }
+    }
+}
+
+impl Component<PardEvent> for Prm {
+    fn name(&self) -> &str {
+        "prm"
+    }
+
+    fn handle(&mut self, ev: PardEvent, ctx: &mut Ctx<'_, PardEvent>) {
+        match ev {
+            PardEvent::Tick(TickKind::Prm) => {
+                self.service(ctx);
+                self.armed = true;
+                let poll = self.poll;
+                ctx.send(ctx.self_id(), poll, PardEvent::Tick(TickKind::Prm));
+            }
+            // Any other event acts as a doorbell: service immediately.
+            _ => self.service(ctx),
+        }
+    }
+
+    pard_sim::impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firmware::{Action, Firmware, FirmwareConfig};
+    use crate::ldom::LDomSpec;
+    use pard_cp::{shared, CmpOp};
+    use pard_icn::CoreCommand;
+    use pard_sim::Simulation;
+
+    struct CoreStub {
+        cmds: Vec<CoreCommand>,
+    }
+
+    impl Component<PardEvent> for CoreStub {
+        fn name(&self) -> &str {
+            "corestub"
+        }
+        fn handle(&mut self, ev: PardEvent, _ctx: &mut Ctx<'_, PardEvent>) {
+            if let PardEvent::CoreCtl(cmd) = ev {
+                self.cmds.push(cmd);
+            }
+        }
+        pard_sim::impl_as_any!();
+    }
+
+    #[test]
+    fn prm_polls_interrupts_and_delivers_core_commands() {
+        let mut sim: Simulation<PardEvent> = Simulation::new();
+        let core = sim.add_component(Box::new(CoreStub { cmds: Vec::new() }));
+
+        let mut fw = Firmware::new(FirmwareConfig {
+            mem_capacity: 1 << 30,
+            max_ds: 8,
+        });
+        let cache = shared(pard_cache::llc_control_plane(8, 4));
+        fw.register_cpa(cache.clone());
+        fw.set_cores(vec![core]);
+        let ds = fw
+            .create_ldom(LDomSpec::new("t", vec![0], 1 << 20))
+            .unwrap();
+        fw.pardtrigger(0, ds, 0, "miss_rate", CmpOp::Gt, 30)
+            .unwrap();
+        fw.register_action(
+            "fix",
+            Action::Native(Box::new(|fw, _env| fw.log("action ran"))),
+        );
+        fw.write("/sys/cpa/cpa0/ldoms/ldom0/triggers/0", "fix")
+            .unwrap();
+        fw.launch_ldom(ds).unwrap();
+        let fw = fw.into_handle();
+
+        let prm = sim.add_component(Box::new(Prm::new(fw.clone(), Time::from_us(100))));
+        sim.post(prm, Time::ZERO, PardEvent::Tick(TickKind::Prm));
+
+        // Fire the trigger from the "hardware" side.
+        {
+            let mut cp = cache.lock();
+            cp.set_stat(ds, "miss_rate", 50).unwrap();
+            cp.evaluate_triggers(ds, Time::from_us(150));
+        }
+        sim.run_until(Time::from_ms(1));
+
+        sim.with_component::<CoreStub, _, _>(core, |c| {
+            assert_eq!(
+                c.cmds,
+                vec![CoreCommand::SetTag(0), CoreCommand::Start],
+                "tag load then launch"
+            );
+        });
+        sim.with_component::<Prm, _, _>(prm, |p| assert_eq!(p.interrupts_serviced(), 1));
+        assert!(fw
+            .lock()
+            .log_entries()
+            .iter()
+            .any(|(_, m)| m == "action ran"));
+    }
+}

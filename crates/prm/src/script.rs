@@ -1,0 +1,626 @@
+//! `pardscript` — the firmware's action-script language.
+//!
+//! The paper's trigger handlers are shell scripts (Fig. 6, Example 2):
+//!
+//! ```sh
+//! #!/bin/sh
+//! echo "<log message>" > /log/triggers.log
+//! cur_mask=$(cat /sys/cpa/.../waymask)
+//! miss_rate=$(cat /sys/cpa/.../miss_rate)
+//! new_mask=$((cur_mask | 0xFF00))
+//! echo $new_mask > /sys/cpa/.../waymask
+//! ```
+//!
+//! `pardscript` implements the shell subset those handlers need:
+//! assignments (`x=…`, `x=$(cat PATH)`, `x=$((EXPR))`), `echo VALUE >
+//! PATH`, `log MESSAGE`, `if [ A -op B ]; then … else … fi` (nestable),
+//! `exit`, comments, and `$VAR` / `${VAR}` expansion everywhere.
+//! Arithmetic supports decimal and `0x` literals with
+//! `+ - * / % & | ^ << >>` and parentheses (all `u64`, wrapping).
+
+use std::collections::HashMap;
+
+use crate::error::FwError;
+
+/// The I/O surface a script runs against — implemented by the firmware
+/// (`cat`/`echo` walk the device file tree, `log` appends to the firmware
+/// log).
+pub trait ScriptIo {
+    /// `cat PATH`.
+    fn cat(&mut self, path: &str) -> Result<String, FwError>;
+    /// `echo VALUE > PATH`.
+    fn echo(&mut self, path: &str, value: &str) -> Result<(), FwError>;
+    /// `log MESSAGE`.
+    fn log(&mut self, message: &str);
+}
+
+/// Script variables.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    vars: HashMap<String, String>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a variable.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    /// Reads a variable (empty string when unset, like the shell).
+    pub fn get(&self, name: &str) -> &str {
+        self.vars.get(name).map_or("", String::as_str)
+    }
+}
+
+/// Expands `$VAR` and `${VAR}` references in `s`.
+pub fn expand(s: &str, env: &Env) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'$' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'{' {
+                if let Some(end) = s[i + 2..].find('}') {
+                    out.push_str(env.get(&s[i + 2..i + 2 + end]));
+                    i += 2 + end + 1;
+                    continue;
+                }
+            } else if bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_' {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                out.push_str(env.get(&s[i + 1..j]));
+                i = j;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// Parses a decimal or `0x` numeric literal.
+pub fn parse_num(s: &str) -> Result<u64, FwError> {
+    let t = s.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    };
+    parsed.map_err(|_| FwError::BadValue(t.to_string()))
+}
+
+// ---------------------------------------------------------------- arithmetic
+
+struct ExprParser<'a> {
+    tokens: Vec<&'a str>,
+    pos: usize,
+    env: &'a Env,
+}
+
+fn tokenize_expr(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            c if c.is_ascii_whitespace() => i += 1,
+            b'<' | b'>' if i + 1 < b.len() && b[i + 1] == b[i] => {
+                out.push(&s[i..i + 2]);
+                i += 2;
+            }
+            b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^' | b'(' | b')' => {
+                out.push(&s[i..i + 1]);
+                i += 1;
+            }
+            _ => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || b[i] == b'x'
+                        || b[i] == b'X')
+                {
+                    i += 1;
+                }
+                if i == start {
+                    // Unknown character; emit it as a token so parsing fails
+                    // with a useful message.
+                    out.push(&s[i..i + 1]);
+                    i += 1;
+                } else {
+                    out.push(&s[start..i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl<'a> ExprParser<'a> {
+    fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<&'a str> {
+        let t = self.peek();
+        self.pos += 1;
+        t
+    }
+
+    fn primary(&mut self) -> Result<u64, FwError> {
+        match self.bump() {
+            Some("(") => {
+                let v = self.expr(0)?;
+                if self.bump() != Some(")") {
+                    return Err(FwError::BadValue("missing )".into()));
+                }
+                Ok(v)
+            }
+            Some("-") => Ok(self.primary()?.wrapping_neg()),
+            Some(tok) => parse_num(tok).or_else(|e| {
+                // Shell arithmetic resolves bare identifiers as variables.
+                if tok
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                {
+                    parse_num(self.env.get(tok))
+                } else {
+                    Err(e)
+                }
+            }),
+            None => Err(FwError::BadValue("empty expression".into())),
+        }
+    }
+
+    fn binding_power(op: &str) -> Option<(u8, u8)> {
+        Some(match op {
+            "|" => (1, 2),
+            "^" => (3, 4),
+            "&" => (5, 6),
+            "<<" | ">>" => (7, 8),
+            "+" | "-" => (9, 10),
+            "*" | "/" | "%" => (11, 12),
+            _ => return None,
+        })
+    }
+
+    fn expr(&mut self, min_bp: u8) -> Result<u64, FwError> {
+        let mut lhs = self.primary()?;
+        while let Some(op) = self.peek() {
+            let Some((lbp, rbp)) = Self::binding_power(op) else {
+                break;
+            };
+            if lbp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr(rbp)?;
+            lhs = match op {
+                "+" => lhs.wrapping_add(rhs),
+                "-" => lhs.wrapping_sub(rhs),
+                "*" => lhs.wrapping_mul(rhs),
+                "/" => lhs.checked_div(rhs).unwrap_or(0),
+                "%" => lhs.checked_rem(rhs).unwrap_or(0),
+                "&" => lhs & rhs,
+                "|" => lhs | rhs,
+                "^" => lhs ^ rhs,
+                "<<" => lhs.wrapping_shl(rhs as u32),
+                ">>" => lhs.wrapping_shr(rhs as u32),
+                _ => unreachable!(),
+            };
+        }
+        Ok(lhs)
+    }
+}
+
+/// Evaluates an arithmetic expression (after variable expansion).
+pub fn eval_expr(expr: &str, env: &Env) -> Result<u64, FwError> {
+    let expanded = expand(expr, env);
+    let mut p = ExprParser {
+        tokens: tokenize_expr(&expanded),
+        pos: 0,
+        env,
+    };
+    let v = p.expr(0)?;
+    if p.pos != p.tokens.len() {
+        return Err(FwError::BadValue(format!(
+            "trailing tokens in expression {expr:?}"
+        )));
+    }
+    Ok(v)
+}
+
+// ------------------------------------------------------------- interpreter
+
+#[derive(Debug)]
+enum Stmt {
+    Log(String),
+    Assign {
+        var: String,
+        value: RValue,
+    },
+    Echo {
+        value: String,
+        path: String,
+    },
+    If {
+        lhs: String,
+        op: String,
+        rhs: String,
+        then_body: Vec<(usize, Stmt)>,
+        else_body: Vec<(usize, Stmt)>,
+    },
+    Exit,
+}
+
+#[derive(Debug)]
+enum RValue {
+    Literal(String),
+    Cat(String),
+    Arith(String),
+}
+
+fn script_err(line: usize, message: impl Into<String>) -> FwError {
+    FwError::Script {
+        line,
+        message: message.into(),
+    }
+}
+
+fn strip_quotes(s: &str) -> &str {
+    let t = s.trim();
+    if t.len() >= 2 && (t.starts_with('"') && t.ends_with('"')) {
+        &t[1..t.len() - 1]
+    } else {
+        t
+    }
+}
+
+fn parse_block(
+    lines: &[(usize, &str)],
+    cursor: &mut usize,
+    in_if: bool,
+) -> Result<Vec<(usize, Stmt)>, FwError> {
+    let mut body = Vec::new();
+    while *cursor < lines.len() {
+        let (lineno, raw) = lines[*cursor];
+        let line = raw.trim();
+        *cursor += 1;
+
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if in_if && (line == "fi" || line == "else") {
+            *cursor -= 1; // let the caller consume it
+            return Ok(body);
+        }
+        let stmt = if let Some(rest) = line.strip_prefix("log ") {
+            Stmt::Log(strip_quotes(rest).to_string())
+        } else if line == "exit" {
+            Stmt::Exit
+        } else if let Some(rest) = line.strip_prefix("echo ") {
+            let (value, path) = rest
+                .rsplit_once('>')
+                .ok_or_else(|| script_err(lineno, "echo without redirection"))?;
+            Stmt::Echo {
+                value: strip_quotes(value).to_string(),
+                path: path.trim().to_string(),
+            }
+        } else if let Some(rest) = line.strip_prefix("if ") {
+            // `if [ $x -gt 30 ]; then`
+            let cond = rest
+                .trim()
+                .strip_suffix("then")
+                .map(|c| c.trim().trim_end_matches(';').trim())
+                .ok_or_else(|| script_err(lineno, "if without then"))?;
+            let inner = cond
+                .strip_prefix('[')
+                .and_then(|c| c.strip_suffix(']'))
+                .ok_or_else(|| script_err(lineno, "condition must be [ a -op b ]"))?;
+            let parts: Vec<&str> = inner.split_whitespace().collect();
+            let [lhs, op, rhs] = parts[..] else {
+                return Err(script_err(lineno, "condition must have three terms"));
+            };
+            let then_body = parse_block(lines, cursor, true)?;
+            let mut else_body = Vec::new();
+            match lines.get(*cursor).map(|&(_, l)| l.trim()) {
+                Some("else") => {
+                    *cursor += 1;
+                    else_body = parse_block(lines, cursor, true)?;
+                    match lines.get(*cursor).map(|&(_, l)| l.trim()) {
+                        Some("fi") => *cursor += 1,
+                        _ => return Err(script_err(lineno, "if without fi")),
+                    }
+                }
+                Some("fi") => *cursor += 1,
+                _ => return Err(script_err(lineno, "if without fi")),
+            }
+            Stmt::If {
+                lhs: lhs.to_string(),
+                op: op.to_string(),
+                rhs: rhs.to_string(),
+                then_body,
+                else_body,
+            }
+        } else if let Some((var, rhs)) = line.split_once('=') {
+            let var = var.trim();
+            if var.is_empty() || !var.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(script_err(lineno, format!("bad statement {line:?}")));
+            }
+            let rhs = rhs.trim();
+            let value = if let Some(inner) =
+                rhs.strip_prefix("$((").and_then(|r| r.strip_suffix("))"))
+            {
+                RValue::Arith(inner.to_string())
+            } else if let Some(inner) = rhs.strip_prefix("$(").and_then(|r| r.strip_suffix(')')) {
+                let path = inner
+                    .trim()
+                    .strip_prefix("cat ")
+                    .ok_or_else(|| script_err(lineno, "only $(cat PATH) is supported"))?;
+                RValue::Cat(path.trim().to_string())
+            } else {
+                RValue::Literal(strip_quotes(rhs).to_string())
+            };
+            Stmt::Assign {
+                var: var.to_string(),
+                value,
+            }
+        } else {
+            return Err(script_err(lineno, format!("bad statement {line:?}")));
+        };
+        body.push((lineno, stmt));
+    }
+    if in_if {
+        Err(script_err(
+            lines.last().map(|&(n, _)| n).unwrap_or(0),
+            "if without fi",
+        ))
+    } else {
+        Ok(body)
+    }
+}
+
+fn eval_cond(lineno: usize, lhs: &str, op: &str, rhs: &str, env: &Env) -> Result<bool, FwError> {
+    let a = parse_num(&expand(lhs, env)).map_err(|e| script_err(lineno, e.to_string()))?;
+    let b = parse_num(&expand(rhs, env)).map_err(|e| script_err(lineno, e.to_string()))?;
+    Ok(match op {
+        "-gt" => a > b,
+        "-ge" => a >= b,
+        "-lt" => a < b,
+        "-le" => a <= b,
+        "-eq" => a == b,
+        "-ne" => a != b,
+        _ => return Err(script_err(lineno, format!("unknown operator {op}"))),
+    })
+}
+
+fn exec_block(
+    body: &[(usize, Stmt)],
+    env: &mut Env,
+    io: &mut dyn ScriptIo,
+) -> Result<bool, FwError> {
+    for (lineno, stmt) in body {
+        match stmt {
+            Stmt::Log(msg) => io.log(&expand(msg, env)),
+            Stmt::Exit => return Ok(false),
+            Stmt::Echo { value, path } => {
+                let value = expand(value, env);
+                let path = expand(path, env);
+                io.echo(&path, &value)
+                    .map_err(|e| script_err(*lineno, e.to_string()))?;
+            }
+            Stmt::Assign { var, value } => {
+                let v = match value {
+                    RValue::Literal(s) => expand(s, env),
+                    RValue::Cat(path) => {
+                        let path = expand(path, env);
+                        io.cat(&path)
+                            .map_err(|e| script_err(*lineno, e.to_string()))?
+                    }
+                    RValue::Arith(expr) => eval_expr(expr, env)
+                        .map_err(|e| script_err(*lineno, e.to_string()))?
+                        .to_string(),
+                };
+                env.set(var.clone(), v);
+            }
+            Stmt::If {
+                lhs,
+                op,
+                rhs,
+                then_body,
+                else_body,
+            } => {
+                let branch = if eval_cond(*lineno, lhs, op, rhs, env)? {
+                    then_body
+                } else {
+                    else_body
+                };
+                if !exec_block(branch, env, io)? {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Runs a `pardscript` program.
+///
+/// # Errors
+///
+/// Returns [`FwError::Script`] with the offending line on parse or
+/// execution failures; I/O errors from the firmware are wrapped likewise.
+pub fn run(source: &str, env: &mut Env, io: &mut dyn ScriptIo) -> Result<(), FwError> {
+    let lines: Vec<(usize, &str)> = source
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .collect();
+    let mut cursor = 0;
+    let program = parse_block(&lines, &mut cursor, false)?;
+    exec_block(&program, env, io)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct MockIo {
+        files: HashMap<String, String>,
+        logs: Vec<String>,
+    }
+
+    impl ScriptIo for MockIo {
+        fn cat(&mut self, path: &str) -> Result<String, FwError> {
+            self.files
+                .get(path)
+                .cloned()
+                .ok_or_else(|| FwError::NoSuchPath(path.to_string()))
+        }
+        fn echo(&mut self, path: &str, value: &str) -> Result<(), FwError> {
+            self.files.insert(path.to_string(), value.to_string());
+            Ok(())
+        }
+        fn log(&mut self, message: &str) {
+            self.logs.push(message.to_string());
+        }
+    }
+
+    #[test]
+    fn the_papers_example2_shape_runs() {
+        let mut io = MockIo::default();
+        io.files.insert(
+            "/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask".into(),
+            "255".into(),
+        );
+        io.files.insert(
+            "/sys/cpa/cpa0/ldoms/ldom0/statistics/miss_rate".into(),
+            "45".into(),
+        );
+        let script = r#"
+# trigger handler: widen the cache partition when thrashing
+log "llc trigger fired for ldom $DS"
+cur_mask=$(cat /sys/cpa/cpa0/ldoms/ldom$DS/parameters/waymask)
+miss_rate=$(cat /sys/cpa/cpa0/ldoms/ldom$DS/statistics/miss_rate)
+if [ $miss_rate -gt 30 ]; then
+    new_mask=$((cur_mask | 0xFF00))
+    echo $new_mask > /sys/cpa/cpa0/ldoms/ldom$DS/parameters/waymask
+fi
+"#;
+        let mut env = Env::new();
+        env.set("DS", "0");
+        run(script, &mut env, &mut io).unwrap();
+        assert_eq!(
+            io.files["/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask"],
+            (255u64 | 0xFF00).to_string()
+        );
+        assert_eq!(io.logs, vec!["llc trigger fired for ldom 0"]);
+    }
+
+    #[test]
+    fn else_branch_and_exit() {
+        let mut io = MockIo::default();
+        let script = r#"
+x=5
+if [ $x -gt 10 ]; then
+    log "big"
+else
+    log "small"
+    exit
+fi
+log "unreachable"
+"#;
+        run(script, &mut Env::new(), &mut io).unwrap();
+        assert_eq!(io.logs, vec!["small"]);
+    }
+
+    #[test]
+    fn nested_ifs() {
+        let mut io = MockIo::default();
+        let script = r#"
+a=1
+b=2
+if [ $a -eq 1 ]; then
+    if [ $b -eq 2 ]; then
+        log "both"
+    fi
+fi
+"#;
+        run(script, &mut Env::new(), &mut io).unwrap();
+        assert_eq!(io.logs, vec!["both"]);
+    }
+
+    #[test]
+    fn arithmetic_operators_and_precedence() {
+        let env = Env::new();
+        assert_eq!(eval_expr("1 + 2 * 3", &env).unwrap(), 7);
+        assert_eq!(eval_expr("(1 + 2) * 3", &env).unwrap(), 9);
+        assert_eq!(eval_expr("0xFF00 | 0x00FF", &env).unwrap(), 0xFFFF);
+        assert_eq!(eval_expr("1 << 4", &env).unwrap(), 16);
+        assert_eq!(eval_expr("255 >> 4", &env).unwrap(), 15);
+        assert_eq!(eval_expr("7 % 4 + 10 / 2", &env).unwrap(), 8);
+        assert_eq!(eval_expr("5 & 3 ^ 1", &env).unwrap(), 0);
+        assert_eq!(eval_expr("10 / 0", &env).unwrap(), 0, "shell-style div0");
+    }
+
+    #[test]
+    fn expansion_forms() {
+        let mut env = Env::new();
+        env.set("DS", "2");
+        env.set("name_x", "v");
+        assert_eq!(expand("ldom$DS/file", &env), "ldom2/file");
+        assert_eq!(expand("${DS}x", &env), "2x");
+        assert_eq!(expand("$name_x", &env), "v");
+        assert_eq!(expand("$UNSET-", &env), "-");
+        assert_eq!(expand("a$1", &env), "a$1", "non-identifier preserved");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = run("x=1\n???", &mut Env::new(), &mut MockIo::default()).unwrap_err();
+        match err {
+            FwError::Script { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected script error, got {other}"),
+        }
+        assert!(run(
+            "if [ 1 -gt 0 ]; then\nlog hi",
+            &mut Env::new(),
+            &mut MockIo::default()
+        )
+        .is_err());
+        assert!(run("echo 5", &mut Env::new(), &mut MockIo::default()).is_err());
+        assert!(run(
+            "if 1 > 2; then\nfi",
+            &mut Env::new(),
+            &mut MockIo::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cat_of_missing_file_fails_with_line() {
+        let err = run("x=$(cat /nope)", &mut Env::new(), &mut MockIo::default()).unwrap_err();
+        match err {
+            FwError::Script { line: 1, message } => assert!(message.contains("/nope")),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn hex_and_decimal_values() {
+        assert_eq!(parse_num("0xFF00").unwrap(), 0xFF00);
+        assert_eq!(parse_num(" 42 ").unwrap(), 42);
+        assert!(parse_num("zz").is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! The device file tree (the firmware's sysfs).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::FwError;
+
+/// Read handler of a closure-backed file.
+pub type ReadFn = Box<dyn FnMut() -> String + Send>;
+/// Write handler of a closure-backed file.
+pub type WriteFn = Box<dyn FnMut(&str) -> Result<(), FwError> + Send>;
+
+/// A node in the device file tree.
+pub enum Node {
+    /// A directory of named children.
+    Dir(BTreeMap<String, Node>),
+    /// A plain data file (e.g. trigger-action bindings, logs).
+    Data(String),
+    /// A closure-backed file (control-plane cells: reads and writes go
+    /// through the CPA programming interface).
+    Hook {
+        /// Produces the file's content.
+        read: ReadFn,
+        /// Consumes written content; `None` for read-only files.
+        write: Option<WriteFn>,
+    },
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Dir(children) => f.debug_map().entries(children.iter()).finish(),
+            Node::Data(s) => write!(f, "Data({s:?})"),
+            Node::Hook { write, .. } => {
+                write!(f, "Hook(rw={})", if write.is_some() { "rw" } else { "ro" })
+            }
+        }
+    }
+}
+
+/// The sysfs-like tree the firmware mounts all control planes into
+/// (paper §5.1, Fig. 6).
+///
+/// Paths are absolute, `/`-separated, rooted at `/`:
+/// `"/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask"`.
+///
+/// # Example
+///
+/// ```
+/// use pard_prm::{DeviceFileTree, Node};
+/// let mut t = DeviceFileTree::new();
+/// t.mkdir_all("/sys/cpa").unwrap();
+/// t.install("/sys/cpa/hello", Node::Data("world".into())).unwrap();
+/// assert_eq!(t.read("/sys/cpa/hello").unwrap(), "world");
+/// assert_eq!(t.list("/sys/cpa").unwrap(), vec!["hello".to_string()]);
+/// ```
+pub struct DeviceFileTree {
+    root: Node,
+}
+
+impl Default for DeviceFileTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for DeviceFileTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DeviceFileTree({:?})", self.root)
+    }
+}
+
+fn components(path: &str) -> Result<Vec<&str>, FwError> {
+    if !path.starts_with('/') {
+        return Err(FwError::NoSuchPath(path.to_string()));
+    }
+    Ok(path.split('/').filter(|c| !c.is_empty()).collect())
+}
+
+impl DeviceFileTree {
+    /// Creates a tree containing only the root directory.
+    pub fn new() -> Self {
+        DeviceFileTree {
+            root: Node::Dir(BTreeMap::new()),
+        }
+    }
+
+    fn lookup(&self, path: &str) -> Result<&Node, FwError> {
+        let mut node = &self.root;
+        for c in components(path)? {
+            match node {
+                Node::Dir(children) => {
+                    node = children
+                        .get(c)
+                        .ok_or_else(|| FwError::NoSuchPath(path.to_string()))?;
+                }
+                _ => return Err(FwError::NoSuchPath(path.to_string())),
+            }
+        }
+        Ok(node)
+    }
+
+    fn lookup_mut(&mut self, path: &str) -> Result<&mut Node, FwError> {
+        let mut node = &mut self.root;
+        for c in components(path)? {
+            match node {
+                Node::Dir(children) => {
+                    node = children
+                        .get_mut(c)
+                        .ok_or_else(|| FwError::NoSuchPath(path.to_string()))?;
+                }
+                _ => return Err(FwError::NoSuchPath(path.to_string())),
+            }
+        }
+        Ok(node)
+    }
+
+    /// Creates the directory `path` and all missing ancestors.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a path component exists and is a file.
+    pub fn mkdir_all(&mut self, path: &str) -> Result<(), FwError> {
+        let mut node = &mut self.root;
+        for c in components(path)? {
+            match node {
+                Node::Dir(children) => {
+                    node = children
+                        .entry(c.to_string())
+                        .or_insert_with(|| Node::Dir(BTreeMap::new()));
+                }
+                _ => return Err(FwError::NotAFile(path.to_string())),
+            }
+        }
+        match node {
+            Node::Dir(_) => Ok(()),
+            _ => Err(FwError::NotAFile(path.to_string())),
+        }
+    }
+
+    /// Installs `node` at `path` (parent must exist), replacing any
+    /// previous occupant.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the parent directory does not exist.
+    pub fn install(&mut self, path: &str, node: Node) -> Result<(), FwError> {
+        let comps = components(path)?;
+        let (name, parent_comps) = comps
+            .split_last()
+            .ok_or_else(|| FwError::NoSuchPath(path.to_string()))?;
+        let mut parent = &mut self.root;
+        for c in parent_comps {
+            match parent {
+                Node::Dir(children) => {
+                    parent = children
+                        .get_mut(*c)
+                        .ok_or_else(|| FwError::NoSuchPath(path.to_string()))?;
+                }
+                _ => return Err(FwError::NoSuchPath(path.to_string())),
+            }
+        }
+        match parent {
+            Node::Dir(children) => {
+                children.insert((*name).to_string(), node);
+                Ok(())
+            }
+            _ => Err(FwError::NotAFile(path.to_string())),
+        }
+    }
+
+    /// Removes the node at `path` (file or whole subtree).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not exist.
+    pub fn remove(&mut self, path: &str) -> Result<(), FwError> {
+        let comps = components(path)?;
+        let (name, parent_comps) = comps
+            .split_last()
+            .ok_or_else(|| FwError::NoSuchPath(path.to_string()))?;
+        let mut parent = &mut self.root;
+        for c in parent_comps {
+            match parent {
+                Node::Dir(children) => {
+                    parent = children
+                        .get_mut(*c)
+                        .ok_or_else(|| FwError::NoSuchPath(path.to_string()))?;
+                }
+                _ => return Err(FwError::NoSuchPath(path.to_string())),
+            }
+        }
+        match parent {
+            Node::Dir(children) => children
+                .remove(*name)
+                .map(|_| ())
+                .ok_or_else(|| FwError::NoSuchPath(path.to_string())),
+            _ => Err(FwError::NoSuchPath(path.to_string())),
+        }
+    }
+
+    /// Reads a file (`cat`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is missing or is a directory.
+    pub fn read(&mut self, path: &str) -> Result<String, FwError> {
+        match self.lookup_mut(path)? {
+            Node::Data(s) => Ok(s.clone()),
+            Node::Hook { read, .. } => Ok(read()),
+            Node::Dir(_) => Err(FwError::NotAFile(path.to_string())),
+        }
+    }
+
+    /// Writes a file (`echo ... >`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is missing, is a directory, or is read-only.
+    pub fn write(&mut self, path: &str, content: &str) -> Result<(), FwError> {
+        match self.lookup_mut(path)? {
+            Node::Data(s) => {
+                *s = content.to_string();
+                Ok(())
+            }
+            Node::Hook { write, .. } => match write {
+                Some(w) => w(content),
+                None => Err(FwError::ReadOnly(path.to_string())),
+            },
+            Node::Dir(_) => Err(FwError::NotAFile(path.to_string())),
+        }
+    }
+
+    /// Lists a directory's children (`ls`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is missing or is a file.
+    pub fn list(&self, path: &str) -> Result<Vec<String>, FwError> {
+        match self.lookup(path)? {
+            Node::Dir(children) => Ok(children.keys().cloned().collect()),
+            _ => Err(FwError::NotAFile(path.to_string())),
+        }
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.lookup(path).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn mkdir_install_read_write_list() {
+        let mut t = DeviceFileTree::new();
+        t.mkdir_all("/sys/cpa/cpa0/ldoms/ldom0/parameters").unwrap();
+        t.install(
+            "/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask",
+            Node::Data("0xffff".into()),
+        )
+        .unwrap();
+        assert_eq!(
+            t.read("/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+                .unwrap(),
+            "0xffff"
+        );
+        t.write("/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask", "0xFF00")
+            .unwrap();
+        assert_eq!(
+            t.read("/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+                .unwrap(),
+            "0xFF00"
+        );
+        assert_eq!(t.list("/sys/cpa/cpa0/ldoms").unwrap(), vec!["ldom0"]);
+        assert!(t.exists("/sys/cpa"));
+        assert!(!t.exists("/sys/nope"));
+    }
+
+    #[test]
+    fn hook_files_route_through_closures() {
+        let value = Arc::new(AtomicU64::new(42));
+        let (r, w) = (value.clone(), value.clone());
+        let mut t = DeviceFileTree::new();
+        t.mkdir_all("/sys").unwrap();
+        t.install(
+            "/sys/cell",
+            Node::Hook {
+                read: Box::new(move || r.load(Ordering::SeqCst).to_string()),
+                write: Some(Box::new(move |s| {
+                    let v = s.trim().parse().map_err(|_| FwError::BadValue(s.into()))?;
+                    w.store(v, Ordering::SeqCst);
+                    Ok(())
+                })),
+            },
+        )
+        .unwrap();
+        assert_eq!(t.read("/sys/cell").unwrap(), "42");
+        t.write("/sys/cell", "7").unwrap();
+        assert_eq!(value.load(Ordering::SeqCst), 7);
+        assert!(matches!(
+            t.write("/sys/cell", "xyz"),
+            Err(FwError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    fn readonly_hooks_reject_writes() {
+        let mut t = DeviceFileTree::new();
+        t.install(
+            "/ident",
+            Node::Hook {
+                read: Box::new(|| "CACHE_CP".into()),
+                write: None,
+            },
+        )
+        .unwrap();
+        assert!(matches!(t.write("/ident", "x"), Err(FwError::ReadOnly(_))));
+    }
+
+    #[test]
+    fn path_errors() {
+        let mut t = DeviceFileTree::new();
+        assert!(t.read("/missing").is_err());
+        assert!(t.read("relative").is_err());
+        assert!(t.list("/missing").is_err());
+        t.install("/file", Node::Data("x".into())).unwrap();
+        assert!(t.list("/file").is_err());
+        assert!(t.read("/").is_err()); // root is a directory
+        assert!(t.mkdir_all("/file/sub").is_err());
+        assert!(t.install("/no/parent", Node::Data("x".into())).is_err());
+    }
+
+    #[test]
+    fn remove_subtrees() {
+        let mut t = DeviceFileTree::new();
+        t.mkdir_all("/a/b").unwrap();
+        t.install("/a/b/c", Node::Data("x".into())).unwrap();
+        t.remove("/a/b").unwrap();
+        assert!(!t.exists("/a/b"));
+        assert!(t.exists("/a"));
+        assert!(t.remove("/a/b").is_err());
+    }
+
+    #[test]
+    fn install_replaces() {
+        let mut t = DeviceFileTree::new();
+        t.install("/f", Node::Data("1".into())).unwrap();
+        t.install("/f", Node::Data("2".into())).unwrap();
+        assert_eq!(t.read("/f").unwrap(), "2");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the firmware's data structures.
+
+use pard_prm::script::{eval_expr, expand, parse_num, Env};
+use pard_prm::{DeviceFileTree, MemAllocator, Node};
+use proptest::prelude::*;
+
+fn any_path() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{1,4}", 1..4)
+}
+
+proptest! {
+    /// The allocator never hands out overlapping regions and never loses
+    /// capacity across arbitrary alloc/free interleavings.
+    #[test]
+    fn allocator_regions_are_disjoint_and_conserved(
+        ops in prop::collection::vec((1u64..1000, any::<bool>()), 1..100),
+    ) {
+        let capacity = 64 * 1024;
+        let mut a = MemAllocator::new(capacity);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for &(size, free_instead) in &ops {
+            if free_instead && !live.is_empty() {
+                let (base, sz) = live.swap_remove(0);
+                a.free(base, sz);
+            } else if let Ok(base) = a.allocate(size) {
+                // Disjointness against every live region.
+                for &(b, s) in &live {
+                    prop_assert!(base + size <= b || b + s <= base,
+                        "overlap: [{base},+{size}) vs [{b},+{s})");
+                }
+                prop_assert!(base + size <= capacity);
+                live.push((base, size));
+            }
+        }
+        let live_bytes: u64 = live.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(a.free_bytes() + live_bytes, capacity, "capacity conserved");
+        // Freeing everything restores a single full extent.
+        for (b, s) in live.drain(..) {
+            a.free(b, s);
+        }
+        prop_assert_eq!(a.free_bytes(), capacity);
+        prop_assert_eq!(a.allocate(capacity).unwrap(), 0);
+    }
+
+    /// parse_num accepts what u64 formatting produces, in both bases.
+    #[test]
+    fn parse_num_round_trips(v in any::<u64>()) {
+        prop_assert_eq!(parse_num(&v.to_string()).unwrap(), v);
+        prop_assert_eq!(parse_num(&format!("{v:#x}")).unwrap(), v);
+        prop_assert_eq!(parse_num(&format!("0X{v:X}")).unwrap(), v);
+    }
+
+    /// pardscript arithmetic agrees with Rust for random two-operand
+    /// expressions across every operator.
+    #[test]
+    fn arithmetic_matches_rust(a in any::<u64>(), b in any::<u64>(), op_idx in 0usize..8) {
+        let ops = ["+", "-", "*", "&", "|", "^", "/", "%"];
+        let op = ops[op_idx];
+        let expected = match op {
+            "+" => a.wrapping_add(b),
+            "-" => a.wrapping_sub(b),
+            "*" => a.wrapping_mul(b),
+            "&" => a & b,
+            "|" => a | b,
+            "^" => a ^ b,
+            "/" => a.checked_div(b).unwrap_or(0),
+            "%" => a.checked_rem(b).unwrap_or(0),
+            _ => unreachable!(),
+        };
+        let env = Env::new();
+        prop_assert_eq!(eval_expr(&format!("{a} {op} {b}"), &env).unwrap(), expected);
+    }
+
+    /// Variable expansion substitutes exactly the set variables and leaves
+    /// text without `$` untouched.
+    #[test]
+    fn expansion_is_exact(value in "[a-z0-9]{0,8}", prefix in "[a-z ]{0,8}", suffix in "[a-z ]{0,8}") {
+        let mut env = Env::new();
+        env.set("V", value.clone());
+        // `$V` must be delimited from following identifier characters
+        // (shell rules: `$Va` names the variable `Va`), hence the slash.
+        prop_assert_eq!(
+            expand(&format!("{prefix}$V/{suffix}"), &env),
+            format!("{prefix}{value}/{suffix}")
+        );
+        prop_assert_eq!(expand(&prefix, &env), prefix.clone());
+        prop_assert_eq!(
+            expand(&format!("{prefix}${{V}}{suffix}"), &env),
+            format!("{prefix}{value}{suffix}")
+        );
+    }
+
+    /// The device file tree behaves like a map from paths to contents,
+    /// for any interleaving of mkdir/install/write/remove.
+    #[test]
+    fn file_tree_is_a_path_map(
+        ops in prop::collection::vec((any_path(), "[a-z0-9]{0,6}", 0u8..4), 1..60),
+    ) {
+        let mut tree = DeviceFileTree::new();
+        let mut model: std::collections::HashMap<String, String> = Default::default();
+        for (segs, content, op) in &ops {
+            let path = format!("/{}", segs.join("/"));
+            let parent = match segs.split_last() {
+                Some((_, rest)) if !rest.is_empty() => format!("/{}", rest.join("/")),
+                _ => "/".to_string(),
+            };
+            match op {
+                0 => {
+                    // Install a data file (parent dirs created first). May
+                    // legitimately fail if a path component is a file.
+                    if tree.mkdir_all(&parent).is_ok()
+                        && tree.install(&path, Node::Data(content.clone())).is_ok()
+                    {
+                        model.insert(path.clone(), content.clone());
+                        // Installing over a directory erases that subtree.
+                        model.retain(|p, _| {
+                            p == &path || !p.starts_with(&format!("{path}/"))
+                        });
+                    }
+                }
+                1 => {
+                    if model.contains_key(&path) {
+                        tree.write(&path, content).unwrap();
+                        model.insert(path.clone(), content.clone());
+                    }
+                }
+                2 => {
+                    if tree.remove(&path).is_ok() {
+                        model.retain(|p, _| {
+                            p != &path && !p.starts_with(&format!("{path}/"))
+                        });
+                    }
+                }
+                _ => {
+                    // Read must agree with the model for file paths.
+                    if let Some(expected) = model.get(&path) {
+                        prop_assert_eq!(&tree.read(&path).unwrap(), expected);
+                    }
+                }
+            }
+        }
+        // Final sweep: every modelled file reads back exactly.
+        for (path, expected) in &model {
+            prop_assert_eq!(&tree.read(path).unwrap(), expected, "path {}", path);
+        }
+    }
+
+    /// Shift amounts wrap like Rust's wrapping_shl/shr.
+    #[test]
+    fn shifts_match_rust(a in any::<u64>(), s in 0u64..200) {
+        let env = Env::new();
+        prop_assert_eq!(
+            eval_expr(&format!("{a} << {s}"), &env).unwrap(),
+            a.wrapping_shl(s as u32)
+        );
+        prop_assert_eq!(
+            eval_expr(&format!("{a} >> {s}"), &env).unwrap(),
+            a.wrapping_shr(s as u32)
+        );
+    }
+}

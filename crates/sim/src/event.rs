@@ -1,0 +1,170 @@
+//! The kernel's event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::component::ComponentId;
+use crate::time::Time;
+
+/// An event scheduled for delivery to a component.
+#[derive(Debug)]
+pub struct ScheduledEvent<E> {
+    /// Delivery time.
+    pub time: Time,
+    /// Monotonic insertion sequence number; breaks ties deterministically.
+    pub seq: u64,
+    /// Destination component.
+    pub dst: ComponentId,
+    /// Payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the BinaryHeap (a max-heap) pops the earliest event;
+        // ties broken by insertion order for determinism.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events with equal timestamps are delivered in insertion order, which
+/// (combined with seeded RNGs) makes every simulation run reproducible.
+///
+/// # Example
+///
+/// ```
+/// use pard_sim::{ComponentId, EventQueue, Time};
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// let dst = ComponentId::from_raw(0);
+/// q.push(Time::from_ns(5), dst, "later");
+/// q.push(Time::from_ns(1), dst, "sooner");
+/// assert_eq!(q.pop().unwrap().event, "sooner");
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` for `dst` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is [`ComponentId::UNWIRED`] — that means wiring code
+    /// forgot to connect a port.
+    pub fn push(&mut self, time: Time, dst: ComponentId, event: E) {
+        assert!(
+            !dst.is_unwired(),
+            "event scheduled for an unwired component port"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            seq,
+            dst,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|ev| ev.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dst(i: u32) -> ComponentId {
+        ComponentId::from_raw(i)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(30), dst(0), 30);
+        q.push(Time::from_ns(10), dst(0), 10);
+        q.push(Time::from_ns(20), dst(0), 20);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_ns(7), dst(0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_ns(9), dst(1), ());
+        q.push(Time::from_ns(3), dst(1), ());
+        assert_eq!(q.peek_time(), Some(Time::from_ns(3)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unwired")]
+    fn pushing_to_unwired_port_panics() {
+        let mut q = EventQueue::new();
+        q.push(Time::ZERO, ComponentId::UNWIRED, ());
+    }
+}

@@ -1,0 +1,208 @@
+//! Fixed-bin histograms.
+
+/// A linear fixed-bin histogram over `u64` values.
+///
+/// Values at or above the upper bound land in a dedicated overflow bin.
+/// Used for the queueing-delay distributions of Figure 11, where the x-axis
+/// is "delay cycles" with a known range.
+///
+/// # Example
+///
+/// ```
+/// use pard_sim::stats::Histogram;
+/// let mut h = Histogram::new(10, 10); // 10 bins of width 10: [0,100) + overflow
+/// h.record(5);
+/// h.record(15);
+/// h.record(500);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` bins of `bin_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` or `nbins` is zero.
+    pub fn new(bin_width: u64, nbins: usize) -> Self {
+        assert!(bin_width > 0, "bin width must be non-zero");
+        assert!(nbins > 0, "bin count must be non-zero");
+        Histogram {
+            bin_width,
+            bins: vec![0; nbins],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += u128::from(value);
+        let idx = (value / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in bin `idx` (`[idx*w, (idx+1)*w)`).
+    pub fn bin_count(&self, idx: usize) -> u64 {
+        self.bins.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Count of values beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of regular bins.
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Cumulative distribution as `(bin_upper_bound, fraction ≤ bound)`
+    /// pairs, ending with the overflow mass at `u64::MAX` if non-zero.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(self.bins.len() + 1);
+        if self.count == 0 {
+            return out;
+        }
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            out.push((
+                (i as u64 + 1) * self.bin_width,
+                acc as f64 / self.count as f64,
+            ));
+        }
+        if self.overflow > 0 {
+            out.push((u64::MAX, 1.0));
+        }
+        out
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bin width or count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_expected_bins() {
+        let mut h = Histogram::new(4, 4); // [0,4) [4,8) [8,12) [12,16)
+        for v in [0, 3, 4, 11, 15, 16, 99] {
+            h.record(v);
+        }
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.nbins(), 4);
+        assert_eq!(h.bin_width(), 4);
+    }
+
+    #[test]
+    fn mean_matches_sum() {
+        let mut h = Histogram::new(1, 4);
+        h.record(2);
+        h.record(4);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(Histogram::new(1, 1).mean(), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = Histogram::new(2, 5);
+        for v in [1, 1, 3, 9, 50] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        let mut prev = 0.0;
+        for &(_, f) in &cdf {
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_is_empty() {
+        assert!(Histogram::new(1, 1).cdf().is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(2, 3);
+        let mut b = Histogram::new(2, 3);
+        a.record(1);
+        b.record(1);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bin_count(0), 2);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width mismatch")]
+    fn merge_geometry_mismatch_panics() {
+        let mut a = Histogram::new(2, 3);
+        let b = Histogram::new(3, 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_panics() {
+        let _ = Histogram::new(0, 3);
+    }
+}

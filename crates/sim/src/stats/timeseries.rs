@@ -1,0 +1,151 @@
+//! Time-series sampling for the paper's time-axis figures.
+
+use crate::time::Time;
+
+/// A named sequence of `(time, value)` samples.
+///
+/// Figures 7, 9, and 10 plot per-LDom metrics (LLC occupancy, bandwidth,
+/// miss rate) against simulated time; experiment harnesses push one sample
+/// per sampling interval into a `TimeSeries` per curve.
+///
+/// # Example
+///
+/// ```
+/// use pard_sim::stats::TimeSeries;
+/// use pard_sim::Time;
+///
+/// let mut ts = TimeSeries::new("ldom0.llc_mb");
+/// ts.push(Time::from_ms(10), 1.5);
+/// ts.push(Time::from_ms(20), 2.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.last_value(), Some(2.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<(Time, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The series' display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous sample — series must be
+    /// chronological.
+    pub fn push(&mut self, t: Time, value: f64) {
+        if let Some(&(prev, _)) = self.samples.last() {
+            assert!(t >= prev, "time series samples must be chronological");
+        }
+        self.samples.push((t, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples in chronological order.
+    pub fn samples(&self) -> &[(Time, f64)] {
+        &self.samples
+    }
+
+    /// The most recent value.
+    pub fn last_value(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Maximum value over the series (`None` when empty).
+    pub fn max_value(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Mean value over samples within `[from, to)`.
+    pub fn mean_in(&self, from: Time, to: Time) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut ts = TimeSeries::new("bw");
+        assert!(ts.is_empty());
+        ts.push(Time::from_ms(1), 1.0);
+        ts.push(Time::from_ms(2), 3.0);
+        ts.push(Time::from_ms(3), 2.0);
+        assert_eq!(ts.name(), "bw");
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.last_value(), Some(2.0));
+        assert_eq!(ts.max_value(), Some(3.0));
+    }
+
+    #[test]
+    fn mean_in_window() {
+        let mut ts = TimeSeries::new("x");
+        for i in 0..10u64 {
+            ts.push(Time::from_ms(i), i as f64);
+        }
+        let mean = ts.mean_in(Time::from_ms(2), Time::from_ms(5)).unwrap();
+        assert_eq!(mean, 3.0); // samples 2,3,4
+        assert!(ts.mean_in(Time::from_ms(50), Time::from_ms(60)).is_none());
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(Time::from_ms(1), 1.0);
+        ts.push(Time::from_ms(1), 2.0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn time_going_backwards_panics() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(Time::from_ms(2), 1.0);
+        ts.push(Time::from_ms(1), 1.0);
+    }
+
+    #[test]
+    fn empty_max_is_none() {
+        assert_eq!(TimeSeries::new("e").max_value(), None);
+        assert_eq!(TimeSeries::new("e").last_value(), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Windowed event counting.
+
+use crate::time::Time;
+
+/// Counts events in both a cumulative total and a resettable window.
+///
+/// Control-plane statistics such as "LLC miss rate" and "memory bandwidth"
+/// are computed over a sliding measurement window, mirroring how the
+/// hardware tables in the paper hold periodically-refreshed counters. The
+/// window is advanced explicitly by the owning component
+/// (see [`WindowedCounter::roll`]).
+///
+/// # Example
+///
+/// ```
+/// use pard_sim::stats::WindowedCounter;
+/// use pard_sim::Time;
+///
+/// let mut c = WindowedCounter::new();
+/// c.add(10);
+/// c.add(5);
+/// assert_eq!(c.window(), 15);
+/// let closed = c.roll(Time::from_us(1));
+/// assert_eq!(closed, 15);
+/// assert_eq!(c.window(), 0);
+/// assert_eq!(c.total(), 15);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WindowedCounter {
+    total: u64,
+    window: u64,
+    last_window: u64,
+    window_started: Time,
+}
+
+impl WindowedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` events to both the window and the cumulative total.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.total += n;
+        self.window += n;
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Cumulative total since construction.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in the currently open window.
+    #[inline]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Count in the most recently closed window.
+    #[inline]
+    pub fn last_window(&self) -> u64 {
+        self.last_window
+    }
+
+    /// Closes the current window at time `now`, returning its count and
+    /// starting a fresh one.
+    pub fn roll(&mut self, now: Time) -> u64 {
+        self.last_window = self.window;
+        self.window = 0;
+        self.window_started = now;
+        self.last_window
+    }
+
+    /// Start time of the currently open window.
+    pub fn window_started(&self) -> Time {
+        self.window_started
+    }
+
+    /// Resets everything to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Converts a byte count over a span into GB/s (decimal gigabytes).
+///
+/// Returns 0.0 for an empty span.
+///
+/// # Example
+///
+/// ```
+/// use pard_sim::stats::bytes_per_span_to_gbps;
+/// use pard_sim::Time;
+/// let gbps = bytes_per_span_to_gbps(1_000_000, Time::from_ms(1));
+/// assert!((gbps - 1.0).abs() < 1e-9);
+/// ```
+pub fn bytes_per_span_to_gbps(bytes: u64, span: Time) -> f64 {
+    let secs = span.as_secs();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        bytes as f64 / 1e9 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_independent_of_total() {
+        let mut c = WindowedCounter::new();
+        c.incr();
+        c.incr();
+        c.roll(Time::from_us(10));
+        c.add(3);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.window(), 3);
+        assert_eq!(c.last_window(), 2);
+        assert_eq!(c.window_started(), Time::from_us(10));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = WindowedCounter::new();
+        c.add(9);
+        c.roll(Time::from_ns(1));
+        c.reset();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.window(), 0);
+        assert_eq!(c.last_window(), 0);
+    }
+
+    #[test]
+    fn gbps_conversion() {
+        assert_eq!(bytes_per_span_to_gbps(0, Time::from_ms(1)), 0.0);
+        assert_eq!(bytes_per_span_to_gbps(100, Time::ZERO), 0.0);
+        let gbps = bytes_per_span_to_gbps(2_000_000_000, Time::from_secs(1));
+        assert!((gbps - 2.0).abs() < 1e-12);
+    }
+}

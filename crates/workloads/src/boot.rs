@@ -1,0 +1,143 @@
+//! The "boot OS, then run the application" wrapper of Figure 7.
+
+use pard_icn::LAddr;
+use pard_sim::Time;
+
+use crate::op::{Op, WorkloadEngine};
+
+/// Phase of a [`BootThen`] engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BootPhase {
+    Booting,
+    Running,
+}
+
+/// Wraps an application engine with an OS-boot warm-up phase.
+///
+/// Figure 7's timeline shows each LDom booting Linux ("Boot OS" →
+/// "Bash Ready") before its application starts. The boot phase is modelled
+/// as a mix of compute and scattered kernel-image/page-table accesses over
+/// a 48 MB range, lasting for the configured duration *from the engine's
+/// first operation* — so three LDoms launched at different times each show
+/// a boot ramp followed by the application signature, as in the figure.
+pub struct BootThen {
+    phase: BootPhase,
+    boot_duration: Time,
+    started_at: Option<Time>,
+    cursor: u64,
+    step: u8,
+    inner: Box<dyn WorkloadEngine>,
+}
+
+impl BootThen {
+    /// Wraps `inner` with a boot phase of `boot_duration`.
+    pub fn new(boot_duration: Time, inner: Box<dyn WorkloadEngine>) -> Self {
+        BootThen {
+            phase: BootPhase::Booting,
+            boot_duration,
+            started_at: None,
+            cursor: 0,
+            step: 0,
+            inner,
+        }
+    }
+
+    /// Whether the boot phase has finished ("Bash Ready").
+    pub fn is_booted(&self) -> bool {
+        self.phase == BootPhase::Running
+    }
+
+    /// Access to the wrapped application engine.
+    pub fn inner(&self) -> &dyn WorkloadEngine {
+        self.inner.as_ref()
+    }
+
+    /// Mutable access to the wrapped application engine.
+    pub fn inner_mut(&mut self) -> &mut dyn WorkloadEngine {
+        self.inner.as_mut()
+    }
+}
+
+impl WorkloadEngine for BootThen {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn next_op(&mut self, now: Time) -> Op {
+        if self.phase == BootPhase::Running {
+            return self.inner.next_op(now);
+        }
+        let started = *self.started_at.get_or_insert(now);
+        if now >= started + self.boot_duration {
+            self.phase = BootPhase::Running;
+            return self.inner.next_op(now);
+        }
+        // Kernel bring-up: sparse strided touches + decompress-ish compute.
+        let op = if self.step < 2 {
+            let addr = (self.cursor * 4096 + u64::from(self.step) * 64) % (48 * 1024 * 1024);
+            Op::Load {
+                addr: LAddr::new(addr),
+                blocking: false,
+            }
+        } else {
+            Op::Compute(4_000)
+        };
+        self.step += 1;
+        if self.step == 3 {
+            self.step = 0;
+            self.cursor += 1;
+        }
+        op
+    }
+
+    crate::impl_engine_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cacheflush::CacheFlush;
+
+    #[test]
+    fn boots_then_hands_over() {
+        let mut e = BootThen::new(
+            Time::from_us(100),
+            Box::new(CacheFlush::new(0x9000_0000, 128)),
+        );
+        assert!(!e.is_booted());
+        // During boot: no stores at the app's address.
+        let op = e.next_op(Time::ZERO);
+        assert!(matches!(op, Op::Load { .. }));
+        // After the boot duration elapses, the inner engine takes over.
+        let op = e.next_op(Time::from_us(200));
+        assert!(e.is_booted());
+        match op {
+            Op::Store { addr } => assert_eq!(addr.raw(), 0x9000_0000),
+            other => panic!("expected inner store, got {other:?}"),
+        }
+        assert_eq!(e.name(), "cacheflush");
+    }
+
+    #[test]
+    fn boot_clock_starts_at_first_op() {
+        let mut e = BootThen::new(Time::from_us(100), Box::new(CacheFlush::new(0, 128)));
+        // First op at t = 1 ms: boot runs until 1 ms + 100 µs.
+        e.next_op(Time::from_ms(1));
+        e.next_op(Time::from_ms(1) + Time::from_us(50));
+        assert!(!e.is_booted());
+        e.next_op(Time::from_ms(1) + Time::from_us(101));
+        assert!(e.is_booted());
+    }
+
+    #[test]
+    fn inner_access() {
+        let mut e = BootThen::new(Time::ZERO, Box::new(CacheFlush::new(0, 128)));
+        e.next_op(Time::ZERO);
+        assert!(e.inner().as_any().downcast_ref::<CacheFlush>().is_some());
+        assert!(e
+            .inner_mut()
+            .as_any_mut()
+            .downcast_mut::<CacheFlush>()
+            .is_some());
+    }
+}

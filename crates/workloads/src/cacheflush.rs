@@ -1,0 +1,83 @@
+//! The CacheFlush microbenchmark.
+
+use pard_icn::LAddr;
+use pard_sim::Time;
+
+use crate::op::{Op, WorkloadEngine};
+
+/// CacheFlush: stores to every line of a buffer larger than the LLC, in a
+/// loop — the LLC-thrashing microbenchmark the paper runs in LDom2 of the
+/// Figure 7 experiment.
+pub struct CacheFlush {
+    base: u64,
+    lines: u64,
+    cursor: u64,
+    passes: u64,
+}
+
+impl CacheFlush {
+    /// Creates a flusher over `buffer_bytes` starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_bytes` is not a non-zero multiple of 64.
+    pub fn new(base: u64, buffer_bytes: u64) -> Self {
+        assert!(
+            buffer_bytes >= 64 && buffer_bytes.is_multiple_of(64),
+            "buffer must be a non-zero multiple of the line size"
+        );
+        CacheFlush {
+            base,
+            lines: buffer_bytes / 64,
+            cursor: 0,
+            passes: 0,
+        }
+    }
+
+    /// Completed passes over the buffer.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+}
+
+impl WorkloadEngine for CacheFlush {
+    fn name(&self) -> &str {
+        "cacheflush"
+    }
+
+    fn next_op(&mut self, _now: Time) -> Op {
+        let addr = LAddr::new(self.base + self.cursor * 64);
+        self.cursor += 1;
+        if self.cursor == self.lines {
+            self.cursor = 0;
+            self.passes += 1;
+        }
+        Op::Store { addr }
+    }
+
+    crate::impl_engine_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_every_line_then_wraps() {
+        let mut f = CacheFlush::new(0x1000, 192);
+        let addrs: Vec<u64> = (0..4)
+            .map(|_| match f.next_op(Time::ZERO) {
+                Op::Store { addr } => addr.raw(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x1000]);
+        assert_eq!(f.passes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the line size")]
+    fn bad_buffer_panics() {
+        let _ = CacheFlush::new(0, 65);
+    }
+}

@@ -1,0 +1,175 @@
+//! A pointer-chasing latency microbenchmark.
+
+use pard_icn::LAddr;
+use pard_sim::rng::splitmix64;
+use pard_sim::stats::OnlineStats;
+use pard_sim::Time;
+
+use crate::op::{Op, WorkloadEngine};
+
+/// Dependent-load pointer chasing over a large region: every load's
+/// address derives from the previous one, so each load exposes the full
+/// memory latency (no overlap). The classic measurement workload for
+/// end-to-end load latency — and therefore the cleanest way to observe
+/// PARD's memory-priority DiffServ from software.
+///
+/// The engine measures its own per-load latency from the timestamps the
+/// core hands it ([`PointerChase::mean_load_latency`]).
+pub struct PointerChase {
+    base: u64,
+    lines: u64,
+    state: u64,
+    pending: Option<LAddr>,
+    last_issue: Option<Time>,
+    latency: OnlineStats,
+    loads: u64,
+    compute_between: u64,
+}
+
+impl PointerChase {
+    /// Creates a chaser over `region_bytes` at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is smaller than one line.
+    pub fn new(base: u64, region_bytes: u64, seed: u64) -> Self {
+        assert!(region_bytes >= 64, "region must hold at least one line");
+        PointerChase {
+            base,
+            lines: region_bytes / 64,
+            state: splitmix64(seed | 1),
+            pending: None,
+            last_issue: None,
+            latency: OnlineStats::new(),
+            loads: 0,
+            compute_between: 0,
+        }
+    }
+
+    /// Adds fixed compute between loads (duty-cycle control).
+    pub fn with_compute(mut self, cycles: u64) -> Self {
+        self.compute_between = cycles;
+        self
+    }
+
+    /// Loads completed.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Mean end-to-end load latency observed so far.
+    pub fn mean_load_latency(&self) -> Time {
+        Time::from_units(self.latency.mean() as u64)
+    }
+
+    /// Population standard deviation of the load latency.
+    pub fn latency_std_dev_ns(&self) -> f64 {
+        self.latency.std_dev() / Time::UNITS_PER_NS as f64
+    }
+}
+
+impl WorkloadEngine for PointerChase {
+    fn name(&self) -> &str {
+        "pointer-chase"
+    }
+
+    fn next_op(&mut self, now: Time) -> Op {
+        if let Some(issued) = self.last_issue.take() {
+            // The previous blocking load just completed.
+            self.latency.record((now - issued).units() as f64);
+            self.loads += 1;
+            if self.compute_between > 0 {
+                // Emit the inter-load compute before the next pointer.
+                self.state = splitmix64(self.state);
+                let line = self.state % self.lines;
+                let addr = LAddr::new(self.base + line * 64);
+                // Schedule: compute now, load next call.
+                self.pending = Some(addr);
+                return Op::Compute(self.compute_between);
+            }
+        }
+        if let Some(addr) = self.pending.take() {
+            self.last_issue = Some(now);
+            return Op::Load {
+                addr,
+                blocking: true,
+            };
+        }
+        self.state = splitmix64(self.state);
+        let line = self.state % self.lines;
+        self.last_issue = Some(now);
+        Op::Load {
+            addr: LAddr::new(self.base + line * 64),
+            blocking: true,
+        }
+    }
+
+    crate::impl_engine_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(e: &mut PointerChase, n: usize, latency: Time) {
+        let mut now = Time::ZERO;
+        let mut issued = 0;
+        while issued < n {
+            match e.next_op(now) {
+                Op::Load { blocking, .. } => {
+                    assert!(blocking);
+                    issued += 1;
+                    now += latency;
+                }
+                Op::Compute(c) => now += Time::from_units(c * 2),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // One more call records the final load's completion.
+        let _ = e.next_op(now);
+    }
+
+    #[test]
+    fn measures_the_load_latency_it_sees() {
+        let mut e = PointerChase::new(0, 1 << 20, 7);
+        drive(&mut e, 100, Time::from_ns(150));
+        assert_eq!(e.loads(), 100);
+        let mean = e.mean_load_latency();
+        assert_eq!(mean, Time::from_ns(150));
+        assert_eq!(e.latency_std_dev_ns(), 0.0);
+    }
+
+    #[test]
+    fn compute_between_loads_does_not_pollute_the_measurement() {
+        let mut e = PointerChase::new(0, 1 << 20, 7).with_compute(1_000);
+        drive(&mut e, 50, Time::from_ns(200));
+        assert_eq!(e.mean_load_latency(), Time::from_ns(200));
+    }
+
+    #[test]
+    fn addresses_stay_in_region_and_vary() {
+        let mut e = PointerChase::new(0x1000, 64 * 64, 9);
+        let mut seen = std::collections::HashSet::new();
+        let mut now = Time::ZERO;
+        for _ in 0..200 {
+            if let Op::Load { addr, .. } = e.next_op(now) {
+                assert!(addr.raw() >= 0x1000);
+                assert!(addr.raw() < 0x1000 + 64 * 64);
+                assert!(addr.is_line_aligned());
+                seen.insert(addr.raw());
+            }
+            now += Time::from_ns(100);
+        }
+        assert!(
+            seen.len() > 16,
+            "walk must visit many lines: {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn tiny_region_panics() {
+        let _ = PointerChase::new(0, 32, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! The DiskCopy (`dd`) workload of Figure 10.
+
+use pard_icn::{DiskKind, LAddr};
+use pard_sim::Time;
+
+use crate::op::{Op, WorkloadEngine};
+
+/// Configuration of the [`DiskCopy`] engine.
+#[derive(Debug, Clone)]
+pub struct DiskCopyConfig {
+    /// Target disk.
+    pub disk: u8,
+    /// Block size per request (`bs=32M` in the paper's command line).
+    pub block_bytes: u64,
+    /// Number of blocks (`count=16`).
+    pub count: u64,
+    /// Transfer direction (the paper writes: `of=/dev/sdb`).
+    pub kind: DiskKind,
+    /// DMA buffer base address.
+    pub buffer: u64,
+}
+
+impl Default for DiskCopyConfig {
+    fn default() -> Self {
+        DiskCopyConfig {
+            disk: 1,
+            block_bytes: 32 * 1024 * 1024,
+            count: 16,
+            kind: DiskKind::Write,
+            buffer: 0x0800_0000,
+        }
+    }
+}
+
+/// `dd if=/dev/zero of=/dev/sdb bs=32M count=16`: issues `count`
+/// back-to-back disk requests of `block_bytes` each, with a little compute
+/// between them (the `dd` user-space loop), then halts.
+pub struct DiskCopy {
+    cfg: DiskCopyConfig,
+    issued: u64,
+    post_block: bool,
+    finished_at: Option<Time>,
+}
+
+impl DiskCopy {
+    /// Creates the engine.
+    pub fn new(cfg: DiskCopyConfig) -> Self {
+        DiskCopy {
+            cfg,
+            issued: 0,
+            post_block: false,
+            finished_at: None,
+        }
+    }
+
+    /// Blocks issued so far.
+    pub fn blocks_issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Completion time of the whole copy, once finished.
+    pub fn finished_at(&self) -> Option<Time> {
+        self.finished_at
+    }
+}
+
+impl WorkloadEngine for DiskCopy {
+    fn name(&self) -> &str {
+        "diskcopy"
+    }
+
+    fn next_op(&mut self, now: Time) -> Op {
+        if self.post_block {
+            // Previous Disk op completed; small syscall-return compute.
+            self.post_block = false;
+            return Op::Compute(5_000);
+        }
+        if self.issued == self.cfg.count {
+            if self.finished_at.is_none() {
+                self.finished_at = Some(now);
+            }
+            return Op::Halt;
+        }
+        self.issued += 1;
+        self.post_block = true;
+        Op::Disk {
+            disk: self.cfg.disk,
+            kind: self.cfg.kind,
+            buffer: LAddr::new(self.cfg.buffer),
+            bytes: self.cfg.block_bytes,
+        }
+    }
+
+    crate::impl_engine_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issues_count_blocks_then_halts() {
+        let mut dd = DiskCopy::new(DiskCopyConfig {
+            count: 3,
+            block_bytes: 1024,
+            ..DiskCopyConfig::default()
+        });
+        let mut disks = 0;
+        let mut now = Time::ZERO;
+        loop {
+            match dd.next_op(now) {
+                Op::Disk { bytes, .. } => {
+                    assert_eq!(bytes, 1024);
+                    disks += 1;
+                    now += Time::from_us(10);
+                }
+                Op::Compute(_) => now += Time::from_ns(100),
+                Op::Halt => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(disks, 3);
+        assert_eq!(dd.blocks_issued(), 3);
+        assert_eq!(dd.finished_at(), Some(now));
+        // Halt is sticky.
+        assert_eq!(dd.next_op(now), Op::Halt);
+    }
+
+    #[test]
+    fn paper_default_is_512_mb() {
+        let cfg = DiskCopyConfig::default();
+        assert_eq!(cfg.block_bytes * cfg.count, 512 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,100 @@
+//! A by-name workload factory for harnesses and shells.
+
+use pard_sim::Time;
+
+use crate::boot::BootThen;
+use crate::cacheflush::CacheFlush;
+use crate::diskcopy::{DiskCopy, DiskCopyConfig};
+use crate::memcached::{Memcached, MemcachedConfig};
+use crate::op::WorkloadEngine;
+use crate::spec::{LbmProxy, Leslie3dProxy};
+use crate::stream::{Stream, StreamConfig};
+
+/// Builds a workload engine from a name, with sensible defaults — the
+/// vocabulary experiment harnesses and operator tooling use.
+///
+/// Recognised names (case-insensitive):
+/// `stream`, `cacheflush`, `leslie3d` (or `437.leslie3d`), `lbm`
+/// (or `470.lbm`), `diskcopy` (or `dd`), `memcached`. Prefixing a name
+/// with `boot+` wraps it in a 200 ms OS-boot phase (Figure 7 style).
+///
+/// Returns `None` for unknown names.
+///
+/// # Example
+///
+/// ```
+/// let engine = pard_workloads::by_name("boot+470.lbm").expect("known workload");
+/// assert_eq!(engine.name(), "470.lbm");
+/// assert!(pard_workloads::by_name("nfs-server").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Box<dyn WorkloadEngine>> {
+    let lower = name.to_ascii_lowercase();
+    if let Some(inner) = lower.strip_prefix("boot+") {
+        return by_name(inner).map(|engine| {
+            Box::new(BootThen::new(Time::from_ms(200), engine)) as Box<dyn WorkloadEngine>
+        });
+    }
+    // Workload data regions default to 16 MiB into the LDom, clear of the
+    // memcached model's metadata/buffer regions.
+    const BASE: u64 = 0x0100_0000;
+    Some(match lower.as_str() {
+        "stream" => Box::new(Stream::new(StreamConfig {
+            base: BASE,
+            ..StreamConfig::default()
+        })),
+        "cacheflush" => Box::new(CacheFlush::new(BASE, 8 << 20)),
+        "leslie3d" | "437.leslie3d" => Box::new(Leslie3dProxy::new(BASE)),
+        "lbm" | "470.lbm" => Box::new(LbmProxy::new(BASE)),
+        "diskcopy" | "dd" => Box::new(DiskCopy::new(DiskCopyConfig::default())),
+        "memcached" => Box::new(Memcached::new(MemcachedConfig::default())),
+        _ => return None,
+    })
+}
+
+/// The names [`by_name`] recognises (canonical forms).
+pub fn known_workloads() -> &'static [&'static str] {
+    &[
+        "stream",
+        "cacheflush",
+        "leslie3d",
+        "lbm",
+        "diskcopy",
+        "memcached",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    #[test]
+    fn every_known_name_builds_and_runs() {
+        for &name in known_workloads() {
+            let mut e = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            // Must produce an op without panicking.
+            let op = e.next_op(Time::ZERO);
+            assert!(!matches!(op, Op::Halt), "{name} halted immediately");
+        }
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(by_name("437.LESLIE3D").unwrap().name(), "437.leslie3d");
+        assert_eq!(by_name("dd").unwrap().name(), "diskcopy");
+    }
+
+    #[test]
+    fn boot_prefix_wraps() {
+        let e = by_name("boot+stream").unwrap();
+        assert_eq!(e.name(), "stream");
+        assert!(e.as_any().downcast_ref::<BootThen>().is_some());
+    }
+
+    #[test]
+    fn unknown_names_are_none() {
+        assert!(by_name("").is_none());
+        assert!(by_name("boot+").is_none());
+        assert!(by_name("quake3").is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! Random-process generators: Zipf popularity, Poisson arrivals.
+
+use pard_sim::rng::stream_rng;
+use pard_sim::Time;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A Zipf(s) sampler over `0..n` using precomputed cumulative weights.
+///
+/// Item `k` (0-based) has weight `(k+1)^-s`; sampling is a binary search
+/// over the cumulative distribution — exact, not approximate.
+///
+/// # Example
+///
+/// ```
+/// use pard_workloads::Zipf;
+/// let mut z = Zipf::new(1000, 1.4, 42, "doc");
+/// let mut hits0 = 0;
+/// for _ in 0..1000 {
+///     if z.sample() == 0 { hits0 += 1; }
+/// }
+/// assert!(hits0 > 100, "rank 0 must be very popular, got {hits0}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with exponent `s`, seeded
+    /// deterministically from `(seed, stream)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is not finite and non-negative.
+    pub fn new(n: u64, s: f64, seed: u64, stream: &str) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty universe");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf {
+            cdf,
+            rng: stream_rng(seed, stream),
+        }
+    }
+
+    /// Number of items.
+    pub fn universe(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws one item rank (0 = most popular).
+    pub fn sample(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        // partition_point: first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// The probability mass of the `k` most popular items.
+    pub fn top_mass(&self, k: u64) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[(k.min(self.universe()) - 1) as usize]
+        }
+    }
+}
+
+/// A Poisson arrival process: exponential inter-arrival times at a fixed
+/// rate.
+///
+/// # Example
+///
+/// ```
+/// use pard_workloads::PoissonArrivals;
+/// use pard_sim::Time;
+/// let mut p = PoissonArrivals::new(10_000.0, 7, "doc");
+/// let first = p.next_arrival();
+/// let second = p.next_arrival();
+/// assert!(second > first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+    next: Time,
+    rng: SmallRng,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate_per_sec` arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn new(rate_per_sec: f64, seed: u64, stream: &str) -> Self {
+        assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+        PoissonArrivals {
+            rate_per_sec,
+            next: Time::ZERO,
+            rng: stream_rng(seed, stream),
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Returns the next arrival's absolute time and advances the process.
+    pub fn next_arrival(&mut self) -> Time {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap_secs = -u.ln() / self.rate_per_sec;
+        let gap = Time::from_units((gap_secs * 4e9).max(1.0) as u64);
+        self.next += gap;
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_mass_concentrates_at_the_head() {
+        let z = Zipf::new(2500, 1.6, 1, "t");
+        // The shape that drives the memcached model: hot head, long tail.
+        assert!(z.top_mass(160) > 0.80, "top 160 items carry most mass");
+        assert!(z.top_mass(2500) > 0.999);
+        assert!(z.top_mass(0) == 0.0);
+        assert!(z.top_mass(1) > z.top_mass(0));
+    }
+
+    #[test]
+    fn zipf_sampling_matches_mass() {
+        let mut z = Zipf::new(100, 1.2, 2, "t");
+        let n = 20_000;
+        let mut top10 = 0u64;
+        for _ in 0..n {
+            if z.sample() < 10 {
+                top10 += 1;
+            }
+        }
+        let expected = z.top_mass(10);
+        let observed = top10 as f64 / n as f64;
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "observed {observed:.3} vs expected {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0, 3, "t");
+        assert!((z.top_mass(5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_respected() {
+        let mut p = PoissonArrivals::new(1_000_000.0, 4, "t"); // 1/µs
+        let n = 10_000;
+        let mut last = Time::ZERO;
+        for _ in 0..n {
+            last = p.next_arrival();
+        }
+        let mean_gap_us = last.as_us() / n as f64;
+        assert!(
+            (0.9..=1.1).contains(&mean_gap_us),
+            "mean gap {mean_gap_us:.3} µs, expected ~1"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut p = PoissonArrivals::new(1e9, 5, "t");
+        let mut last = Time::ZERO;
+        for _ in 0..1000 {
+            let t = p.next_arrival();
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonArrivals::new(0.0, 0, "t");
+    }
+}

@@ -1,0 +1,54 @@
+//! # pard-workloads — the evaluation workloads
+//!
+//! The paper evaluates PARD with memcached (CloudSuite), SPEC CPU2006
+//! workloads (437.leslie3d, 470.lbm), and microbenchmarks (STREAM,
+//! CacheFlush, DiskCopy). Since this reproduction cannot boot the real
+//! binaries, each workload is a **workload engine**: a state machine that
+//! emits a stream of architectural operations ([`Op`]) — compute spans,
+//! tagged loads/stores, disk requests — which the simulated cores execute
+//! against the real cache/memory/I/O models.
+//!
+//! Engine fidelity targets (documented per engine):
+//!
+//! * [`Memcached`] — closed-loop request server with Poisson arrivals and
+//!   Zipf-popular items; service time emerges from the memory system, so
+//!   LLC contention translates into tail-latency exactly as in Figure 8.
+//! * [`Stream`] — the STREAM triad: sequential load/load/store sweeps over
+//!   arrays far larger than the LLC.
+//! * [`CacheFlush`] — writes every line of a buffer larger than the LLC in
+//!   a loop (the paper's LLC-thrashing microbenchmark of Figure 7).
+//! * [`Leslie3dProxy`] / [`LbmProxy`] — footprint/intensity proxies for the
+//!   two SPEC workloads of Figure 7.
+//! * [`DiskCopy`] — `dd if=/dev/zero of=/dev/sdb bs=32M count=16`
+//!   (Figure 10).
+//! * [`BootThen`] — wraps any engine with an "OS boot" warm-up phase, for
+//!   the Figure 7 launch timeline.
+//! * [`TimeShared`] — a round-robin OS-scheduler model that retags the
+//!   core per process, implementing the paper's "process-level DiffServ"
+//!   open problem (§10).
+
+#![warn(missing_docs)]
+
+mod boot;
+mod cacheflush;
+mod chase;
+mod diskcopy;
+mod factory;
+mod generators;
+mod memcached;
+mod op;
+mod spec;
+mod stream;
+mod timeshare;
+
+pub use boot::BootThen;
+pub use cacheflush::CacheFlush;
+pub use chase::PointerChase;
+pub use diskcopy::{DiskCopy, DiskCopyConfig};
+pub use factory::{by_name, known_workloads};
+pub use generators::{PoissonArrivals, Zipf};
+pub use memcached::{Memcached, MemcachedConfig, MemcachedReport};
+pub use op::{Op, WorkloadEngine};
+pub use spec::{LbmProxy, Leslie3dProxy};
+pub use stream::{Stream, StreamConfig};
+pub use timeshare::TimeShared;

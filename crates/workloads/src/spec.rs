@@ -1,0 +1,189 @@
+//! Footprint/intensity proxies for the SPEC CPU2006 workloads of Figure 7.
+//!
+//! The paper runs 437.leslie3d and 470.lbm in LDom0/LDom1 of the dynamic-
+//! partitioning demo; their role there is purely to exhibit distinct LLC
+//! occupancy and memory-bandwidth signatures. The proxies reproduce the
+//! published characteristics:
+//!
+//! * **437.leslie3d** — a line-sweep fluid-dynamics stencil: moderate
+//!   working set with strong reuse (its occupancy curve in Figure 7
+//!   plateaus around 1.5–2 MB) and moderate bandwidth.
+//! * **470.lbm** — lattice-Boltzmann: a large streaming footprint with
+//!   heavy store traffic, occupying whatever cache it is given and
+//!   sustaining high bandwidth.
+
+use pard_icn::LAddr;
+use pard_sim::Time;
+
+use crate::op::{Op, WorkloadEngine};
+
+/// Proxy for SPEC CPU2006 437.leslie3d: repeated stencil sweeps over a
+/// ~1.75 MB working set with compute between accesses.
+pub struct Leslie3dProxy {
+    base: u64,
+    lines: u64,
+    cursor: u64,
+    step: u8,
+}
+
+impl Leslie3dProxy {
+    /// Working set of the proxy in bytes.
+    pub const WORKING_SET: u64 = 1_792 * 1024;
+
+    /// Creates the proxy with its data at `base`.
+    pub fn new(base: u64) -> Self {
+        Leslie3dProxy {
+            base,
+            lines: Self::WORKING_SET / 64,
+            cursor: 0,
+            step: 0,
+        }
+    }
+}
+
+impl WorkloadEngine for Leslie3dProxy {
+    fn name(&self) -> &str {
+        "437.leslie3d"
+    }
+
+    fn next_op(&mut self, _now: Time) -> Op {
+        // Stencil: load centre, load neighbour, store centre, compute.
+        let op = match self.step {
+            0 => Op::Load {
+                addr: LAddr::new(self.base + self.cursor * 64),
+                blocking: false,
+            },
+            1 => {
+                let neighbour = (self.cursor + 128) % self.lines;
+                Op::Load {
+                    addr: LAddr::new(self.base + neighbour * 64),
+                    blocking: false,
+                }
+            }
+            2 => Op::Store {
+                addr: LAddr::new(self.base + self.cursor * 64),
+            },
+            _ => Op::Compute(220),
+        };
+        self.step += 1;
+        if self.step == 4 {
+            self.step = 0;
+            self.cursor = (self.cursor + 1) % self.lines;
+        }
+        op
+    }
+
+    crate::impl_engine_any!();
+}
+
+/// Proxy for SPEC CPU2006 470.lbm: streaming over a 24 MB lattice with
+/// store-heavy traffic and little compute per element.
+pub struct LbmProxy {
+    base: u64,
+    lines: u64,
+    cursor: u64,
+    step: u8,
+}
+
+impl LbmProxy {
+    /// Streaming footprint of the proxy in bytes.
+    pub const FOOTPRINT: u64 = 24 * 1024 * 1024;
+
+    /// Creates the proxy with its lattice at `base`.
+    pub fn new(base: u64) -> Self {
+        LbmProxy {
+            base,
+            lines: Self::FOOTPRINT / 64,
+            cursor: 0,
+            step: 0,
+        }
+    }
+}
+
+impl WorkloadEngine for LbmProxy {
+    fn name(&self) -> &str {
+        "470.lbm"
+    }
+
+    fn next_op(&mut self, _now: Time) -> Op {
+        // Collide-and-stream: load cell, store cell, store neighbour, brief compute.
+        let op = match self.step {
+            0 => Op::Load {
+                addr: LAddr::new(self.base + self.cursor * 64),
+                blocking: false,
+            },
+            1 => Op::Store {
+                addr: LAddr::new(self.base + self.cursor * 64),
+            },
+            2 => {
+                let neighbour = (self.cursor + 512) % self.lines;
+                Op::Store {
+                    addr: LAddr::new(self.base + neighbour * 64),
+                }
+            }
+            _ => Op::Compute(60),
+        };
+        self.step += 1;
+        if self.step == 4 {
+            self.step = 0;
+            self.cursor = (self.cursor + 1) % self.lines;
+        }
+        op
+    }
+
+    crate::impl_engine_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addresses(engine: &mut dyn WorkloadEngine, n: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        while out.len() < n {
+            match engine.next_op(Time::ZERO) {
+                Op::Load { addr, .. } | Op::Store { addr } => out.push(addr.raw()),
+                Op::Compute(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn leslie_stays_within_its_working_set() {
+        let mut e = Leslie3dProxy::new(0x100_0000);
+        for a in addresses(&mut e, 10_000) {
+            assert!(a >= 0x100_0000);
+            assert!(a < 0x100_0000 + Leslie3dProxy::WORKING_SET);
+        }
+    }
+
+    #[test]
+    fn lbm_covers_a_large_footprint() {
+        let mut e = LbmProxy::new(0);
+        let addrs = addresses(&mut e, 60_000);
+        let max = addrs.iter().max().unwrap();
+        assert!(*max >= 1024 * 1024, "footprint too small: {max:#x}");
+        assert!(*max < LbmProxy::FOOTPRINT);
+    }
+
+    #[test]
+    fn lbm_is_store_heavier_than_leslie() {
+        fn store_fraction(e: &mut dyn WorkloadEngine) -> f64 {
+            let mut loads = 0u32;
+            let mut stores = 0u32;
+            for _ in 0..4000 {
+                match e.next_op(Time::ZERO) {
+                    Op::Load { .. } => loads += 1,
+                    Op::Store { .. } => stores += 1,
+                    _ => {}
+                }
+            }
+            f64::from(stores) / f64::from(loads + stores)
+        }
+        let mut lbm = LbmProxy::new(0);
+        let mut leslie = Leslie3dProxy::new(0);
+        assert!(store_fraction(&mut lbm) > store_fraction(&mut leslie));
+    }
+}

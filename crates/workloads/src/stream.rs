@@ -1,0 +1,181 @@
+//! The STREAM triad microbenchmark.
+
+use pard_icn::LAddr;
+use pard_sim::Time;
+
+use crate::op::{Op, WorkloadEngine};
+
+/// Configuration of the [`Stream`] engine.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Size of each of the three arrays in bytes.
+    pub array_bytes: u64,
+    /// Base address of the first array (the other two follow contiguously).
+    pub base: u64,
+    /// Compute cycles per 64-byte block (the triad multiply-adds).
+    pub compute_per_block: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            array_bytes: 16 * 1024 * 1024,
+            base: 0x1000_0000,
+            compute_per_block: 16,
+        }
+    }
+}
+
+/// STREAM triad: `c[i] = a[i] + s * b[i]` swept repeatedly over arrays far
+/// larger than the LLC.
+///
+/// Per 64-byte block the engine emits two non-blocking loads (the `a` and
+/// `b` lines), one store (the `c` line), and a small compute span —
+/// exactly the memory shape of the real kernel. The arrays are re-swept
+/// forever, continuously evicting other LDoms' LLC blocks (the
+/// interference source of Figures 8 and 9).
+pub struct Stream {
+    cfg: StreamConfig,
+    block: u64,
+    blocks_per_array: u64,
+    step: u8,
+    sweeps: u64,
+}
+
+impl Stream {
+    /// Creates the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array size is not a multiple of 64 bytes or is empty.
+    pub fn new(cfg: StreamConfig) -> Self {
+        assert!(
+            cfg.array_bytes >= 64 && cfg.array_bytes.is_multiple_of(64),
+            "array size must be a non-zero multiple of the line size"
+        );
+        Stream {
+            blocks_per_array: cfg.array_bytes / 64,
+            block: 0,
+            step: 0,
+            sweeps: 0,
+            cfg,
+        }
+    }
+
+    /// Completed full sweeps over the arrays.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    fn addr(&self, array: u64) -> LAddr {
+        LAddr::new(self.cfg.base + array * self.cfg.array_bytes + self.block * 64)
+    }
+}
+
+impl WorkloadEngine for Stream {
+    fn name(&self) -> &str {
+        "stream"
+    }
+
+    fn next_op(&mut self, _now: Time) -> Op {
+        let op = match self.step {
+            0 => Op::Load {
+                addr: self.addr(0),
+                blocking: false,
+            },
+            1 => Op::Load {
+                addr: self.addr(1),
+                blocking: false,
+            },
+            2 => Op::Store { addr: self.addr(2) },
+            _ => Op::Compute(self.cfg.compute_per_block),
+        };
+        self.step += 1;
+        if self.step == 4 {
+            self.step = 0;
+            self.block += 1;
+            if self.block == self.blocks_per_array {
+                self.block = 0;
+                self.sweeps += 1;
+            }
+        }
+        op
+    }
+
+    crate::impl_engine_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_pattern_repeats() {
+        let mut s = Stream::new(StreamConfig {
+            array_bytes: 128,
+            base: 0,
+            compute_per_block: 4,
+        });
+        // Block 0: load a[0], load b[0], store c[0], compute.
+        assert_eq!(
+            s.next_op(Time::ZERO),
+            Op::Load {
+                addr: LAddr::new(0),
+                blocking: false
+            }
+        );
+        assert_eq!(
+            s.next_op(Time::ZERO),
+            Op::Load {
+                addr: LAddr::new(128),
+                blocking: false
+            }
+        );
+        assert_eq!(
+            s.next_op(Time::ZERO),
+            Op::Store {
+                addr: LAddr::new(256)
+            }
+        );
+        assert_eq!(s.next_op(Time::ZERO), Op::Compute(4));
+        // Block 1 advances by one line.
+        assert_eq!(
+            s.next_op(Time::ZERO),
+            Op::Load {
+                addr: LAddr::new(64),
+                blocking: false
+            }
+        );
+    }
+
+    #[test]
+    fn sweeps_wrap_around() {
+        let mut s = Stream::new(StreamConfig {
+            array_bytes: 128,
+            base: 0,
+            compute_per_block: 1,
+        });
+        for _ in 0..8 {
+            s.next_op(Time::ZERO);
+        }
+        assert_eq!(s.sweeps(), 1);
+        // After wrapping we are back at block 0.
+        assert_eq!(
+            s.next_op(Time::ZERO),
+            Op::Load {
+                addr: LAddr::new(0),
+                blocking: false
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the line size")]
+    fn unaligned_array_panics() {
+        let _ = Stream::new(StreamConfig {
+            array_bytes: 100,
+            base: 0,
+            compute_per_block: 1,
+        });
+    }
+}

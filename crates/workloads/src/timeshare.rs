@@ -1,0 +1,244 @@
+//! Process-level time sharing on one core (the paper's §10 open problem).
+
+use pard_sim::Time;
+
+use crate::op::{Op, WorkloadEngine};
+
+/// One scheduled "process": an engine plus the DS-id its traffic carries.
+struct Slot {
+    ds: u16,
+    engine: Box<dyn WorkloadEngine>,
+    halted: bool,
+}
+
+/// A round-robin OS scheduler model: time-shares several workload engines
+/// on one core, writing the core's **DS-id tag register on every context
+/// switch** (via [`Op::SetTag`]).
+///
+/// This demonstrates the paper's "process-level DiffServ" open problem:
+/// with the OS loading the tag register per process, the shared-resource
+/// control planes differentiate *processes* of one core exactly as they
+/// differentiate LDoms — per-process LLC way masks, memory priorities,
+/// and statistics, with no other hardware change.
+///
+/// Scheduling model: fixed time slices; a context switch costs
+/// `switch_cycles` of compute plus the tag-register write. Engines that
+/// [`Op::Halt`] drop out of the rotation; when all have halted the
+/// combinator halts.
+pub struct TimeShared {
+    slots: Vec<Slot>,
+    slice: Time,
+    switch_cycles: u64,
+    active: usize,
+    slice_end: Time,
+    started: bool,
+    switches: u64,
+}
+
+impl TimeShared {
+    /// Creates a scheduler over `(ds_id, engine)` pairs with the given
+    /// time slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty or the slice is zero.
+    pub fn new(processes: Vec<(u16, Box<dyn WorkloadEngine>)>, slice: Time) -> Self {
+        assert!(!processes.is_empty(), "need at least one process");
+        assert!(slice > Time::ZERO, "slice must be non-zero");
+        TimeShared {
+            slots: processes
+                .into_iter()
+                .map(|(ds, engine)| Slot {
+                    ds,
+                    engine,
+                    halted: false,
+                })
+                .collect(),
+            slice,
+            switch_cycles: 4_000, // ~2 µs of kernel scheduling work
+            active: 0,
+            slice_end: Time::ZERO,
+            started: false,
+            switches: 0,
+        }
+    }
+
+    /// Context switches performed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The DS-id currently on the core.
+    pub fn current_ds(&self) -> u16 {
+        self.slots[self.active].ds
+    }
+
+    fn next_runnable(&self, from: usize) -> Option<usize> {
+        let n = self.slots.len();
+        (1..=n)
+            .map(|k| (from + k) % n)
+            .find(|&i| !self.slots[i].halted)
+    }
+}
+
+impl WorkloadEngine for TimeShared {
+    fn name(&self) -> &str {
+        "timeshared"
+    }
+
+    fn next_op(&mut self, now: Time) -> Op {
+        if !self.started {
+            // First dispatch: load the first process's tag.
+            self.started = true;
+            self.slice_end = now + self.slice;
+            return Op::SetTag(self.slots[self.active].ds);
+        }
+
+        if self.slots.iter().all(|s| s.halted) {
+            return Op::Halt;
+        }
+
+        // Preemption point: slice expired or current process halted.
+        if now >= self.slice_end || self.slots[self.active].halted {
+            match self.next_runnable(self.active) {
+                Some(next) => {
+                    let switching_process = next != self.active;
+                    self.active = next;
+                    self.slice_end = now + self.slice;
+                    if switching_process {
+                        self.switches += 1;
+                        return Op::SetTag(self.slots[self.active].ds);
+                    }
+                    // Sole runnable process: charge the timer tick only.
+                    return Op::Compute(self.switch_cycles / 4);
+                }
+                None => return Op::Halt,
+            }
+        }
+
+        let slot = &mut self.slots[self.active];
+        match slot.engine.next_op(now) {
+            Op::Halt => {
+                slot.halted = true;
+                // Recurse to pick the next process (bounded: one level).
+                self.next_op(now)
+            }
+            op => op,
+        }
+    }
+
+    crate::impl_engine_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cacheflush::CacheFlush;
+    use crate::diskcopy::{DiskCopy, DiskCopyConfig};
+    use pard_icn::DiskKind;
+
+    fn drive(e: &mut TimeShared, until: Time) -> Vec<(u16, u64)> {
+        // Returns (tag, ops-under-that-tag) segments.
+        let mut now = Time::ZERO;
+        let mut segments: Vec<(u16, u64)> = Vec::new();
+        let mut tag = u16::MAX;
+        while now < until {
+            match e.next_op(now) {
+                Op::SetTag(t) => {
+                    tag = t;
+                    segments.push((t, 0));
+                    now += Time::from_ns(50);
+                }
+                Op::Halt => break,
+                Op::Compute(c) => now += Time::from_units(c * 2),
+                Op::IdleUntil(t) => now = now.max(t),
+                _ => {
+                    if let Some(last) = segments.last_mut() {
+                        last.1 += 1;
+                    }
+                    assert_ne!(tag, u16::MAX, "ops before first dispatch");
+                    now += Time::from_ns(10);
+                }
+            }
+        }
+        segments
+    }
+
+    #[test]
+    fn round_robin_alternates_tags() {
+        let mut e = TimeShared::new(
+            vec![
+                (1, Box::new(CacheFlush::new(0, 4096))),
+                (2, Box::new(CacheFlush::new(0, 4096))),
+            ],
+            Time::from_us(50),
+        );
+        let segments = drive(&mut e, Time::from_ms(1));
+        assert!(segments.len() >= 4, "several slices: {segments:?}");
+        // Tags alternate 1, 2, 1, 2...
+        for pair in segments.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "adjacent slices differ");
+        }
+        // Both processes made progress.
+        let ops1: u64 = segments.iter().filter(|s| s.0 == 1).map(|s| s.1).sum();
+        let ops2: u64 = segments.iter().filter(|s| s.0 == 2).map(|s| s.1).sum();
+        assert!(ops1 > 100 && ops2 > 100);
+        assert!(e.switches() >= 3);
+    }
+
+    #[test]
+    fn halted_processes_leave_the_rotation() {
+        // Process 1 halts quickly (a one-block DiskCopy never completes
+        // without a disk, so use count 0 which halts immediately).
+        let quick = DiskCopy::new(DiskCopyConfig {
+            count: 0,
+            ..DiskCopyConfig::default()
+        });
+        let mut e = TimeShared::new(
+            vec![
+                (1, Box::new(quick)),
+                (2, Box::new(CacheFlush::new(0, 4096))),
+            ],
+            Time::from_us(20),
+        );
+        let segments = drive(&mut e, Time::from_ms(1));
+        // Process 1 halts immediately; the rotation collapses to process 2
+        // and never switches back.
+        assert_eq!(segments.last().unwrap().0, 2, "{segments:?}");
+        let ops1: u64 = segments.iter().filter(|s| s.0 == 1).map(|s| s.1).sum();
+        let ops2: u64 = segments.iter().filter(|s| s.0 == 2).map(|s| s.1).sum();
+        assert_eq!(ops1, 0, "halted process issued work: {segments:?}");
+        assert!(ops2 > 1000);
+    }
+
+    #[test]
+    fn all_halted_halts_the_combinator() {
+        let done = || {
+            Box::new(DiskCopy::new(DiskCopyConfig {
+                count: 0,
+                kind: DiskKind::Write,
+                ..DiskCopyConfig::default()
+            })) as Box<dyn WorkloadEngine>
+        };
+        let mut e = TimeShared::new(vec![(1, done()), (2, done())], Time::from_us(10));
+        let mut now = Time::ZERO;
+        let mut halted = false;
+        for _ in 0..50 {
+            match e.next_op(now) {
+                Op::Halt => {
+                    halted = true;
+                    break;
+                }
+                Op::Compute(c) => now += Time::from_units(c * 2),
+                _ => now += Time::from_ns(10),
+            }
+        }
+        assert!(halted);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_schedule_panics() {
+        let _ = TimeShared::new(vec![], Time::from_us(10));
+    }
+}

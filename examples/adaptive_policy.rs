@@ -1,0 +1,114 @@
+//! An adaptive resourcing-on-demand policy — the paper's Example 2
+//! handler (`update_mask(cur_mask, miss_rate, capacity)`) in full: instead
+//! of jumping straight to half the LLC, the handler *grows the partition
+//! one way at a time* each time the miss-rate trigger fires, and re-arms
+//! the trigger so it can fire again if the miss rate stays high.
+//!
+//! ```sh
+//! cargo run -p pard --example adaptive_policy --release
+//! ```
+
+use pard::{Action, CmpOp, DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard_workloads::{CacheFlush, Leslie3dProxy};
+
+fn main() {
+    let mut server = PardServer::new(SystemConfig::asplos15());
+
+    let victim = server
+        .create_ldom(LDomSpec::new("victim", vec![0], 1 << 30))
+        .unwrap();
+    server
+        .create_ldom(LDomSpec::new("bully", vec![1], 1 << 30))
+        .unwrap();
+    server.install_engine(0, Box::new(Leslie3dProxy::new(0x0100_0000)));
+    server.install_engine(1, Box::new(CacheFlush::new(0x0100_0000, 16 << 20)));
+
+    // Start the victim in a deliberately tiny 2-way partition.
+    server
+        .shell("echo 0x0003 > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+        .unwrap();
+    server.launch(victim).unwrap();
+    server.run_for(Time::from_ms(5));
+
+    // Trigger + adaptive native handler. The handler widens the mask by
+    // one way per firing and re-arms the trigger, so sustained thrashing
+    // keeps growing the partition until the miss rate falls below the
+    // threshold — resourcing on demand, not a fixed jump.
+    {
+        let mut fw = server.firmware().lock();
+        fw.pardtrigger(0, victim, 0, "miss_rate", CmpOp::Gt, 25)
+            .unwrap();
+        let llc_cp = server_cp(&server);
+        // A real policy waits for its last adjustment to take effect
+        // before adjusting again: 2 ms cooldown between steps.
+        let mut last_step = Time::ZERO;
+        fw.register_action(
+            "update_mask",
+            Action::Native(Box::new(move |fw, env| {
+                if env.now < last_step + Time::from_ms(2) {
+                    // Too soon: re-arm and wait for the next evaluation.
+                    let _ = llc_cp.lock().triggers_mut().set_field(env.slot, 5, 0);
+                    return;
+                }
+                last_step = env.now;
+                let path = format!(
+                    "/sys/cpa/cpa{}/ldoms/ldom{}/parameters/waymask",
+                    env.cpa,
+                    env.ds.raw()
+                );
+                let cur: u64 = fw.read(&path).unwrap().parse().unwrap();
+                let widened = ((cur << 1) | cur) & 0xFFFF;
+                fw.write(&path, &widened.to_string()).unwrap();
+                // Confine the aggressor to the complement (always leaving
+                // it at least one way) — growth without confinement would
+                // protect nothing.
+                let complement = (!widened & 0xFFFF).max(0x8000);
+                let bully_path = format!("/sys/cpa/cpa{}/ldoms/ldom1/parameters/waymask", env.cpa);
+                fw.write(&bully_path, &complement.to_string()).unwrap();
+                fw.log(format!(
+                    "update_mask: {cur:#06x} -> {widened:#06x} for ldom{} (others {complement:#06x})",
+                    env.ds.raw()
+                ));
+                // Re-arm the hardware trigger so it can fire again while
+                // the condition persists (field 5 = the latch bit).
+                let _ = llc_cp
+                    .lock()
+                    .triggers_mut()
+                    .set_field(env.slot, 5, 0);
+            })),
+        );
+        fw.write("/sys/cpa/cpa0/ldoms/ldom0/triggers/0", "update_mask")
+            .unwrap();
+    }
+
+    server.launch(DsId::new(1)).unwrap();
+
+    println!("time    victim waymask   miss%   occupancy");
+    for step in 1..=12 {
+        server.run_for(Time::from_ms(4));
+        let mask = server
+            .shell("cat /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+            .unwrap();
+        let miss = server
+            .shell("cat /sys/cpa/cpa0/ldoms/ldom0/statistics/miss_rate")
+            .unwrap();
+        let occ = server.llc_occupancy_bytes(victim) as f64 / (1 << 20) as f64;
+        println!(
+            "{:>4} ms  {:>14}  {:>5}%  {occ:>8.2} MB",
+            step * 4,
+            format!("{:#06x}", mask.parse::<u64>().unwrap_or(0)),
+            miss
+        );
+    }
+
+    println!("\nfirmware log (mask growth):");
+    for line in server.shell("logread").unwrap().lines() {
+        if line.contains("update_mask") {
+            println!("  {line}");
+        }
+    }
+}
+
+fn server_cp(server: &PardServer) -> pard::CpHandle {
+    server.llc_cp().clone()
+}

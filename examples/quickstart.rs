@@ -1,0 +1,74 @@
+//! Quickstart: build a PARD server, partition it into two LDoms, run
+//! workloads, and read the control planes through the firmware's device
+//! file tree.
+//!
+//! ```sh
+//! cargo run -p pard --example quickstart --release
+//! ```
+
+use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard_workloads::{CacheFlush, Stream, StreamConfig};
+
+fn main() {
+    // The paper's Table 2 platform: 4 cores, 4 MB LLC, DDR3-1600.
+    let mut server = PardServer::new(SystemConfig::asplos15());
+
+    // The operator view of Figure 3: create LDoms, assign DS-ids,
+    // allocate resources — all through the PRM firmware.
+    let batch = server
+        .create_ldom(LDomSpec::new("batch", vec![0], 1 << 30))
+        .expect("create batch LDom");
+    let noisy = server
+        .create_ldom(LDomSpec::new("noisy", vec![1], 1 << 30))
+        .expect("create noisy LDom");
+
+    server.install_engine(
+        0,
+        Box::new(Stream::new(StreamConfig {
+            array_bytes: 8 << 20,
+            base: 0x0100_0000,
+            compute_per_block: 32,
+        })),
+    );
+    server.install_engine(1, Box::new(CacheFlush::new(0x0100_0000, 8 << 20)));
+
+    server.launch(batch).expect("launch");
+    server.launch(noisy).expect("launch");
+    server.run_for(Time::from_ms(5));
+
+    println!("After 5 ms of unpartitioned sharing:");
+    report(&mut server, &[batch, noisy]);
+
+    // Partition the LLC 12/4 ways with two `echo` commands — the same
+    // interface a datacenter operator scripts against.
+    server
+        .shell("echo 0x0FFF > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+        .expect("echo");
+    server
+        .shell("echo 0xF000 > /sys/cpa/cpa0/ldoms/ldom1/parameters/waymask")
+        .expect("echo");
+    server.run_for(Time::from_ms(5));
+
+    println!("\nAfter `echo waymask` repartitioning (12 ways vs 4):");
+    report(&mut server, &[batch, noisy]);
+
+    println!("\nDevice file tree under /sys/cpa:");
+    let listing = server.shell("ls /sys/cpa").expect("ls");
+    for cpa in listing.lines() {
+        let ident = server.shell(&format!("cat /sys/cpa/{cpa}/ident")).unwrap();
+        println!("  {cpa}: {ident}");
+    }
+}
+
+fn report(server: &mut PardServer, ldoms: &[DsId]) {
+    for &ds in ldoms {
+        let occ = server.llc_occupancy_bytes(ds) as f64 / (1 << 20) as f64;
+        let (hits, misses) = server.llc_counts(ds);
+        let bw = server
+            .mem_cp()
+            .lock()
+            .stat(ds, "bandwidth")
+            .unwrap_or_default();
+        println!("  {ds}: LLC {occ:.2} MB, {hits} hits / {misses} misses, {bw} MB/s DRAM");
+    }
+}

@@ -1,0 +1,333 @@
+//! End-to-end integration tests: the assembled machine, from workload
+//! engines through caches, DRAM, I/O, and the PRM firmware.
+
+use pard::{LDomSpec, PardServer, SystemConfig, Time};
+use pard_icn::{NetFrame, PardEvent};
+use pard_workloads::{
+    CacheFlush, DiskCopy, DiskCopyConfig, Memcached, MemcachedConfig, PointerChase, Stream,
+    StreamConfig,
+};
+
+fn small() -> PardServer {
+    PardServer::new(SystemConfig::small_test())
+}
+
+#[test]
+fn full_stack_stream_reaches_dram_and_stats_flow() {
+    let mut server = small();
+    let ds = server
+        .create_ldom(LDomSpec::new("s", vec![0], 64 << 20))
+        .unwrap();
+    server.install_engine(
+        0,
+        Box::new(Stream::new(StreamConfig {
+            array_bytes: 1 << 20,
+            base: 0,
+            compute_per_block: 8,
+        })),
+    );
+    server.launch(ds).unwrap();
+    server.run_for(Time::from_ms(3));
+
+    // Statistics must appear consistently at every level of the stack.
+    let stats = server.core_stats(0);
+    assert!(stats.loads > 0 && stats.stores > 0);
+    let (hits, misses) = server.llc_counts(ds);
+    assert!(misses > 0, "streaming must miss the LLC");
+    assert!(
+        hits + misses <= stats.l1_misses + 16,
+        "LLC traffic from L1 misses"
+    );
+    let mem_bw = server.mem_cp().lock().stat(ds, "bandwidth").unwrap();
+    assert!(mem_bw > 0, "memory control plane observed bandwidth");
+    let served = server.mem_cp().lock().stat(ds, "serv_cnt").unwrap();
+    assert!(served > 0);
+}
+
+#[test]
+fn disk_path_exercises_dma_tagging_and_interrupt_routing() {
+    let mut server = small();
+    let ds = server
+        .create_ldom(LDomSpec::new("dd", vec![1], 32 << 20))
+        .unwrap();
+    server.install_engine(
+        1,
+        Box::new(DiskCopy::new(DiskCopyConfig {
+            disk: 0,
+            block_bytes: 1 << 20,
+            count: 4,
+            ..DiskCopyConfig::default()
+        })),
+    );
+    server.launch(ds).unwrap();
+    server.run_for(Time::from_ms(40));
+
+    // The copy completed: the engine halted via the interrupt path.
+    assert!(server.with_core(1, |c| c.is_halted()), "dd finished");
+    assert_eq!(server.disk_progress(ds).bytes_done, 4 << 20);
+    assert_eq!(server.disk_progress(ds).requests_done, 4);
+    // The DMA traffic was tagged and accounted at the bridge.
+    let dma = server.bridge_cp().lock().stat(ds, "dma_bytes").unwrap();
+    assert_eq!(dma, 4 << 20);
+}
+
+#[test]
+fn disk_reads_dma_into_memory() {
+    // The from-device direction: DMA writes toward memory, same tagging.
+    let mut server = small();
+    let ds = server
+        .create_ldom(LDomSpec::new("reader", vec![0], 32 << 20))
+        .unwrap();
+    server.install_engine(
+        0,
+        Box::new(DiskCopy::new(DiskCopyConfig {
+            disk: 2,
+            kind: pard_icn::DiskKind::Read,
+            block_bytes: 1 << 20,
+            count: 2,
+            ..DiskCopyConfig::default()
+        })),
+    );
+    server.launch(ds).unwrap();
+    server.run_for(Time::from_ms(30));
+    assert!(server.with_core(0, |c| c.is_halted()));
+    assert_eq!(server.disk_progress(ds).bytes_done, 2 << 20);
+    // The receive DMA reached DRAM as tagged write traffic.
+    let served = server.mem_cp().lock().stat(ds, "serv_cnt").unwrap();
+    assert!(served > 0, "DMA writes must reach the memory controller");
+}
+
+#[test]
+fn nic_frames_land_in_the_right_ldom() {
+    let mut server = small();
+    let mac = [2, 0, 0, 0, 0, 9];
+    let ds = server
+        .create_ldom(LDomSpec::new("net", vec![0], 32 << 20).with_mac(mac))
+        .unwrap();
+    server.run_for(Time::from_ms(1)); // PRM programs the v-NIC
+    let nic = server.nic_id();
+    server.post(
+        nic,
+        Time::ZERO,
+        PardEvent::NetFrame(NetFrame {
+            dst_mac: mac,
+            bytes: 1500,
+            arrived_at: Time::ZERO,
+        }),
+    );
+    server.run_for(Time::from_ms(3));
+    assert_eq!(server.nic_cp().lock().stat(ds, "frames").unwrap(), 1);
+    assert_eq!(server.nic_cp().lock().stat(ds, "bytes").unwrap(), 1500);
+    assert_eq!(
+        server.bridge_cp().lock().stat(ds, "dma_bytes").unwrap(),
+        1500
+    );
+}
+
+#[test]
+fn memcached_completes_requests_against_the_real_memory_system() {
+    let mut server = small();
+    let ds = server
+        .create_ldom(LDomSpec::new("mc", vec![0], 64 << 20))
+        .unwrap();
+    server.install_engine(
+        0,
+        Box::new(Memcached::new(MemcachedConfig {
+            rps: 50_000.0,
+            items: 64,
+            value_lines: 16,
+            buffer_lines: 8,
+            meta_loads: 4,
+            client_compute: 2_000,
+            hash_compute: 1_000,
+            resp_compute: 2_000,
+            warmup: Time::from_ms(1),
+            ..MemcachedConfig::default()
+        })),
+    );
+    server.launch(ds).unwrap();
+    server.run_for(Time::from_ms(20));
+    let report = server.with_engine::<Memcached, _>(0, |m| m.report());
+    assert!(report.completed > 200, "completed {}", report.completed);
+    assert!(report.p95 > Time::ZERO);
+    assert!(report.p95 >= report.mean);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let mut server = small();
+        let ds = server
+            .create_ldom(LDomSpec::new("m", vec![0], 64 << 20))
+            .unwrap();
+        server.install_engine(
+            0,
+            Box::new(Memcached::new(MemcachedConfig {
+                rps: 50_000.0,
+                items: 64,
+                value_lines: 16,
+                buffer_lines: 8,
+                warmup: Time::ZERO,
+                seed: 7,
+                ..MemcachedConfig::default()
+            })),
+        );
+        server.launch(ds).unwrap();
+        server.run_for(Time::from_ms(10));
+        let report = server.with_engine::<Memcached, _>(0, |m| m.report());
+        (
+            report.completed,
+            report.p95,
+            server.events_processed(),
+            server.llc_counts(ds),
+        )
+    };
+    assert_eq!(run(), run(), "same seed must give bit-identical runs");
+}
+
+#[test]
+fn waymask_repartition_through_the_shell_shifts_occupancy() {
+    let mut server = small();
+    let a = server
+        .create_ldom(LDomSpec::new("a", vec![0], 32 << 20))
+        .unwrap();
+    let b = server
+        .create_ldom(LDomSpec::new("b", vec![1], 32 << 20))
+        .unwrap();
+    server.install_engine(0, Box::new(CacheFlush::new(0, 1 << 20)));
+    server.install_engine(1, Box::new(CacheFlush::new(0, 1 << 20)));
+    server.launch(a).unwrap();
+    server.launch(b).unwrap();
+    server.run_for(Time::from_ms(2));
+
+    let occ_before = server.llc_occupancy_bytes(a);
+    server
+        .shell("echo 0xFFF0 > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+        .unwrap();
+    server
+        .shell("echo 0x000F > /sys/cpa/cpa0/ldoms/ldom1/parameters/waymask")
+        .unwrap();
+    server.run_for(Time::from_ms(3));
+    let occ_a = server.llc_occupancy_bytes(a);
+    let occ_b = server.llc_occupancy_bytes(b);
+    assert!(
+        occ_a > occ_b * 2,
+        "12/4 partition not visible: a={occ_a} b={occ_b} (before: {occ_before})"
+    );
+}
+
+#[test]
+fn cpu_utilization_tracks_active_cores() {
+    let mut server = small();
+    let ds = server
+        .create_ldom(LDomSpec::new("one", vec![0], 32 << 20))
+        .unwrap();
+    server.install_engine(0, Box::new(CacheFlush::new(0, 1 << 20)));
+    server.launch(ds).unwrap();
+    server.run_for(Time::from_ms(2));
+    let util = server.cpu_utilization();
+    // One of two test cores busy: ~50%.
+    assert!(
+        (0.35..=0.65).contains(&util),
+        "expected ~0.5 utilisation, got {util}"
+    );
+}
+
+#[test]
+fn destroy_ldom_flushes_llc_lines() {
+    let mut server = small();
+    let ds = server
+        .create_ldom(LDomSpec::new("gone", vec![0], 32 << 20))
+        .unwrap();
+    server.install_engine(0, Box::new(CacheFlush::new(0, 128 << 10)));
+    server.launch(ds).unwrap();
+    server.run_for(Time::from_ms(2));
+    assert!(server.llc_occupancy_bytes(ds) > 0);
+    server.destroy_ldom(ds).unwrap();
+    assert_eq!(
+        server.llc_occupancy_bytes(ds),
+        0,
+        "teardown must reclaim the departing LDom's lines"
+    );
+}
+
+#[test]
+fn compression_extension_is_programmable_per_ldom() {
+    // The §8 functionality extension through the operator surface.
+    let mut server = small();
+    let ds = server
+        .create_ldom(LDomSpec::new("mxt", vec![0], 32 << 20))
+        .unwrap();
+    server
+        .shell("echo 1 > /sys/cpa/cpa1/ldoms/ldom0/parameters/compress")
+        .unwrap();
+    assert_eq!(server.mem_cp().lock().param(ds, "compress").unwrap(), 1);
+    // Statistics column exists and starts at zero.
+    assert_eq!(
+        server
+            .shell("cat /sys/cpa/cpa1/ldoms/ldom0/statistics/comp_saved")
+            .unwrap(),
+        "0"
+    );
+}
+
+#[test]
+fn memory_priority_protects_load_latency_end_to_end() {
+    // The full-stack version of Figure 11: a latency-critical pointer
+    // chaser shares the machine with a bandwidth hog; granting it
+    // high memory priority (and the HP row buffer) must cut its observed
+    // load latency.
+    let run = |high_priority: bool| {
+        let mut server = small();
+        let spec = LDomSpec::new("chaser", vec![0], 32 << 20);
+        let spec = if high_priority {
+            spec.high_priority()
+        } else {
+            spec
+        };
+        let chaser = server.create_ldom(spec).unwrap();
+        let hog = server
+            .create_ldom(LDomSpec::new("hog", vec![1], 32 << 20))
+            .unwrap();
+        // 16 MB walk: misses both caches, every load exposes DRAM.
+        server.install_engine(0, Box::new(PointerChase::new(0, 16 << 20, 3)));
+        server.install_engine(
+            1,
+            Box::new(Stream::new(StreamConfig {
+                array_bytes: 4 << 20,
+                base: 0,
+                compute_per_block: 8,
+            })),
+        );
+        server.launch(chaser).unwrap();
+        server.launch(hog).unwrap();
+        server.run_for(Time::from_ms(4));
+        server.with_core(0, |c| {
+            c.with_engine::<PointerChase, _>(|e| (e.loads(), e.mean_load_latency()))
+        })
+    };
+    let (n_lo, lat_lo) = run(false);
+    let (n_hi, lat_hi) = run(true);
+    assert!(n_lo > 1_000 && n_hi > 1_000, "chasers made progress");
+    assert!(
+        lat_hi < lat_lo,
+        "high priority must cut load latency: {lat_hi} !< {lat_lo}"
+    );
+    // And more loads complete in the same span.
+    assert!(n_hi > n_lo);
+}
+
+#[test]
+fn firmware_log_records_ldom_lifecycle() {
+    let mut server = small();
+    let ds = server
+        .create_ldom(LDomSpec::new("logged", vec![0], 32 << 20))
+        .unwrap();
+    server.launch(ds).unwrap();
+    server.run_for(Time::from_ms(1));
+    server.firmware().lock().destroy_ldom(ds).unwrap();
+    let log = server.shell("logread").unwrap();
+    assert!(log.contains("created logged as ldom0"));
+    assert!(log.contains("launched ldom0"));
+    assert!(log.contains("destroyed ldom0"));
+}

@@ -1,0 +1,170 @@
+//! Fully hardware-supported virtualization (§7.1.1): LDoms run with
+//! identical LDom-physical address spaces, isolated purely by DS-id
+//! tagging and control-plane address translation — no hypervisor.
+
+use pard::{DsId, LDomSpec, PardServer, Priority, SystemConfig, Time};
+use pard_icn::LAddr;
+use pard_workloads::{impl_engine_any, Op, WorkloadEngine};
+
+fn small() -> PardServer {
+    PardServer::new(SystemConfig::small_test())
+}
+
+/// Touches a fixed list of addresses once (blocking), then halts.
+struct Toucher {
+    addrs: Vec<u64>,
+    i: usize,
+}
+
+impl Toucher {
+    fn new(addrs: Vec<u64>) -> Self {
+        Toucher { addrs, i: 0 }
+    }
+}
+
+impl WorkloadEngine for Toucher {
+    fn name(&self) -> &str {
+        "toucher"
+    }
+    fn next_op(&mut self, _now: Time) -> Op {
+        match self.addrs.get(self.i) {
+            Some(&a) => {
+                self.i += 1;
+                Op::Load {
+                    addr: LAddr::new(a),
+                    blocking: true,
+                }
+            }
+            None => Op::Halt,
+        }
+    }
+    impl_engine_any!();
+}
+
+#[test]
+fn ldoms_get_disjoint_machine_memory_despite_identical_laddrs() {
+    let mut server = small();
+    let a = server
+        .create_ldom(LDomSpec::new("a", vec![0], 16 << 20))
+        .unwrap();
+    let b = server
+        .create_ldom(LDomSpec::new("b", vec![1], 16 << 20))
+        .unwrap();
+
+    // Both touch LDom-physical address 0 — as two unmodified OSes would.
+    server.install_engine(0, Box::new(Toucher::new(vec![0, 64, 128])));
+    server.install_engine(1, Box::new(Toucher::new(vec![0, 64, 128])));
+    server.launch(a).unwrap();
+    server.launch(b).unwrap();
+    server.run_for(Time::from_ms(2));
+
+    // The memory control plane translated them to disjoint DRAM regions.
+    let fw = server.firmware().lock();
+    let (base_a, base_b) = (fw.ldom(a).unwrap().mem_base, fw.ldom(b).unwrap().mem_base);
+    drop(fw);
+    assert_ne!(base_a, base_b);
+    // Both produced real memory traffic.
+    assert!(server.mem_cp().lock().stat(a, "serv_cnt").unwrap() > 0);
+    assert!(server.mem_cp().lock().stat(b, "serv_cnt").unwrap() > 0);
+}
+
+#[test]
+fn llc_never_leaks_lines_between_ldoms_with_equal_addresses() {
+    let mut server = small();
+    let a = server
+        .create_ldom(LDomSpec::new("a", vec![0], 16 << 20))
+        .unwrap();
+    let b = server
+        .create_ldom(LDomSpec::new("b", vec![1], 16 << 20))
+        .unwrap();
+    let addrs: Vec<u64> = (0..64u64).map(|i| i * 64).collect();
+    server.install_engine(0, Box::new(Toucher::new(addrs.clone())));
+    server.install_engine(1, Box::new(Toucher::new(addrs)));
+    server.launch(a).unwrap();
+    server.launch(b).unwrap();
+    server.run_for(Time::from_ms(5));
+
+    // Both LDoms must MISS on every line: a hit on the other's lines
+    // would be a cross-LDom data leak (paper footnote 4 forbids it).
+    let (hits_a, misses_a) = server.llc_counts(a);
+    let (hits_b, misses_b) = server.llc_counts(b);
+    assert_eq!(hits_a, 0, "ldom a hit lines it never fetched");
+    assert_eq!(hits_b, 0, "ldom b hit lines it never fetched");
+    assert_eq!(misses_a, 64);
+    assert_eq!(misses_b, 64);
+    // And both own their copies in the LLC simultaneously.
+    assert_eq!(server.llc_occupancy_bytes(a), 64 * 64);
+    assert_eq!(server.llc_occupancy_bytes(b), 64 * 64);
+}
+
+#[test]
+fn destroy_and_recreate_recycles_resources() {
+    let mut server = small();
+    let a = server
+        .create_ldom(LDomSpec::new("a", vec![0], 32 << 20))
+        .unwrap();
+    server.install_engine(0, Box::new(Toucher::new(vec![0])));
+    server.launch(a).unwrap();
+    server.run_for(Time::from_ms(1));
+    server.firmware().lock().destroy_ldom(a).unwrap();
+
+    // Memory freed: a full-size LDom fits again; DS-ids keep advancing.
+    let b = server
+        .create_ldom(LDomSpec::new("b", vec![1], 32 << 20))
+        .unwrap();
+    assert_eq!(b, DsId::new(1));
+    let fw = server.firmware().lock();
+    assert_eq!(fw.ldom(b).unwrap().mem_base, 0, "freed region was reused");
+    assert!(fw.ldom(a).is_none());
+}
+
+#[test]
+fn priority_spec_programs_the_memory_control_plane() {
+    let mut server = small();
+    let hi = server
+        .create_ldom(LDomSpec::new("hi", vec![0], 16 << 20).high_priority())
+        .unwrap();
+    let lo = server
+        .create_ldom(LDomSpec::new("lo", vec![1], 16 << 20))
+        .unwrap();
+    let cp = server.mem_cp().lock();
+    assert_eq!(cp.param(hi, "priority").unwrap(), 1);
+    assert_eq!(cp.param(hi, "rowbuf").unwrap(), 1);
+    assert_eq!(cp.param(lo, "priority").unwrap(), 0);
+    drop(cp);
+    let fw = server.firmware().lock();
+    assert_eq!(fw.ldom(hi).unwrap().spec.priority, Priority::High);
+}
+
+#[test]
+fn out_of_memory_and_ds_exhaustion_are_reported() {
+    let mut server = small();
+    // small_test has 8 GB DRAM and 16 DS-ids.
+    let err = server
+        .create_ldom(LDomSpec::new("huge", vec![0], u64::MAX / 2))
+        .unwrap_err();
+    assert!(err.to_string().contains("out of machine memory"));
+
+    for i in 0..16 {
+        server
+            .create_ldom(LDomSpec::new(format!("l{i}"), vec![0], 1 << 20))
+            .unwrap();
+    }
+    let err = server
+        .create_ldom(LDomSpec::new("one-too-many", vec![0], 1 << 20))
+        .unwrap_err();
+    assert!(err.to_string().contains("DS-id"));
+}
+
+#[test]
+fn core_tag_registers_are_loaded_by_the_prm() {
+    let mut server = small();
+    let ds = server
+        .create_ldom(LDomSpec::new("t", vec![1], 16 << 20))
+        .unwrap();
+    assert_eq!(ds, DsId::new(0));
+    // Before the PRM polls, the tag register still holds the default.
+    assert_eq!(server.with_core(1, |c| c.tag()), DsId::DEFAULT);
+    server.run_for(Time::from_ms(1));
+    assert_eq!(server.with_core(1, |c| c.tag()), ds);
+}
