@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Hermetic CI: the workspace must build and test fully offline, and no
+# crate manifest may reintroduce a registry dependency.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== checking crate manifests for registry dependencies =="
+# Path-only policy: every dependency line must be a workspace/path dep.
+if grep -rn "rand\|proptest\|criterion\|crossbeam\|parking_lot\|serde" crates/*/Cargo.toml; then
+    echo "error: registry dependency found in a crate manifest" >&2
+    exit 1
+fi
+if grep -n "version *= *\"[0-9]" crates/*/Cargo.toml | grep -v "version.workspace"; then
+    echo "error: versioned (registry) dependency found in a crate manifest" >&2
+    exit 1
+fi
+echo "ok: path-only dependencies"
+
+echo "== offline release build =="
+cargo build --release --offline --workspace --bins --benches --examples
+
+echo "== offline test suite =="
+cargo test -q --offline --workspace
+
+echo "CI green"

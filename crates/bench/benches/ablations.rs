@@ -1,9 +1,9 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out:
-//! simulated outcomes (not wall time) measured under criterion's harness
+//! simulated outcomes (not wall time) measured under the timing harness
 //! via throughput of the end-to-end machine, plus model-cost comparisons
 //! of the PARD data-path features.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pard_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
 use pard::{LDomSpec, PardServer, SystemConfig, Time};
 use pard_dram::{Bank, DramTiming, RankTracker};
 use pard_workloads::{CacheFlush, Stream, StreamConfig};

@@ -3,7 +3,7 @@
 //! having a control plane at all (the software analogue of §7.2's
 //! "no extra latency" claim).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pard_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
 use pard_cache::{llc_control_plane, CacheGeometry, PlruTree, TagArray};
 use pard_cp::{
     shared, CmpOp, CpAddr, CpCommand, CpaRegisterFile, TableSel, Trigger, REG_ADDR, REG_CMD,

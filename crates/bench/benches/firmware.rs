@@ -1,7 +1,7 @@
 //! Microbenchmarks of the PRM firmware: device-file-tree access,
 //! pardscript execution, trigger installation, and LDom creation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pard_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
 use pard_cp::{shared, CmpOp};
 use pard_icn::DsId;
 use pard_prm::{script, Firmware, FirmwareConfig, LDomSpec};
@@ -74,7 +74,7 @@ fn bench_trigger_install(c: &mut Criterion) {
                 fw.pardtrigger(0, DsId::new(0), 0, "miss_rate", CmpOp::Gt, 30)
                     .unwrap()
             },
-            criterion::BatchSize::SmallInput,
+            pard_bench::harness::BatchSize::SmallInput,
         )
     });
 }
@@ -95,7 +95,7 @@ fn bench_ldom_create(c: &mut Criterion) {
                 fw.create_ldom(LDomSpec::new("x", vec![0], 1 << 30))
                     .unwrap()
             },
-            criterion::BatchSize::SmallInput,
+            pard_bench::harness::BatchSize::SmallInput,
         )
     });
 }

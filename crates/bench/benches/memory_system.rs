@@ -2,7 +2,7 @@
 //! decomposition, and end-to-end controller throughput with and without
 //! the control plane's differentiated mechanisms.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pard_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
 use pard_dram::{Bank, DramGeometry, DramTiming, MemCtrl, MemCtrlConfig, RankTracker};
 use pard_icn::{DsId, LAddr, MAddr, MemKind, MemPacket, PacketId, PardEvent};
 use pard_sim::{Simulation, Time};

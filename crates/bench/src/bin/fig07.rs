@@ -11,6 +11,7 @@
 
 use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
 use pard_bench::duration_scale;
+use pard_bench::json::JsonValue;
 use pard_bench::output::{print_series, save_json};
 use pard_workloads::{BootThen, CacheFlush, LbmProxy, Leslie3dProxy};
 
@@ -116,11 +117,10 @@ fn main() {
     );
     save_json(
         "fig07.json",
-        &serde_json::json!({
-            "launch_ms": launches.map(|t| t.as_ms()),
-            "repartition_ms": repartition_at.as_ms(),
-            "occupied_llc_mb": cache_series,
-            "mem_bandwidth_gbps": bw_series,
-        }),
+        &JsonValue::object()
+            .field("launch_ms", launches.map(|t| t.as_ms()))
+            .field("repartition_ms", repartition_at.as_ms())
+            .field("occupied_llc_mb", cache_series)
+            .field("mem_bandwidth_gbps", bw_series),
     );
 }

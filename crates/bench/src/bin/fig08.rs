@@ -10,6 +10,7 @@
 //! The simulated spans are scaled down from the paper's 2 s (a ~30-hour
 //! gem5 run per point); pass `--full` for longer spans.
 
+use pard_bench::json::JsonValue;
 use pard_bench::output::{print_table, save_json};
 use pard_bench::{duration_scale, run_memcached_point, MemcachedMode, MemcachedScenario};
 use pard_sim::Time;
@@ -25,9 +26,9 @@ fn main() {
 
     println!("Figure 8: Memcached tail response time (95th percentile)\n");
     let mut rows = Vec::new();
-    let mut json = serde_json::Map::new();
+    let mut json = JsonValue::object();
     for mode in modes {
-        let mut series = Vec::new();
+        let mut series = JsonValue::array();
         for rps in loads {
             let mut s = MemcachedScenario::new(mode, rps);
             s.warmup = Time::from_ms((30.0 * scale) as u64);
@@ -41,16 +42,17 @@ fn main() {
                 format!("{:.1}", p.achieved_rps / 1000.0),
                 format!("{:.0}%", p.cpu_utilization * 100.0),
             ]);
-            series.push(serde_json::json!({
-                "krps": rps / 1000.0,
-                "p95_ms": p.p95_ms,
-                "mean_ms": p.mean_ms,
-                "achieved_krps": p.achieved_rps / 1000.0,
-                "cpu_utilization": p.cpu_utilization,
-            }));
+            series = series.push(
+                JsonValue::object()
+                    .field("krps", rps / 1000.0)
+                    .field("p95_ms", p.p95_ms)
+                    .field("mean_ms", p.mean_ms)
+                    .field("achieved_krps", p.achieved_rps / 1000.0)
+                    .field("cpu_utilization", p.cpu_utilization),
+            );
             eprintln!("  [{}] {:.1} KRPS done", mode.label(), rps / 1000.0);
         }
-        json.insert(mode.label().to_string(), serde_json::Value::Array(series));
+        json = json.field(mode.label(), series);
     }
 
     print_table(
@@ -68,5 +70,5 @@ fn main() {
     println!("Paper anchors: solo 22.5K @ 0.6 ms (25% util); shared collapses");
     println!("above 15K (62.6 ms @ 20K, 100% util); w/ trigger 22.5K @ 1.2 ms");
     println!("(100% util).");
-    save_json("fig08.json", &serde_json::Value::Object(json));
+    save_json("fig08.json", &json);
 }

@@ -7,6 +7,7 @@
 //! half the LLC, and the miss rate falls back to ~10 %.
 
 use pard::{DsId, Time};
+use pard_bench::json::JsonValue;
 use pard_bench::output::{print_series, save_json};
 use pard_bench::{duration_scale, install_llc_trigger, install_llc_trigger_scenario};
 
@@ -92,12 +93,11 @@ fn main() {
 
     save_json(
         "fig09.json",
-        &serde_json::json!({
-            "stream_start_ms": stream_start.as_ms(),
-            "trigger_fired_ms": fired_at,
-            "series": series,
-            "solo_phase_mean": mean(&solo_phase),
-            "post_trigger_mean": mean(&late_phase),
-        }),
+        &JsonValue::object()
+            .field("stream_start_ms", stream_start.as_ms())
+            .field("trigger_fired_ms", fired_at)
+            .field("series", series)
+            .field("solo_phase_mean", mean(&solo_phase))
+            .field("post_trigger_mean", mean(&late_phase)),
     );
 }

@@ -7,6 +7,7 @@
 
 use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
 use pard_bench::duration_scale;
+use pard_bench::json::JsonValue;
 use pard_bench::output::{print_series, save_json};
 use pard_workloads::{DiskCopy, DiskCopyConfig};
 
@@ -88,11 +89,10 @@ fn main() {
     );
     save_json(
         "fig10.json",
-        &serde_json::json!({
-            "echo_at_ms": echo_at.as_ms(),
-            "shares_pct": shares,
-            "ldom0_before_pct": before,
-            "ldom0_after_pct": after,
-        }),
+        &JsonValue::object()
+            .field("echo_at_ms", echo_at.as_ms())
+            .field("shares_pct", shares)
+            .field("ldom0_before_pct", before)
+            .field("ldom0_after_pct", after),
     );
 }

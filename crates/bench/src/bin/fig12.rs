@@ -5,6 +5,7 @@
 //! evaluates the calibrated analytical model (`pard-hwcost`) at the same
 //! sweep points.
 
+use pard_bench::json::JsonValue;
 use pard_bench::output::{print_table, save_json};
 use pard_hwcost::{
     llc_cp_cost, mem_cp_cost, priority_queue_cost, table_cost, tag_array_brams, trigger_table_cost,
@@ -90,13 +91,12 @@ fn main() {
 
     save_json(
         "fig12.json",
-        &serde_json::json!({
-            "mem_cp_lut_ff": mem.lut + mem.ff,
-            "mem_cp_pct": mem_pct,
-            "llc_cp_lut_ff": llc.lut + llc.ff,
-            "llc_cp_pct": llc_pct,
-            "tag_array_brams": [base_brams, with_ds],
-            "llc_cp_added_cycles": p.added_cycles(),
-        }),
+        &JsonValue::object()
+            .field("mem_cp_lut_ff", mem.lut + mem.ff)
+            .field("mem_cp_pct", mem_pct)
+            .field("llc_cp_lut_ff", llc.lut + llc.ff)
+            .field("llc_cp_pct", llc_pct)
+            .field("tag_array_brams", [base_brams, with_ds])
+            .field("llc_cp_added_cycles", p.added_cycles()),
     );
 }

@@ -10,6 +10,7 @@
 //! With no argument all sweeps run.
 
 use pard::Time;
+use pard_bench::json::JsonValue;
 use pard_bench::output::{print_table, save_json};
 use pard_bench::{
     build_memcached_server, build_memcached_server_no_rule, install_llc_trigger_with,
@@ -110,7 +111,7 @@ fn sweep_poll() -> Vec<Vec<String>> {
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_default();
-    let mut json = serde_json::Map::new();
+    let mut json = JsonValue::object();
 
     if which.is_empty() || which == "antagonist" {
         println!("\nSweep: co-runner intensity (memcached @20 KRPS)\n");
@@ -123,19 +124,19 @@ fn main() {
             ],
             &rows,
         );
-        json.insert("antagonist".into(), serde_json::json!(rows));
+        json = json.field("antagonist", rows);
     }
     if which.is_empty() || which == "partition" {
         println!("\nSweep: granted partition size\n");
         let rows = sweep_partition();
         print_table(&["grant", "p95 (ms)", "achieved KRPS", "miss rate"], &rows);
-        json.insert("partition".into(), serde_json::json!(rows));
+        json = json.field("partition", rows);
     }
     if which.is_empty() || which == "poll" {
         println!("\nSweep: PRM poll interval (reaction latency)\n");
         let rows = sweep_poll();
         print_table(&["poll", "p95 (ms)", "achieved KRPS", "trigger"], &rows);
-        json.insert("poll".into(), serde_json::json!(rows));
+        json = json.field("poll", rows);
     }
-    save_json("sweeps.json", &serde_json::Value::Object(json));
+    save_json("sweeps.json", &json);
 }

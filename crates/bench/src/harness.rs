@@ -1,0 +1,204 @@
+//! A small wall-clock timing harness with a criterion-shaped API.
+//!
+//! The micro-benchmarks under `benches/` were written against criterion;
+//! this module keeps their surface (`Criterion`, `benchmark_group`,
+//! `Bencher::iter` / `iter_batched`, `black_box`, the `criterion_group!` /
+//! `criterion_main!` macros) so they compile unchanged against a
+//! first-party implementation.
+//!
+//! Methodology: each benchmark is calibrated with a short warm-up to pick
+//! an iteration count that fills ~`TARGET_SAMPLE_MS` per sample, then
+//! timed over `sample_size` samples; min / median / max nanoseconds per
+//! iteration are reported. No statistics beyond that — these numbers guide
+//! optimisation, they are not the paper's figures.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const TARGET_SAMPLE_MS: u64 = 20;
+const DEFAULT_SAMPLES: usize = 20;
+
+/// How `iter_batched` inputs are amortised. Only a naming shim: every
+/// batch size re-runs setup outside the timed region, once per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Cheap-to-set-up input.
+    SmallInput,
+    /// Expensive-to-set-up input.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Times one benchmark body over a fixed iteration count.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back `iters` times.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on a fresh `setup()` input per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_samples(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: grow the iteration count until one sample takes long
+    // enough to time reliably.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed.as_millis() as u64 >= TARGET_SAMPLE_MS || iters >= 1 << 30 {
+            break;
+        }
+        let per_iter = (b.elapsed.as_nanos() as u64 / iters).max(1);
+        iters = (TARGET_SAMPLE_MS * 1_000_000 / per_iter).clamp(iters + 1, iters * 100);
+    }
+    let mut per_iter_ns: Vec<f64> = (0..samples.max(2))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let (min, max) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    println!(
+        "{name:<44} time: [{} {} {}]  ({iters} iters/sample)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_samples(name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Overrides how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_samples(&format!("{}/{name}", self.name), self.samples, f);
+        self
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emits `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed_time() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.elapsed > Duration::ZERO);
+        b.iter_batched(|| 3u64, |x| black_box(x * 2), BatchSize::SmallInput);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert_eq!(fmt_ns(12.5), "12.50 ns");
+        assert_eq!(fmt_ns(12_500.0), "12.500 µs");
+        assert_eq!(fmt_ns(12_500_000.0), "12.500 ms");
+    }
+}

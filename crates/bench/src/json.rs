@@ -1,0 +1,307 @@
+//! A minimal JSON value, builder, and pretty-printer.
+//!
+//! Replaces `serde_json` for the harnesses' result files. The printer
+//! matches `serde_json::to_string_pretty` byte-for-byte for the shapes the
+//! figures emit: two-space indentation, keys sorted lexicographically,
+//! floats in shortest-round-trip form with a trailing `.0` for integral
+//! values, non-finite floats as `null`.
+//!
+//! # Example
+//!
+//! ```
+//! use pard_bench::json::JsonValue;
+//! let v = JsonValue::object()
+//!     .field("rate", 0.5)
+//!     .field("points", vec![1u64, 2, 3]);
+//! assert_eq!(
+//!     v.to_string_pretty(),
+//!     "{\n  \"points\": [\n    1,\n    2,\n    3\n  ],\n  \"rate\": 0.5\n}"
+//! );
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (covers every count the harnesses emit).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A double; non-finite values print as `null` like serde_json.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with lexicographically sorted keys.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// An empty object, ready for [`field`](JsonValue::field) chaining.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(BTreeMap::new())
+    }
+
+    /// An empty array, ready for [`push`](JsonValue::push) chaining.
+    pub fn array() -> JsonValue {
+        JsonValue::Array(Vec::new())
+    }
+
+    /// Inserts `key` into an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Object(map) => {
+                map.insert(key.into(), value.into());
+            }
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Appends to an array (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an array.
+    pub fn push(mut self, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Array(items) => items.push(value.into()),
+            other => panic!("push() on non-array {other:?}"),
+        }
+        self
+    }
+
+    /// Serialises with two-space indentation (the `serde_json` pretty
+    /// format the committed `fig*.json` files use).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Float(f) => write_f64(out, *f),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Shortest round-trip float text; integral finite values keep a `.0`
+/// suffix and non-finite values become `null`, matching serde_json.
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e16 {
+        let _ = write!(out, "{f:.1}");
+    } else {
+        let _ = write!(out, "{f}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::UInt(v.into())
+    }
+}
+impl From<u16> for JsonValue {
+    fn from(v: u16) -> Self {
+        JsonValue::UInt(v.into())
+    }
+}
+impl From<u8> for JsonValue {
+    fn from(v: u8) -> Self {
+        JsonValue::UInt(v.into())
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(JsonValue::Null, Into::into)
+    }
+}
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> Self {
+        JsonValue::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<JsonValue> + Clone, const N: usize> From<[T; N]> for JsonValue {
+    fn from(v: [T; N]) -> Self {
+        JsonValue::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<A: Into<JsonValue>, B: Into<JsonValue>> From<(A, B)> for JsonValue {
+    fn from((a, b): (A, B)) -> Self {
+        JsonValue::Array(vec![a.into(), b.into()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serde_json_shape() {
+        // The exact shape of the committed fig11.json.
+        let v = JsonValue::object()
+            .field("baseline_mean_cycles", 14.6)
+            .field("high_mean_cycles", 2.0)
+            .field("inject_rate", 0.55)
+            .field("low_mean_cycles", 15.2)
+            .field("low_penalty_pct", 4.109589041095885)
+            .field("speedup", 7.3);
+        assert_eq!(
+            v.to_string_pretty(),
+            "{\n  \"baseline_mean_cycles\": 14.6,\n  \"high_mean_cycles\": 2.0,\n  \
+             \"inject_rate\": 0.55,\n  \"low_mean_cycles\": 15.2,\n  \
+             \"low_penalty_pct\": 4.109589041095885,\n  \"speedup\": 7.3\n}"
+        );
+    }
+
+    #[test]
+    fn keys_sort_regardless_of_insertion_order() {
+        let v = JsonValue::object().field("b", 1u64).field("a", 2u64);
+        assert_eq!(v.to_string_pretty(), "{\n  \"a\": 2,\n  \"b\": 1\n}");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        let v = JsonValue::from(10.0);
+        assert_eq!(v.to_string_pretty(), "10.0");
+        assert_eq!(JsonValue::from(0.93243286).to_string_pretty(), "0.93243286");
+        assert_eq!(JsonValue::from(f64::NAN).to_string_pretty(), "null");
+    }
+
+    #[test]
+    fn tuples_series_and_options_nest() {
+        let series: Vec<(f64, f64)> = vec![(0.0, 1.5)];
+        let v = JsonValue::object()
+            .field("series", series)
+            .field("fired", Option::<f64>::None);
+        assert_eq!(
+            v.to_string_pretty(),
+            "{\n  \"fired\": null,\n  \"series\": [\n    [\n      0.0,\n      1.5\n    ]\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn strings_escape() {
+        let v = JsonValue::from("a\"b\\c\nd");
+        assert_eq!(v.to_string_pretty(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(JsonValue::array().to_string_pretty(), "[]");
+        assert_eq!(JsonValue::object().to_string_pretty(), "{}");
+    }
+}

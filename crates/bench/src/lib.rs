@@ -22,6 +22,9 @@
 
 #![warn(missing_docs)]
 
+pub mod fig11_scenario;
+pub mod harness;
+pub mod json;
 pub mod memcached_scenario;
 pub mod output;
 

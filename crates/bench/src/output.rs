@@ -46,8 +46,8 @@ pub fn print_series(name: &str, samples: &[(f64, f64)]) {
 
 /// Writes a JSON value next to the binary's working directory so
 /// EXPERIMENTS.md numbers are regenerable.
-pub fn save_json(path: &str, value: &serde_json::Value) {
-    match std::fs::write(path, serde_json::to_string_pretty(value).unwrap()) {
+pub fn save_json(path: &str, value: &crate::json::JsonValue) {
+    match std::fs::write(path, value.to_string_pretty()) {
         Ok(()) => println!("(wrote {path})"),
         Err(e) => eprintln!("(could not write {path}: {e})"),
     }

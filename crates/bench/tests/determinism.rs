@@ -1,0 +1,43 @@
+//! Golden-value determinism test for the Figure 11 scenario.
+//!
+//! The whole point of the first-party RNG stack is that a fixed seed
+//! reproduces a figure exactly, on any host, with no network access. This
+//! test replays a scaled-down Figure 11 (4 000 requests instead of
+//! 200 000) and pins the exact numbers it produced when the hermetic RNG
+//! landed. If these ever drift, either the RNG stream or the memory
+//! controller's arbitration changed — both are things a reviewer must see.
+
+use pard_bench::fig11_scenario::run;
+
+const RATE: f64 = 0.55;
+const REQUESTS: u64 = 4_000;
+
+#[test]
+fn fig11_golden_values_reproduce() {
+    let base = run(RATE, false, REQUESTS);
+    let pard = run(RATE, true, REQUESTS);
+
+    // Means in memory cycles. Exact equality on purpose: every quantity
+    // derives from integer simulated-time units, so there is no
+    // platform-dependent float path to excuse drift.
+    assert_eq!(base.mean_all, 14.2, "baseline mean queueing delay");
+    assert_eq!(pard.mean_high, 2.0, "high-priority mean queueing delay");
+    assert_eq!(pard.mean_low, 14.8, "low-priority mean queueing delay");
+
+    assert_eq!(base.cdf_low.len(), 323, "baseline CDF sample count");
+    assert_eq!(pard.cdf_high.last().copied(), Some((28.6, 1.0)));
+
+    // The headline relationship the figure exists to show.
+    assert!(pard.mean_high < base.mean_all);
+    assert!(pard.mean_low >= base.mean_all);
+}
+
+#[test]
+fn fig11_runs_are_identical() {
+    let a = run(RATE, true, 1_000);
+    let b = run(RATE, true, 1_000);
+    assert_eq!(a.mean_high, b.mean_high);
+    assert_eq!(a.mean_low, b.mean_low);
+    assert_eq!(a.cdf_high, b.cdf_high);
+    assert_eq!(a.cdf_low, b.cdf_low);
+}

@@ -1,38 +1,45 @@
-//! Property-based tests of the cache structures' invariants.
+//! Seeded randomized tests of the cache structures' invariants.
 
 use pard_cache::{CacheGeometry, PlruTree, TagArray};
 use pard_icn::{DsId, LAddr};
-use proptest::prelude::*;
+use pard_sim::check::{cases, vec_of, DEFAULT_CASES};
+use pard_sim::rng::Rng;
 
 fn small_geom() -> CacheGeometry {
     CacheGeometry::new(8 * 4 * 64, 4, 64) // 8 sets x 4 ways
 }
 
-proptest! {
-    /// The PLRU victim always lies within the allowed mask (or anywhere
-    /// for an empty mask), for any tree state.
-    #[test]
-    fn plru_victim_respects_mask(
-        touches in prop::collection::vec(0u32..16, 0..64),
-        mask in 0u64..=0xFFFF,
-    ) {
+/// The PLRU victim always lies within the allowed mask (or anywhere
+/// for an empty mask), for any tree state.
+#[test]
+fn plru_victim_respects_mask() {
+    cases("cache.plru_victim_respects_mask", DEFAULT_CASES, |rng| {
+        let touches = vec_of(rng, 0..64, |r| r.gen_range(0u32..16));
+        let mask = rng.gen_range(0u64..=0xFFFF);
         let mut p = PlruTree::new(16);
         for &w in &touches {
             p.touch(w);
         }
         let v = p.victim(mask);
-        prop_assert!(v < 16);
+        assert!(v < 16);
         if mask & 0xFFFF != 0 {
-            prop_assert!(mask & (1 << v) != 0, "victim {v} outside mask {mask:#x}");
+            assert!(mask & (1 << v) != 0, "victim {v} outside mask {mask:#x}");
         }
-    }
+    });
+}
 
-    /// Per-DS-id occupancy counters always equal the number of resident
-    /// lines, across any interleaving of fills and invalidations.
-    #[test]
-    fn occupancy_counters_stay_exact(
-        ops in prop::collection::vec((0u16..4, 0u64..64, any::<bool>()), 1..200),
-    ) {
+/// Per-DS-id occupancy counters always equal the number of resident
+/// lines, across any interleaving of fills and invalidations.
+#[test]
+fn occupancy_counters_stay_exact() {
+    cases("cache.occupancy_counters_stay_exact", DEFAULT_CASES, |rng| {
+        let ops = vec_of(rng, 1..200, |r| {
+            (
+                r.gen_range(0u16..4),
+                r.gen_range(0u64..64),
+                r.gen_bool(0.5),
+            )
+        });
         let mut a = TagArray::new(small_geom(), 4);
         let mut resident: std::collections::HashSet<(u16, u64)> = Default::default();
         for &(ds_raw, line, invalidate) in &ops {
@@ -51,21 +58,22 @@ proptest! {
             // Invariant: counters match the ground truth set.
             for d in 0..4u16 {
                 let expected = resident.iter().filter(|&&(dd, _)| dd == d).count() as u64;
-                prop_assert_eq!(a.occupancy_lines(DsId::new(d)), expected);
+                assert_eq!(a.occupancy_lines(DsId::new(d)), expected);
             }
         }
         let total: u64 = (0..4u16).map(|d| a.occupancy_lines(DsId::new(d))).sum();
-        prop_assert_eq!(a.total_valid_lines(), total);
-        prop_assert!(total <= small_geom().lines());
-    }
+        assert_eq!(a.total_valid_lines(), total);
+        assert!(total <= small_geom().lines());
+    });
+}
 
-    /// A hit is possible only for the (ds, address) pairs actually filled:
-    /// no LDom ever observes another LDom's line.
-    #[test]
-    fn no_cross_ldom_hits(
-        fills in prop::collection::vec((0u16..4, 0u64..32), 1..64),
-        probes in prop::collection::vec((0u16..4, 0u64..32), 1..64),
-    ) {
+/// A hit is possible only for the (ds, address) pairs actually filled:
+/// no LDom ever observes another LDom's line.
+#[test]
+fn no_cross_ldom_hits() {
+    cases("cache.no_cross_ldom_hits", DEFAULT_CASES, |rng| {
+        let fills = vec_of(rng, 1..64, |r| (r.gen_range(0u16..4), r.gen_range(0u64..32)));
+        let probes = vec_of(rng, 1..64, |r| (r.gen_range(0u16..4), r.gen_range(0u64..32)));
         let mut a = TagArray::new(small_geom(), 4);
         let mut filled: std::collections::HashSet<(u16, u64)> = Default::default();
         for &(ds, line) in &fills {
@@ -82,31 +90,35 @@ proptest! {
             let addr = LAddr::new(line * 64);
             let hit = a.probe(DsId::new(ds), addr).is_some();
             let legal = filled.contains(&(ds, addr.raw()));
-            prop_assert_eq!(hit, legal, "probe (ds{}, {:?})", ds, addr);
+            assert_eq!(hit, legal, "probe (ds{ds}, {addr:?})");
         }
-    }
+    });
+}
 
-    /// Fills under a mask place the block in an allowed way.
-    #[test]
-    fn fills_land_inside_the_partition(
-        lines in prop::collection::vec(0u64..64, 1..64),
-        mask in 1u64..=0xF,
-    ) {
+/// Fills under a mask place the block in an allowed way.
+#[test]
+fn fills_land_inside_the_partition() {
+    cases("cache.fills_land_inside_the_partition", DEFAULT_CASES, |rng| {
+        let lines = vec_of(rng, 1..64, |r| r.gen_range(0u64..64));
+        let mask = rng.gen_range(1u64..=0xF);
         let mut a = TagArray::new(small_geom(), 4);
         for &line in &lines {
             let addr = LAddr::new(line * 64);
             if a.probe(DsId::new(1), addr).is_none() {
                 let out = a.fill(DsId::new(1), addr, mask, false);
-                prop_assert!(mask & (1 << out.way) != 0);
+                assert!(mask & (1 << out.way) != 0);
             }
         }
-    }
+    });
+}
 
-    /// Geometry round trip: any address reconstructs to its line base.
-    #[test]
-    fn geometry_round_trips(raw in 0u64..(1 << 40)) {
+/// Geometry round trip: any address reconstructs to its line base.
+#[test]
+fn geometry_round_trips() {
+    cases("cache.geometry_round_trips", DEFAULT_CASES, |rng| {
+        let raw = rng.gen_range(0u64..(1 << 40));
         let g = CacheGeometry::new(4 << 20, 16, 64);
         let a = LAddr::new(raw);
-        prop_assert_eq!(g.addr_of(g.tag_of(a), g.set_of(a)), a.line_base());
-    }
+        assert_eq!(g.addr_of(g.tag_of(a), g.set_of(a)), a.line_base());
+    });
 }

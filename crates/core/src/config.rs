@@ -41,12 +41,37 @@ pub struct SystemConfig {
     /// still carried (for statistics), but nothing acts on them — the
     /// paper's "without PARD" baseline.
     pub pard_enabled: bool,
+    /// Experiment seed. Workload engines and traffic injectors derive
+    /// their named streams from it via
+    /// [`pard_sim::rng::stream_rng`]`(seed, "<stream>")`, so two servers
+    /// built from equal configs replay identical randomness.
+    pub seed: u64,
 }
 
 impl SystemConfig {
     /// The paper's Table 2 evaluation platform.
     pub fn asplos15() -> Self {
         SystemConfig::default()
+    }
+
+    /// A fluent builder starting from the Table 2 platform.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pard::prelude::*;
+    /// let cfg = SystemConfig::builder()
+    ///     .cores(2)
+    ///     .llc_geometry(1 << 20, 8, 64)
+    ///     .seed(7)
+    ///     .build();
+    /// assert_eq!(cfg.cores, 2);
+    /// assert_eq!(cfg.llc.geometry.ways(), 8);
+    /// ```
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig::default(),
+        }
     }
 
     /// A smaller, faster-to-simulate platform for tests: two cores, a
@@ -117,7 +142,82 @@ impl Default for SystemConfig {
             prm_poll: Time::from_us(100),
             max_ds: 256,
             pard_enabled: true,
+            seed: 0,
         }
+    }
+}
+
+/// Fluent constructor for [`SystemConfig`], obtained from
+/// [`SystemConfig::builder`]. Every setter returns `self`; finish with
+/// [`build`](SystemConfigBuilder::build).
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Sets the number of CPU cores.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cfg.cores = cores;
+        self
+    }
+
+    /// Sets the shared LLC's geometry (total bytes, associativity, line
+    /// size).
+    pub fn llc_geometry(mut self, size_bytes: u64, ways: u32, line_bytes: u32) -> Self {
+        self.cfg.llc.geometry = pard_cache::CacheGeometry::new(size_bytes, ways, line_bytes);
+        self
+    }
+
+    /// Sets the control planes' statistics window.
+    pub fn stats_window(mut self, window: Time) -> Self {
+        self.cfg.llc.window = window;
+        self.cfg.mem.window = window;
+        self
+    }
+
+    /// Sets the DRAM timing parameters.
+    pub fn dram_timing(mut self, timing: pard_dram::DramTiming) -> Self {
+        self.cfg.mem.timing = timing;
+        self
+    }
+
+    /// Sets the DRAM organisation.
+    pub fn dram_geometry(mut self, geometry: pard_dram::DramGeometry) -> Self {
+        self.cfg.mem.geometry = geometry;
+        self
+    }
+
+    /// Sets the PRM firmware polling interval.
+    pub fn prm_poll(mut self, poll: Time) -> Self {
+        self.cfg.prm_poll = poll;
+        self
+    }
+
+    /// Sets `max_ds` consistently across every control plane.
+    pub fn max_ds(mut self, max_ds: usize) -> Self {
+        self.cfg = self.cfg.with_max_ds(max_ds);
+        self
+    }
+
+    /// Enables or disables the differentiated data path.
+    pub fn pard_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.pard_enabled = enabled;
+        if !enabled {
+            self.cfg.mem.priorities_enabled = false;
+        }
+        self
+    }
+
+    /// Sets the experiment seed for derived RNG streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SystemConfig {
+        self.cfg
     }
 }
 
@@ -153,5 +253,38 @@ mod tests {
         assert_eq!(cfg.bridge.max_ds, 32);
         assert_eq!(cfg.ide.max_ds, 32);
         assert_eq!(cfg.nic.max_ds, 32);
+    }
+
+    #[test]
+    fn builder_defaults_match_the_preset() {
+        let built = SystemConfig::builder().build();
+        let preset = SystemConfig::asplos15();
+        assert_eq!(built.cores, preset.cores);
+        assert_eq!(built.max_ds, preset.max_ds);
+        assert_eq!(built.seed, preset.seed);
+        assert_eq!(built.llc.geometry.size_bytes(), preset.llc.geometry.size_bytes());
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let cfg = SystemConfig::builder()
+            .cores(8)
+            .llc_geometry(2 << 20, 8, 64)
+            .stats_window(Time::from_us(50))
+            .prm_poll(Time::from_us(10))
+            .max_ds(64)
+            .pard_enabled(false)
+            .seed(1234)
+            .build();
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(cfg.llc.geometry.size_bytes(), 2 << 20);
+        assert_eq!(cfg.llc.geometry.ways(), 8);
+        assert_eq!(cfg.llc.window, Time::from_us(50));
+        assert_eq!(cfg.mem.window, Time::from_us(50));
+        assert_eq!(cfg.prm_poll, Time::from_us(10));
+        assert_eq!(cfg.nic.max_ds, 64);
+        assert!(!cfg.pard_enabled);
+        assert!(!cfg.mem.priorities_enabled);
+        assert_eq!(cfg.seed, 1234);
     }
 }

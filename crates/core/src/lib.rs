@@ -45,7 +45,7 @@ mod config;
 mod core_model;
 mod server;
 
-pub use config::SystemConfig;
+pub use config::{SystemConfig, SystemConfigBuilder};
 pub use core_model::{Core, CoreConfig, CoreStats};
 pub use server::PardServer;
 
@@ -54,6 +54,26 @@ pub use pard_cp::{CmpOp, CpHandle, CpType, Trigger};
 pub use pard_icn::{DsId, LAddr, MAddr, PardEvent};
 pub use pard_prm::{Action, FwHandle, LDomSpec, Priority};
 pub use pard_sim::Time;
+
+/// The one-line import for building and driving a PARD server.
+///
+/// ```
+/// use pard::prelude::*;
+///
+/// let cfg = SystemConfig::builder().cores(2).seed(7).build();
+/// let server = PardServer::new(cfg);
+/// assert_eq!(server.now(), Time::ZERO);
+/// ```
+pub mod prelude {
+    pub use crate::config::{SystemConfig, SystemConfigBuilder};
+    pub use crate::core_model::{Core, CoreConfig, CoreStats};
+    pub use crate::server::PardServer;
+    pub use pard_cp::{CmpOp, CpHandle, CpType, Trigger};
+    pub use pard_icn::{DsId, LAddr, MAddr, PardEvent};
+    pub use pard_prm::{Action, FwHandle, LDomSpec, Priority};
+    pub use pard_sim::rng::{stream_rng, Rng, Xoshiro256pp};
+    pub use pard_sim::Time;
+}
 
 /// The sub-crates, re-exported for deep access.
 pub mod subsystems {

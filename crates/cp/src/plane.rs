@@ -3,10 +3,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use pard_icn::DsId;
+use pard_sim::sync::{unbounded, Mutex, Receiver, Sender, TryRecvError};
 use pard_sim::Time;
-use parking_lot::Mutex;
 
 use crate::error::CpError;
 use crate::table::DsTable;

@@ -1,40 +1,43 @@
-//! Property-based tests of the control-plane framework.
+//! Seeded randomized tests of the control-plane framework.
 
 use pard_cp::{CmpOp, ColumnDef, CpAddr, DsTable, TableSel, Trigger, TriggerTable};
 use pard_icn::DsId;
-use proptest::prelude::*;
+use pard_sim::check::{cases, vec_of, DEFAULT_CASES};
+use pard_sim::rng::Rng;
 
-fn any_table_sel() -> impl Strategy<Value = TableSel> {
-    prop_oneof![
-        Just(TableSel::Parameter),
-        Just(TableSel::Statistics),
-        Just(TableSel::Trigger),
-    ]
+const TABLE_SELS: [TableSel; 3] = [TableSel::Parameter, TableSel::Statistics, TableSel::Trigger];
+const CMP_OPS: [CmpOp; 6] = [
+    CmpOp::Gt,
+    CmpOp::Ge,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Eq,
+    CmpOp::Ne,
+];
+
+fn pick<T: Copy>(rng: &mut impl Rng, choices: &[T]) -> T {
+    choices[rng.gen_range(0..choices.len())]
 }
 
-fn any_cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-    ]
-}
-
-proptest! {
-    /// The Fig. 6 addr-register encoding round-trips for every field value.
-    #[test]
-    fn cp_addr_round_trips(ds in any::<u16>(), offset in 0u16..(1 << 14), sel in any_table_sel()) {
+/// The Fig. 6 addr-register encoding round-trips for every field value.
+#[test]
+fn cp_addr_round_trips() {
+    cases("cp.cp_addr_round_trips", DEFAULT_CASES, |rng| {
+        let ds = rng.gen_range(0u16..=u16::MAX);
+        let offset = rng.gen_range(0u16..(1 << 14));
+        let sel = pick(rng, &TABLE_SELS);
         let a = CpAddr::new(DsId::new(ds), offset, sel);
-        prop_assert_eq!(CpAddr::decode(a.encode()).unwrap(), a);
-    }
+        assert_eq!(CpAddr::decode(a.encode()).unwrap(), a);
+    });
+}
 
-    /// Comparison operators encode/decode and agree with Rust's semantics.
-    #[test]
-    fn cmp_ops_agree_with_rust(op in any_cmp_op(), a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(CmpOp::decode(op.encode()).unwrap(), op);
+/// Comparison operators encode/decode and agree with Rust's semantics.
+#[test]
+fn cmp_ops_agree_with_rust() {
+    cases("cp.cmp_ops_agree_with_rust", DEFAULT_CASES, |rng| {
+        let op = pick(rng, &CMP_OPS);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        assert_eq!(CmpOp::decode(op.encode()).unwrap(), op);
         let expected = match op {
             CmpOp::Gt => a > b,
             CmpOp::Ge => a >= b,
@@ -43,13 +46,18 @@ proptest! {
             CmpOp::Eq => a == b,
             CmpOp::Ne => a != b,
         };
-        prop_assert_eq!(op.eval(a, b), expected);
-    }
+        assert_eq!(op.eval(a, b), expected);
+    });
+}
 
-    /// Table cells hold exactly the last value written, independent of the
-    /// write order for other cells.
-    #[test]
-    fn ds_table_is_a_store(writes in prop::collection::vec((0u16..16, 0usize..3, any::<u64>()), 1..100)) {
+/// Table cells hold exactly the last value written, independent of the
+/// write order for other cells.
+#[test]
+fn ds_table_is_a_store() {
+    cases("cp.ds_table_is_a_store", DEFAULT_CASES, |rng| {
+        let writes = vec_of(rng, 1..100, |r| {
+            (r.gen_range(0u16..16), r.gen_range(0usize..3), r.next_u64())
+        });
         let mut t = DsTable::new(
             "p",
             vec![ColumnDef::new("a"), ColumnDef::new("b"), ColumnDef::new("c")],
@@ -61,45 +69,50 @@ proptest! {
             model.insert((ds, col), v);
         }
         for (&(ds, col), &v) in &model {
-            prop_assert_eq!(t.get_by_offset(DsId::new(ds), col).unwrap(), v);
+            assert_eq!(t.get_by_offset(DsId::new(ds), col).unwrap(), v);
         }
-    }
+    });
+}
 
-    /// Trigger raw-field access round-trips through the CPA encoding for
-    /// every field.
-    #[test]
-    fn trigger_fields_round_trip(
-        slot in 0usize..16,
-        ds in any::<u16>(),
-        col in 0u64..(1 << 14),
-        op in any_cmp_op(),
-        value in any::<u64>(),
-    ) {
+/// Trigger raw-field access round-trips through the CPA encoding for
+/// every field.
+#[test]
+fn trigger_fields_round_trip() {
+    cases("cp.trigger_fields_round_trip", DEFAULT_CASES, |rng| {
+        let slot = rng.gen_range(0usize..16);
+        let ds = rng.gen_range(0u16..=u16::MAX);
+        let col = rng.gen_range(0u64..(1 << 14));
+        let op = pick(rng, &CMP_OPS);
+        let value = rng.next_u64();
         let mut tt = TriggerTable::new(16);
         tt.set_field(slot, 0, u64::from(ds)).unwrap();
         tt.set_field(slot, 1, col).unwrap();
         tt.set_field(slot, 2, op.encode()).unwrap();
         tt.set_field(slot, 3, value).unwrap();
         tt.set_field(slot, 4, 1).unwrap();
-        prop_assert_eq!(tt.get_field(slot, 0).unwrap(), u64::from(ds));
-        prop_assert_eq!(tt.get_field(slot, 1).unwrap(), col);
-        prop_assert_eq!(tt.get_field(slot, 2).unwrap(), op.encode());
-        prop_assert_eq!(tt.get_field(slot, 3).unwrap(), value);
-        prop_assert_eq!(tt.get_field(slot, 4).unwrap(), 1);
-    }
+        assert_eq!(tt.get_field(slot, 0).unwrap(), u64::from(ds));
+        assert_eq!(tt.get_field(slot, 1).unwrap(), col);
+        assert_eq!(tt.get_field(slot, 2).unwrap(), op.encode());
+        assert_eq!(tt.get_field(slot, 3).unwrap(), value);
+        assert_eq!(tt.get_field(slot, 4).unwrap(), 1);
+    });
+}
 
-    /// Latching: for any stats sequence, a trigger fires exactly at
-    /// rising edges of its condition.
-    #[test]
-    fn triggers_fire_on_rising_edges(values in prop::collection::vec(0u64..100, 1..100)) {
+/// Latching: for any stats sequence, a trigger fires exactly at
+/// rising edges of its condition.
+#[test]
+fn triggers_fire_on_rising_edges() {
+    cases("cp.triggers_fire_on_rising_edges", DEFAULT_CASES, |rng| {
+        let values = vec_of(rng, 1..100, |r| r.gen_range(0u64..100));
         let mut tt = TriggerTable::new(4);
-        tt.install(0, Trigger::new(DsId::new(0), 0, CmpOp::Gt, 50)).unwrap();
+        tt.install(0, Trigger::new(DsId::new(0), 0, CmpOp::Gt, 50))
+            .unwrap();
         let mut prev = false;
         for &v in &values {
             let fired = !tt.evaluate(DsId::new(0), &[v]).is_empty();
             let cond = v > 50;
-            prop_assert_eq!(fired, cond && !prev, "value {}, prev {}", v, prev);
+            assert_eq!(fired, cond && !prev, "value {v}, prev {prev}");
             prev = cond;
         }
-    }
+    });
 }

@@ -1,61 +1,82 @@
-//! Property-based tests of the FPGA-resource model's scaling laws.
+//! Seeded randomized tests of the FPGA-resource model's scaling laws.
 
 use pard_hwcost::{
     llc_cp_cost, mem_cp_cost, priority_queue_cost, table_cost, tag_array_brams, trigger_table_cost,
 };
-use proptest::prelude::*;
+use pard_sim::check::{cases, DEFAULT_CASES};
+use pard_sim::rng::Rng;
 
-proptest! {
-    /// Storage tables: LUTRAM grows exactly with entries×bits/64, logic
-    /// grows with width and log(entries) — both monotone.
-    #[test]
-    fn table_cost_is_monotone(e1 in 1u64..4096, e2 in 1u64..4096, bits in 1u64..512) {
+/// Storage tables: LUTRAM grows exactly with entries×bits/64, logic
+/// grows with width and log(entries) — both monotone.
+#[test]
+fn table_cost_is_monotone() {
+    cases("hwcost.table_cost_is_monotone", DEFAULT_CASES, |rng| {
+        let e1 = rng.gen_range(1u64..4096);
+        let e2 = rng.gen_range(1u64..4096);
+        let bits = rng.gen_range(1u64..512);
         let (small, large) = (e1.min(e2), e1.max(e2));
         let cs = table_cost(small, bits);
         let cl = table_cost(large, bits);
-        prop_assert!(cs.lutram <= cl.lutram);
-        prop_assert!(cs.lut <= cl.lut);
-        prop_assert_eq!(cl.lutram, (large * bits).div_ceil(64));
-    }
+        assert!(cs.lutram <= cl.lutram);
+        assert!(cs.lut <= cl.lut);
+        assert_eq!(cl.lutram, (large * bits).div_ceil(64));
+    });
+}
 
-    /// Trigger tables scale linearly in slots.
-    #[test]
-    fn trigger_cost_is_linear(slots in 1u64..512) {
+/// Trigger tables scale linearly in slots.
+#[test]
+fn trigger_cost_is_linear() {
+    cases("hwcost.trigger_cost_is_linear", DEFAULT_CASES, |rng| {
+        let slots = rng.gen_range(1u64..512);
         let c = trigger_table_cost(slots);
         let c2 = trigger_table_cost(slots * 2);
         // Slope: 9 LUT, 6 FF per slot.
-        prop_assert_eq!(c2.lut - c.lut, slots * 9);
-        prop_assert_eq!(c2.ff - c.ff, slots * 6);
-    }
+        assert_eq!(c2.lut - c.lut, slots * 9);
+        assert_eq!(c2.ff - c.ff, slots * 6);
+    });
+}
 
-    /// Whole-plane costs are monotone in both entries and trigger slots.
-    #[test]
-    fn plane_costs_are_monotone(entries in 1u64..1024, slots in 1u64..256) {
+/// Whole-plane costs are monotone in both entries and trigger slots.
+#[test]
+fn plane_costs_are_monotone() {
+    cases("hwcost.plane_costs_are_monotone", DEFAULT_CASES, |rng| {
+        let entries = rng.gen_range(1u64..1024);
+        let slots = rng.gen_range(1u64..256);
         let base_mem = mem_cp_cost(entries, slots);
-        prop_assert!(mem_cp_cost(entries * 2, slots).total() >= base_mem.total());
-        prop_assert!(mem_cp_cost(entries, slots * 2).total() >= base_mem.total());
+        assert!(mem_cp_cost(entries * 2, slots).total() >= base_mem.total());
+        assert!(mem_cp_cost(entries, slots * 2).total() >= base_mem.total());
         let base_llc = llc_cp_cost(entries, slots, 16);
-        prop_assert!(llc_cp_cost(entries * 2, slots, 16).total() >= base_llc.total());
-        prop_assert!(llc_cp_cost(entries, slots, 32).total() >= base_llc.total());
-    }
+        assert!(llc_cp_cost(entries * 2, slots, 16).total() >= base_llc.total());
+        assert!(llc_cp_cost(entries, slots, 32).total() >= base_llc.total());
+    });
+}
 
-    /// Priority queues scale with queues × depth.
-    #[test]
-    fn queue_cost_scales(queues in 1u64..8, depth in 1u64..64) {
+/// Priority queues scale with queues × depth.
+#[test]
+fn queue_cost_scales() {
+    cases("hwcost.queue_cost_scales", DEFAULT_CASES, |rng| {
+        let queues = rng.gen_range(1u64..8);
+        let depth = rng.gen_range(1u64..64);
         let c = priority_queue_cost(queues, depth);
         let c2 = priority_queue_cost(queues, depth * 2);
-        prop_assert!(c2.lut > c.lut);
-        prop_assert!(c2.ff >= c.ff);
-    }
+        assert!(c2.lut > c.lut);
+        assert!(c2.ff >= c.ff);
+    });
+}
 
-    /// Owner-DS-id BRAMs: adding DS bits never reduces the count, and the
-    /// overhead shrinks as more ways share one narrow BRAM port.
-    #[test]
-    fn tag_array_brams_are_sane(ways in 1u64..32, sets in 64u64..4096, tag_bits in 8u64..64, ds_bits in 1u64..16) {
+/// Owner-DS-id BRAMs: adding DS bits never reduces the count, and the
+/// overhead shrinks as more ways share one narrow BRAM port.
+#[test]
+fn tag_array_brams_are_sane() {
+    cases("hwcost.tag_array_brams_are_sane", DEFAULT_CASES, |rng| {
+        let ways = rng.gen_range(1u64..32);
+        let sets = rng.gen_range(64u64..4096);
+        let tag_bits = rng.gen_range(8u64..64);
+        let ds_bits = rng.gen_range(1u64..16);
         let (base, with) = tag_array_brams(ways, sets, tag_bits, ds_bits);
-        prop_assert!(with >= base);
-        prop_assert!(base >= ways, "at least one BRAM per way");
+        assert!(with >= base);
+        assert!(base >= ways, "at least one BRAM per way");
         let extra = with - base;
-        prop_assert!(extra <= ways, "never more than one DS BRAM per way");
-    }
+        assert!(extra <= ways, "never more than one DS BRAM per way");
+    });
 }

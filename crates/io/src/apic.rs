@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use pard_icn::{cpu_cycles, DsId, InterruptPacket, PardEvent};
+use pard_sim::sync::Mutex;
 use pard_sim::{Component, ComponentId, Ctx, Time};
-use parking_lot::Mutex;
 
 /// Interrupt vector used by IDE completions.
 pub const VEC_IDE: u8 = 14;

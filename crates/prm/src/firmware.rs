@@ -9,8 +9,8 @@ use pard_cp::{
 };
 use pard_icn::{CoreCommand, DsId};
 use pard_io::ApicRoutes;
+use pard_sim::sync::Mutex;
 use pard_sim::{ComponentId, Time};
-use parking_lot::Mutex;
 
 use crate::alloc::MemAllocator;
 use crate::error::FwError;

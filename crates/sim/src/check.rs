@@ -1,0 +1,125 @@
+//! A tiny seeded property-testing harness.
+//!
+//! The workspace's invariant tests used to run under `proptest`; this
+//! module keeps their shape — "for many random inputs, assert an
+//! invariant" — on the first-party [`rng`](crate::rng) so the whole test
+//! suite runs offline and bit-reproducibly.
+//!
+//! Each case gets an RNG derived from `(test name, case index)`, so a
+//! failure report like ``case 17 of `allocator_disjoint` `` is enough to
+//! replay exactly that input in a debugger.
+//!
+//! ```
+//! use pard_sim::check::{self, cases};
+//! use pard_sim::rng::Rng;
+//!
+//! cases("doc_example", 32, |rng| {
+//!     let v = check::vec_of(rng, 1..10, |r| r.gen_range(0u64..100));
+//!     assert!(!v.is_empty());
+//! });
+//! ```
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::{stream_rng, Rng, Xoshiro256pp};
+
+/// Default number of cases per property, matching proptest's 256 while
+/// staying fast enough for `--release`-less CI runs.
+pub const DEFAULT_CASES: u64 = 256;
+
+/// Runs `f` once per case with a deterministic per-case RNG.
+///
+/// `name` must be unique per property (the test function's name is the
+/// convention); it seeds the case stream. A panic inside `f` is re-raised
+/// after printing which case failed.
+pub fn cases<F>(name: &str, n: u64, mut f: F)
+where
+    F: FnMut(&mut Xoshiro256pp),
+{
+    for case in 0..n {
+        let mut rng = stream_rng(case, name);
+        let result = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("property `{name}` failed at case {case} of {n} (seed {case})");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// A random-length vector with elements drawn by `elem`.
+pub fn vec_of<T, R: Rng, F: FnMut(&mut R) -> T>(
+    rng: &mut R,
+    len: Range<usize>,
+    mut elem: F,
+) -> Vec<T> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| elem(rng)).collect()
+}
+
+/// A random string of `len` characters drawn uniformly from `alphabet`.
+///
+/// # Panics
+///
+/// Panics if `alphabet` is empty.
+pub fn string_of<R: Rng>(rng: &mut R, alphabet: &str, len: Range<usize>) -> String {
+    let chars: Vec<char> = alphabet.chars().collect();
+    assert!(!chars.is_empty(), "alphabet must be non-empty");
+    let n = rng.gen_range(len);
+    (0..n)
+        .map(|_| chars[rng.gen_range(0..chars.len())])
+        .collect()
+}
+
+/// A random `[u8; N]` array.
+pub fn bytes<const N: usize, R: Rng>(rng: &mut R) -> [u8; N] {
+    let mut out = [0u8; N];
+    for b in &mut out {
+        *b = rng.gen_range(0u8..=255);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        cases("det", 10, |rng| first.push(rng.next_u64()));
+        let mut second: Vec<u64> = Vec::new();
+        cases("det", 10, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 10);
+    }
+
+    #[test]
+    fn distinct_names_give_distinct_streams() {
+        let mut a = Vec::new();
+        cases("stream_a", 4, |rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        cases("stream_b", 4, |rng| b.push(rng.next_u64()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        cases("bounds", 64, |rng| {
+            let v = vec_of(rng, 1..20, |r| r.gen_range(5u64..10));
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|&x| (5..10).contains(&x)));
+            let s = string_of(rng, "abc", 0..5);
+            assert!(s.len() < 5);
+            assert!(s.chars().all(|c| "abc".contains(c)));
+            let arr: [u8; 6] = bytes(rng);
+            let _ = arr;
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn failures_propagate() {
+        cases("failing", 4, |_| panic!("deliberate"));
+    }
+}

@@ -41,11 +41,13 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 mod component;
 mod event;
 mod kernel;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 mod time;
 
 pub use component::{Component, ComponentId};

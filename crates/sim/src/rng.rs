@@ -1,13 +1,17 @@
-//! Deterministic random-number plumbing.
+//! Deterministic random-number plumbing — fully first-party.
 //!
 //! Every stochastic element of the simulation (workload address streams,
 //! Poisson arrivals, Zipf key draws, …) derives its RNG from a single
 //! experiment seed plus a stable stream name. Two runs with the same seed
 //! are bit-identical; changing the seed re-randomises every stream
 //! independently.
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna), seeded through a
+//! **SplitMix64** expansion of a 64-bit seed — both implemented in-tree so
+//! the workspace builds with zero registry dependencies. The [`Rng`] trait
+//! is the only interface the rest of the workspace programs against.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
 
 /// Mixes the bits of `x` with the SplitMix64 finalizer.
 ///
@@ -35,7 +39,192 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Creates a deterministic [`SmallRng`] for `(seed, stream)`.
+/// The SplitMix64 sequential generator: the reference seed-expander for
+/// the xoshiro family, and a fine tiny generator in its own right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Advances the state and returns the next output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace's generator: **xoshiro256++**.
+///
+/// 256 bits of state, period 2^256 − 1, excellent statistical quality, and
+/// a handful of arithmetic instructions per output — everything a
+/// deterministic architectural simulator wants.
+///
+/// # Example
+///
+/// ```
+/// use pard_sim::rng::{Rng, Xoshiro256pp};
+/// let mut a = Xoshiro256pp::seed_from_u64(42);
+/// let mut b = Xoshiro256pp::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator from raw state words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zeros (the one forbidden state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be nonzero");
+        Xoshiro256pp { s }
+    }
+
+    /// Expands a 64-bit seed into full state via SplitMix64, as the
+    /// xoshiro reference code recommends.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The minimal RNG interface the workspace programs against.
+///
+/// Everything derives from [`next_u64`](Rng::next_u64); the provided
+/// methods cover the uniform draws the simulator needs. Generic code takes
+/// `&mut impl Rng` so tests can substitute counters or replay tapes.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform draw from `range`, which may be any of the integer
+    /// `lo..hi` / `lo..=hi` ranges or an `f64` half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<S: UniformRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample uniformly.
+pub trait UniformRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draws one uniform element using `rng`.
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Maps 64 random bits onto `0..span` without modulo bias worth caring
+/// about (Lemire's multiply-shift; bias < 2^-64 · span).
+#[inline]
+fn mul_shift(bits: u64, span: u64) -> u64 {
+    ((u128::from(bits) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range over an empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + mul_shift(rng.next_u64(), span) as $t
+            }
+        }
+        impl UniformRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range over an empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // The full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo + mul_shift(rng.next_u64(), span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+impl UniformRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range over an empty range");
+        let v = self.start + rng.gen_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Creates a deterministic [`Xoshiro256pp`] for `(seed, stream)`.
 ///
 /// Different stream names yield statistically independent sequences for the
 /// same experiment seed.
@@ -43,28 +232,26 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// # Example
 ///
 /// ```
-/// use rand::Rng;
+/// use pard_sim::rng::Rng;
 /// let mut a = pard_sim::rng::stream_rng(42, "core0");
 /// let mut b = pard_sim::rng::stream_rng(42, "core0");
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-pub fn stream_rng(seed: u64, stream: &str) -> SmallRng {
+pub fn stream_rng(seed: u64, stream: &str) -> Xoshiro256pp {
     let mixed = splitmix64(seed ^ fnv1a(stream.as_bytes()));
-    SmallRng::seed_from_u64(mixed)
+    Xoshiro256pp::seed_from_u64(mixed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_stream_is_reproducible() {
-        let xs: Vec<u64> = (0..8).map(|_| 0).collect();
         let mut a = stream_rng(7, "dram");
         let mut b = stream_rng(7, "dram");
-        let va: Vec<u64> = xs.iter().map(|_| a.gen()).collect();
-        let vb: Vec<u64> = xs.iter().map(|_| b.gen()).collect();
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_eq!(va, vb);
     }
 
@@ -72,21 +259,66 @@ mod tests {
     fn different_streams_diverge() {
         let mut a = stream_rng(7, "core0");
         let mut b = stream_rng(7, "core1");
-        let va: u64 = a.gen();
-        let vb: u64 = b.gen();
-        assert_ne!(va, vb);
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 
     #[test]
     fn different_seeds_diverge() {
         let mut a = stream_rng(1, "x");
         let mut b = stream_rng(2, "x");
-        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 
     #[test]
     fn fnv_distinguishes_names() {
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
         assert_ne!(fnv1a(b""), fnv1a(b"a"));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Xoshiro256pp::seed_from_u64(9);
+        for _ in 0..2000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(3u16..=5);
+            assert!((3..=5).contains(&w));
+            let f = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_half_open_unit() {
+        let mut r = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..2000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut r = Xoshiro256pp::seed_from_u64(2);
+        // Must not panic or hang; spans the whole domain.
+        let _ = r.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Xoshiro256pp::seed_from_u64(3);
+        let _ = r.gen_range(5u64..5);
+    }
+
+    #[test]
+    fn trait_object_through_mut_ref() {
+        fn draw(mut rng: impl Rng) -> u64 {
+            rng.next_u64()
+        }
+        let mut r = Xoshiro256pp::seed_from_u64(4);
+        let a = draw(&mut r);
+        let b = draw(&mut r);
+        assert_ne!(a, b);
     }
 }

@@ -1,14 +1,17 @@
-//! Property-based tests of the kernel's core data structures.
+//! Randomized invariant tests of the kernel's core data structures,
+//! driven by the first-party seeded [`check`](pard_sim::check) harness.
 
+use pard_sim::check::{cases, vec_of};
+use pard_sim::rng::Rng;
 use pard_sim::stats::{Histogram, LatencySample};
 use pard_sim::{ComponentId, EventQueue, Time};
-use proptest::prelude::*;
 
-proptest! {
-    /// The event queue delivers in (time, insertion-order): popping yields
-    /// a sequence sorted by time, stable for equal timestamps.
-    #[test]
-    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 1..200)) {
+/// The event queue delivers in (time, insertion-order): popping yields
+/// a sequence sorted by time, stable for equal timestamps.
+#[test]
+fn event_queue_pops_sorted_and_stable() {
+    cases("event_queue_pops_sorted_and_stable", 256, |rng| {
+        let times = vec_of(rng, 1..200, |r| r.gen_range(0u64..1000));
         let mut q = EventQueue::new();
         for (seq, &t) in times.iter().enumerate() {
             q.push(Time::from_ns(t), ComponentId::from_raw(0), seq);
@@ -16,18 +19,21 @@ proptest! {
         let mut last: Option<(Time, usize)> = None;
         while let Some(ev) = q.pop() {
             if let Some((lt, lseq)) = last {
-                prop_assert!(ev.time >= lt);
+                assert!(ev.time >= lt);
                 if ev.time == lt {
-                    prop_assert!(ev.event > lseq, "equal times must pop in insertion order");
+                    assert!(ev.event > lseq, "equal times must pop in insertion order");
                 }
             }
             last = Some((ev.time, ev.event));
         }
-    }
+    });
+}
 
-    /// Nearest-rank percentiles are monotone in p and bounded by min/max.
-    #[test]
-    fn percentiles_are_monotone(values in prop::collection::vec(0u64..1_000_000, 1..300)) {
+/// Nearest-rank percentiles are monotone in p and bounded by min/max.
+#[test]
+fn percentiles_are_monotone() {
+    cases("percentiles_are_monotone", 256, |rng| {
+        let values = vec_of(rng, 1..300, |r| r.gen_range(0u64..1_000_000));
         let mut s = LatencySample::new();
         for &v in &values {
             s.record(Time::from_units(v));
@@ -35,54 +41,64 @@ proptest! {
         let ps = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0];
         let qs: Vec<Time> = ps.iter().map(|&p| s.percentile(p)).collect();
         for w in qs.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1]);
         }
         let min = *values.iter().min().unwrap();
         let max = *values.iter().max().unwrap();
-        prop_assert_eq!(qs[0], Time::from_units(min));
-        prop_assert_eq!(*qs.last().unwrap(), Time::from_units(max));
-    }
+        assert_eq!(qs[0], Time::from_units(min));
+        assert_eq!(*qs.last().unwrap(), Time::from_units(max));
+    });
+}
 
-    /// A latency sample's CDF ends at exactly 1.0 and is non-decreasing in
-    /// both coordinates.
-    #[test]
-    fn cdf_is_a_distribution(values in prop::collection::vec(0u64..10_000, 1..200)) {
+/// A latency sample's CDF ends at exactly 1.0 and is non-decreasing in
+/// both coordinates.
+#[test]
+fn cdf_is_a_distribution() {
+    cases("cdf_is_a_distribution", 256, |rng| {
+        let values = vec_of(rng, 1..200, |r| r.gen_range(0u64..10_000));
         let mut s = LatencySample::new();
         for &v in &values {
             s.record(Time::from_units(v));
         }
         let cdf = s.cdf();
-        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
         for w in cdf.windows(2) {
-            prop_assert!(w[0].0 < w[1].0);
-            prop_assert!(w[0].1 < w[1].1 + 1e-12);
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1 + 1e-12);
         }
-    }
+    });
+}
 
-    /// Histogram counts are conserved: total = sum of bins + overflow,
-    /// and mean matches the exact mean.
-    #[test]
-    fn histogram_conserves_mass(values in prop::collection::vec(0u64..500, 1..300)) {
+/// Histogram counts are conserved: total = sum of bins + overflow,
+/// and mean matches the exact mean.
+#[test]
+fn histogram_conserves_mass() {
+    cases("histogram_conserves_mass", 256, |rng| {
+        let values = vec_of(rng, 1..300, |r| r.gen_range(0u64..500));
         let mut h = Histogram::new(7, 11);
         for &v in &values {
             h.record(v);
         }
         let binned: u64 = (0..h.nbins()).map(|i| h.bin_count(i)).sum::<u64>() + h.overflow();
-        prop_assert_eq!(binned, values.len() as u64);
+        assert_eq!(binned, values.len() as u64);
         let exact = values.iter().sum::<u64>() as f64 / values.len() as f64;
-        prop_assert!((h.mean() - exact).abs() < 1e-9);
-    }
+        assert!((h.mean() - exact).abs() < 1e-9);
+    });
+}
 
-    /// Time alignment: align_up produces a multiple of the quantum, is
-    /// >= the input, and is idempotent.
-    #[test]
-    fn align_up_properties(t in 0u64..u32::MAX as u64, q in 1u64..10_000) {
+/// Time alignment: align_up produces a multiple of the quantum, is
+/// >= the input, and is idempotent.
+#[test]
+fn align_up_properties() {
+    cases("align_up_properties", 256, |rng| {
+        let t = rng.gen_range(0u64..u64::from(u32::MAX));
+        let q = rng.gen_range(1u64..10_000);
         let time = Time::from_units(t);
         let quantum = Time::from_units(q);
         let aligned = time.align_up(quantum);
-        prop_assert!(aligned >= time);
-        prop_assert_eq!(aligned.units() % q, 0);
-        prop_assert_eq!(aligned.align_up(quantum), aligned);
-        prop_assert!(aligned.units() - t < q);
-    }
+        assert!(aligned >= time);
+        assert_eq!(aligned.units() % q, 0);
+        assert_eq!(aligned.align_up(quantum), aligned);
+        assert!(aligned.units() - t < q);
+    });
 }

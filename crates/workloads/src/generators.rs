@@ -1,9 +1,19 @@
 //! Random-process generators: Zipf popularity, Poisson arrivals.
+//!
+//! Both samplers draw from the first-party [`Rng`] trait. Two construction
+//! styles are supported: the classic `(seed, stream)` pair that derives an
+//! independent named stream, and [`Zipf::from_rng`] /
+//! [`PoissonArrivals::from_rng`], which fork a child generator off any
+//! `&mut impl Rng` — the composable boundary for callers that manage their
+//! own seeding hierarchy.
 
-use pard_sim::rng::stream_rng;
+use pard_sim::rng::{stream_rng, Rng, Xoshiro256pp};
 use pard_sim::Time;
-use rand::rngs::SmallRng;
-use rand::Rng;
+
+/// Forks an independent child generator off `parent`.
+fn fork(parent: &mut impl Rng) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from_u64(parent.next_u64())
+}
 
 /// A Zipf(s) sampler over `0..n` using precomputed cumulative weights.
 ///
@@ -24,7 +34,7 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct Zipf {
     cdf: Vec<f64>,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
 }
 
 impl Zipf {
@@ -35,6 +45,20 @@ impl Zipf {
     ///
     /// Panics if `n` is zero or `s` is not finite and non-negative.
     pub fn new(n: u64, s: f64, seed: u64, stream: &str) -> Self {
+        Self::with_rng(n, s, stream_rng(seed, stream))
+    }
+
+    /// Creates a sampler whose randomness forks off `rng`, leaving the
+    /// parent reusable for further derivations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is not finite and non-negative.
+    pub fn from_rng(n: u64, s: f64, rng: &mut impl Rng) -> Self {
+        Self::with_rng(n, s, fork(rng))
+    }
+
+    fn with_rng(n: u64, s: f64, rng: Xoshiro256pp) -> Self {
         assert!(n > 0, "Zipf needs a non-empty universe");
         assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
         let mut cdf = Vec::with_capacity(n as usize);
@@ -47,10 +71,7 @@ impl Zipf {
         for v in &mut cdf {
             *v /= total;
         }
-        Zipf {
-            cdf,
-            rng: stream_rng(seed, stream),
-        }
+        Zipf { cdf, rng }
     }
 
     /// Number of items.
@@ -60,7 +81,7 @@ impl Zipf {
 
     /// Draws one item rank (0 = most popular).
     pub fn sample(&mut self) -> u64 {
-        let u: f64 = self.rng.gen();
+        let u = self.rng.gen_f64();
         // partition_point: first index with cdf[i] >= u.
         self.cdf.partition_point(|&c| c < u) as u64
     }
@@ -92,7 +113,7 @@ impl Zipf {
 pub struct PoissonArrivals {
     rate_per_sec: f64,
     next: Time,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
 }
 
 impl PoissonArrivals {
@@ -102,11 +123,24 @@ impl PoissonArrivals {
     ///
     /// Panics if the rate is not strictly positive.
     pub fn new(rate_per_sec: f64, seed: u64, stream: &str) -> Self {
+        Self::with_rng(rate_per_sec, stream_rng(seed, stream))
+    }
+
+    /// Creates a process whose randomness forks off `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn from_rng(rate_per_sec: f64, rng: &mut impl Rng) -> Self {
+        Self::with_rng(rate_per_sec, fork(rng))
+    }
+
+    fn with_rng(rate_per_sec: f64, rng: Xoshiro256pp) -> Self {
         assert!(rate_per_sec > 0.0, "arrival rate must be positive");
         PoissonArrivals {
             rate_per_sec,
             next: Time::ZERO,
-            rng: stream_rng(seed, stream),
+            rng,
         }
     }
 
@@ -117,7 +151,7 @@ impl PoissonArrivals {
 
     /// Returns the next arrival's absolute time and advances the process.
     pub fn next_arrival(&mut self) -> Time {
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
         let gap_secs = -u.ln() / self.rate_per_sec;
         let gap = Time::from_units((gap_secs * 4e9).max(1.0) as u64);
         self.next += gap;
@@ -164,6 +198,22 @@ mod tests {
     }
 
     #[test]
+    fn from_rng_forks_independent_children() {
+        let mut parent = stream_rng(9, "parent");
+        let mut a = Zipf::from_rng(50, 1.0, &mut parent);
+        let mut b = Zipf::from_rng(50, 1.0, &mut parent);
+        let sa: Vec<u64> = (0..32).map(|_| a.sample()).collect();
+        let sb: Vec<u64> = (0..32).map(|_| b.sample()).collect();
+        assert_ne!(sa, sb, "siblings must not replay each other");
+
+        // Rebuilding from an identical parent replays exactly.
+        let mut parent2 = stream_rng(9, "parent");
+        let mut a2 = Zipf::from_rng(50, 1.0, &mut parent2);
+        let sa2: Vec<u64> = (0..32).map(|_| a2.sample()).collect();
+        assert_eq!(sa, sa2);
+    }
+
+    #[test]
     fn poisson_mean_rate_is_respected() {
         let mut p = PoissonArrivals::new(1_000_000.0, 4, "t"); // 1/µs
         let n = 10_000;
@@ -187,6 +237,17 @@ mod tests {
             assert!(t > last);
             last = t;
         }
+    }
+
+    #[test]
+    fn poisson_from_rng_is_reproducible() {
+        let mut parent = stream_rng(3, "poisson.parent");
+        let mut p = PoissonArrivals::from_rng(1e6, &mut parent);
+        let seq: Vec<u64> = (0..16).map(|_| p.next_arrival().units()).collect();
+        let mut parent2 = stream_rng(3, "poisson.parent");
+        let mut p2 = PoissonArrivals::from_rng(1e6, &mut parent2);
+        let seq2: Vec<u64> = (0..16).map(|_| p2.next_arrival().units()).collect();
+        assert_eq!(seq, seq2);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! cargo run -p pard --example adaptive_policy --release
 //! ```
 
-use pard::{Action, CmpOp, DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard::prelude::*;
 use pard_workloads::{CacheFlush, Leslie3dProxy};
 
 fn main() {

@@ -8,7 +8,7 @@
 //! cargo run -p pard --example colocate_memcached --release
 //! ```
 
-use pard::{Action, CmpOp, LDomSpec, PardServer, SystemConfig, Time};
+use pard::prelude::*;
 use pard_workloads::{Memcached, MemcachedConfig, Stream, StreamConfig};
 
 #[derive(Clone, Copy, PartialEq)]

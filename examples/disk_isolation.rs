@@ -6,7 +6,7 @@
 //! cargo run -p pard --example disk_isolation --release
 //! ```
 
-use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard::prelude::*;
 use pard_workloads::{DiskCopy, DiskCopyConfig};
 
 fn main() {

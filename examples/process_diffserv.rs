@@ -7,7 +7,7 @@
 //! cargo run -p pard --example process_diffserv --release
 //! ```
 
-use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard::prelude::*;
 use pard_workloads::{CacheFlush, Leslie3dProxy, TimeShared};
 
 fn main() {

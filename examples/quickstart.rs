@@ -6,7 +6,7 @@
 //! cargo run -p pard --example quickstart --release
 //! ```
 
-use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard::prelude::*;
 use pard_workloads::{CacheFlush, Stream, StreamConfig};
 
 fn main() {

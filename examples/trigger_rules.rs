@@ -8,7 +8,7 @@
 //! cargo run -p pard --example trigger_rules --release
 //! ```
 
-use pard::{Action, LDomSpec, PardServer, SystemConfig, Time};
+use pard::prelude::*;
 use pard_workloads::{CacheFlush, Leslie3dProxy};
 
 fn main() {

@@ -7,7 +7,7 @@
 //! cargo run -p pard --example virtual_nics --release
 //! ```
 
-use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard::prelude::*;
 use pard_icn::{NetFrame, PardEvent};
 
 const MAC_A: [u8; 6] = [0x02, 0, 0, 0, 0, 0xA];

@@ -1,7 +1,7 @@
 //! End-to-end integration tests: the assembled machine, from workload
 //! engines through caches, DRAM, I/O, and the PRM firmware.
 
-use pard::{LDomSpec, PardServer, SystemConfig, Time};
+use pard::prelude::*;
 use pard_icn::{NetFrame, PardEvent};
 use pard_workloads::{
     CacheFlush, DiskCopy, DiskCopyConfig, Memcached, MemcachedConfig, PointerChase, Stream,

@@ -3,7 +3,7 @@
 //! tag register at each context switch — and the control planes then
 //! differentiate the two processes like any pair of LDoms.
 
-use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard::prelude::*;
 use pard_sim::Time as SimTime;
 use pard_workloads::{CacheFlush, TimeShared};
 

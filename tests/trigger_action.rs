@@ -2,7 +2,7 @@
 //! trigger tables, the control-plane-network interrupt, PRM polling, and
 //! pardscript / native handlers reprogramming parameter tables.
 
-use pard::{Action, CmpOp, LDomSpec, PardServer, SystemConfig, Time};
+use pard::prelude::*;
 use pard_icn::LAddr;
 use pard_workloads::{impl_engine_any, CacheFlush, Leslie3dProxy, Op, WorkloadEngine};
 

@@ -2,7 +2,7 @@
 //! identical LDom-physical address spaces, isolated purely by DS-id
 //! tagging and control-plane address translation — no hypervisor.
 
-use pard::{DsId, LDomSpec, PardServer, Priority, SystemConfig, Time};
+use pard::prelude::*;
 use pard_icn::LAddr;
 use pard_workloads::{impl_engine_any, Op, WorkloadEngine};
 
