@@ -22,4 +22,19 @@ cargo build --release --offline --workspace --bins --benches --examples
 echo "== offline test suite =="
 cargo test -q --offline --workspace
 
+echo "== parallel-runner determinism under PARD_THREADS=2 =="
+# The suite asserts figure output is byte-identical across thread counts;
+# run it with a constrained pool to exercise the scheduling seams too.
+PARD_THREADS=2 cargo test -q --offline -p pard-bench --test determinism
+
+echo "== event-queue / kernel events-per-sec smoke =="
+# Must run to completion and write BENCH_kernel.json (kernel perf record).
+rm -f BENCH_kernel.json
+cargo bench --offline -p pard-bench --bench event_queue -- --quick
+if [ ! -s BENCH_kernel.json ]; then
+    echo "error: event_queue bench did not write BENCH_kernel.json" >&2
+    exit 1
+fi
+echo "ok: BENCH_kernel.json written"
+
 echo "CI green"

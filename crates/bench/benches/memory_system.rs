@@ -2,10 +2,10 @@
 //! decomposition, and end-to-end controller throughput with and without
 //! the control plane's differentiated mechanisms.
 
-use pard_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
+use pard_bench::harness::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use pard_dram::{Bank, DramGeometry, DramTiming, MemCtrl, MemCtrlConfig, RankTracker};
 use pard_icn::{DsId, LAddr, MAddr, MemKind, MemPacket, PacketId, PardEvent};
-use pard_sim::{Simulation, Time};
+use pard_sim::{Component, Ctx, Simulation, Time};
 
 fn bench_bank_schedule(c: &mut Criterion) {
     let timing = DramTiming::ddr3_1600_11();
@@ -88,10 +88,69 @@ fn bench_controller_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Raw kernel hop cost: self-ticking components exercising one
+/// `EventQueue` push + pop per delivered event through `Ctx::send` — the
+/// inner loop every model shares. `dense` keeps every tick inside the
+/// event queue's active bucket (cache/DRAM-hop delays); `mixed` spreads
+/// ticks across the near ring and the overflow tier (timers, windows).
+fn bench_kernel_event_churn(c: &mut Criterion) {
+    struct Ticker {
+        delays: [u64; 4],
+        left: u64,
+    }
+    impl Component<u32> for Ticker {
+        fn name(&self) -> &str {
+            "ticker"
+        }
+        fn handle(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
+            if self.left == 0 {
+                return;
+            }
+            self.left -= 1;
+            let d = self.delays[(ev & 3) as usize];
+            ctx.send(ctx.self_id(), Time::from_units(d), ev.wrapping_add(1));
+        }
+        pard_sim::impl_as_any!();
+    }
+
+    const TICKS: u64 = 100_000;
+    let mut group = c.benchmark_group("kernel_event_churn");
+    group.sample_size(10);
+    for (name, delays) in [
+        ("dense", [2u64, 3, 5, 9]),
+        ("mixed", [2u64, 40, 700, 90_000]),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut sim: Simulation<u32> = Simulation::new();
+                    // Four independent tick chains keep a small pending
+                    // set alive, like the real models do.
+                    for i in 0..4u32 {
+                        let id = sim.add_component(Box::new(Ticker {
+                            delays,
+                            left: TICKS / 4,
+                        }));
+                        sim.post(id, Time::from_units(i as u64), i);
+                    }
+                    sim
+                },
+                |mut sim| {
+                    sim.run();
+                    black_box(sim.events_processed())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_bank_schedule,
     bench_decompose,
-    bench_controller_throughput
+    bench_controller_throughput,
+    bench_kernel_event_churn
 );
 criterion_main!(benches);

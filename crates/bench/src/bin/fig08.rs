@@ -13,6 +13,7 @@
 use pard_bench::json::JsonValue;
 use pard_bench::output::{print_table, save_json};
 use pard_bench::{duration_scale, run_memcached_point, MemcachedMode, MemcachedScenario};
+use pard_sim::par::par_map;
 use pard_sim::Time;
 
 fn main() {
@@ -25,15 +26,28 @@ fn main() {
     ];
 
     println!("Figure 8: Memcached tail response time (95th percentile)\n");
+    // All 18 (mode, load) points are independent seeded simulations; fan
+    // them across the pool, then assemble rows/series in sweep order so
+    // the table and fig08.json are byte-identical to a serial run.
+    let grid: Vec<(MemcachedMode, f64)> = modes
+        .iter()
+        .flat_map(|&mode| loads.iter().map(move |&rps| (mode, rps)))
+        .collect();
+    let points = par_map(grid, |(mode, rps)| {
+        let mut s = MemcachedScenario::new(mode, rps);
+        s.warmup = Time::from_ms((30.0 * scale) as u64);
+        s.measure = Time::from_ms((120.0 * scale) as u64);
+        let p = run_memcached_point(&s);
+        eprintln!("  [{}] {:.1} KRPS done", mode.label(), rps / 1000.0);
+        p
+    });
+
     let mut rows = Vec::new();
     let mut json = JsonValue::object();
-    for mode in modes {
+    for (i, mode) in modes.iter().enumerate() {
         let mut series = JsonValue::array();
-        for rps in loads {
-            let mut s = MemcachedScenario::new(mode, rps);
-            s.warmup = Time::from_ms((30.0 * scale) as u64);
-            s.measure = Time::from_ms((120.0 * scale) as u64);
-            let p = run_memcached_point(&s);
+        for (j, &rps) in loads.iter().enumerate() {
+            let p = &points[i * loads.len() + j];
             rows.push(vec![
                 mode.label().to_string(),
                 format!("{:.1}", rps / 1000.0),
@@ -50,7 +64,6 @@ fn main() {
                     .field("achieved_krps", p.achieved_rps / 1000.0)
                     .field("cpu_utilization", p.cpu_utilization),
             );
-            eprintln!("  [{}] {:.1} KRPS done", mode.label(), rps / 1000.0);
         }
         json = json.field(mode.label(), series);
     }

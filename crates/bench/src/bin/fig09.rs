@@ -10,9 +10,20 @@ use pard::{DsId, Time};
 use pard_bench::json::JsonValue;
 use pard_bench::output::{print_series, save_json};
 use pard_bench::{duration_scale, install_llc_trigger, install_llc_trigger_scenario};
+use pard_sim::par::par_map;
 
-fn main() {
-    let scale = duration_scale();
+struct Fig09Run {
+    total: Time,
+    stream_start: Time,
+    series: Vec<(f64, f64)>,
+    fired_at: Option<f64>,
+}
+
+/// One end-to-end timeline. Unlike the sweep figures this is a single
+/// simulation with mid-run operator actions (each sample depends on the
+/// last), so there is nothing to fan out — the one-element `par_map`
+/// keeps the experiment-runner idiom uniform and runs inline.
+fn run_timeline(scale: f64) -> Fig09Run {
     let total = Time::from_ms((160.0 * scale).max(80.0) as u64);
     let sample = Time::from_ms(2);
 
@@ -62,6 +73,21 @@ fn main() {
             }
         }
     }
+
+    Fig09Run {
+        total,
+        stream_start,
+        series,
+        fired_at,
+    }
+}
+
+fn main() {
+    let run = par_map(vec![duration_scale()], run_timeline)
+        .pop()
+        .expect("one timeline");
+    let (total, stream_start, series, fired_at) =
+        (run.total, run.stream_start, run.series, run.fired_at);
 
     println!("Figure 9: Memcached LLC miss rate over time (20 KRPS)\n");
     println!(

@@ -9,10 +9,14 @@ use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
 use pard_bench::duration_scale;
 use pard_bench::json::JsonValue;
 use pard_bench::output::{print_series, save_json};
+use pard_sim::par::par_map;
 use pard_workloads::{DiskCopy, DiskCopyConfig};
 
-fn main() {
-    let scale = duration_scale();
+/// One end-to-end timeline. A single simulation with a mid-run operator
+/// `echo` (each sample depends on the last), so there is nothing to fan
+/// out — the one-element `par_map` keeps the experiment-runner idiom
+/// uniform and runs inline.
+fn run_timeline(scale: f64) -> (Time, Time, Vec<Vec<(f64, f64)>>) {
     // Scaled from the paper's 512 MB per LDom so the default run spans
     // ~800 ms of simulated time like the figure's x-axis.
     let block = (8.0 * scale) as u64 * 1024 * 1024;
@@ -65,6 +69,13 @@ fn main() {
             shares[i].push((server.now().as_ms(), bw[i] / sum * 100.0));
         }
     }
+    (total, echo_at, shares)
+}
+
+fn main() {
+    let (total, echo_at, shares) = par_map(vec![duration_scale()], run_timeline)
+        .pop()
+        .expect("one timeline");
 
     println!("Figure 10: Disk I/O performance isolation\n");
     println!("quota change (echo 80) at {:.0} ms\n", echo_at.as_ms());

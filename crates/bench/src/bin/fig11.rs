@@ -10,8 +10,7 @@
 //! The scenario itself lives in [`pard_bench::fig11_scenario`] so the
 //! determinism test can replay it at a smaller scale.
 
-use pard_bench::fig11_scenario::run;
-use pard_bench::json::JsonValue;
+use pard_bench::fig11_scenario::{run_pair, summary_json};
 use pard_bench::output::{print_series, print_table, save_json};
 
 fn thin(cdf: &[(f64, f64)]) -> Vec<(f64, f64)> {
@@ -36,8 +35,8 @@ fn main() {
         .unwrap_or(0.55);
     let requests = 200_000;
 
-    let base = run(inject_rate, false, requests);
-    let pard = run(inject_rate, true, requests);
+    // Two independent deterministic runs; the pool overlaps them.
+    let (base, pard) = run_pair(inject_rate, requests);
 
     println!("Figure 11: CDF of memory-request queueing delay (inject rate {inject_rate})\n");
     print_table(
@@ -67,14 +66,5 @@ fn main() {
     print_series("cdf.high_priority", &thin(&pard.cdf_high));
     print_series("cdf.low_priority", &thin(&pard.cdf_low));
 
-    save_json(
-        "fig11.json",
-        &JsonValue::object()
-            .field("inject_rate", inject_rate)
-            .field("baseline_mean_cycles", base.mean_all)
-            .field("high_mean_cycles", pard.mean_high)
-            .field("low_mean_cycles", pard.mean_low)
-            .field("speedup", speedup)
-            .field("low_penalty_pct", low_penalty),
-    );
+    save_json("fig11.json", &summary_json(inject_rate, &base, &pard));
 }

@@ -11,33 +11,38 @@ use pard_hwcost::{
     llc_cp_cost, mem_cp_cost, priority_queue_cost, table_cost, tag_array_brams, trigger_table_cost,
     LlcPipeline, LLC_BASELINE_LUT_FF, LLC_ROW_BITS, MEM_BASELINE_LUT_FF, MEM_ROW_BITS,
 };
+use pard_sim::par::par_map;
 
 fn main() {
     println!("Figure 12: FPGA resource usage of the control planes\n");
 
-    let mut rows = Vec::new();
-    for (plane, row_bits) in [("memory", MEM_ROW_BITS), ("LLC", LLC_ROW_BITS)] {
-        for entries in [64u64, 128, 256] {
-            let c = table_cost(entries, row_bits);
-            rows.push(vec![
-                plane.into(),
-                format!("param+stats {entries}"),
-                c.lut.to_string(),
-                c.lutram.to_string(),
-                c.ff.to_string(),
-            ]);
-        }
-        for slots in [16u64, 32, 64] {
-            let c = trigger_table_cost(slots);
-            rows.push(vec![
-                plane.into(),
-                format!("trigger {slots}"),
-                c.lut.to_string(),
-                c.lutram.to_string(),
-                c.ff.to_string(),
-            ]);
-        }
-    }
+    // Each sweep point evaluates the analytical model independently;
+    // par_map keeps the row order, so the table and JSON are unchanged.
+    let grid: Vec<(&str, &str, u64, u64)> = [("memory", MEM_ROW_BITS), ("LLC", LLC_ROW_BITS)]
+        .iter()
+        .flat_map(|&(plane, row_bits)| {
+            let tables = [64u64, 128, 256]
+                .into_iter()
+                .map(move |entries| (plane, "table", entries, row_bits));
+            let triggers = [16u64, 32, 64]
+                .into_iter()
+                .map(move |slots| (plane, "trigger", slots, row_bits));
+            tables.chain(triggers)
+        })
+        .collect();
+    let mut rows = par_map(grid, |(plane, kind, size, row_bits)| {
+        let (c, structure) = match kind {
+            "table" => (table_cost(size, row_bits), format!("param+stats {size}")),
+            _ => (trigger_table_cost(size), format!("trigger {size}")),
+        };
+        vec![
+            plane.into(),
+            structure,
+            c.lut.to_string(),
+            c.lutram.to_string(),
+            c.ff.to_string(),
+        ]
+    });
     let q = priority_queue_cost(2, 16);
     rows.push(vec![
         "memory".into(),

@@ -16,6 +16,7 @@ use pard_bench::{
     build_memcached_server, build_memcached_server_no_rule, install_llc_trigger_with,
     MemcachedMode, MemcachedScenario,
 };
+use pard_sim::par::par_map;
 use pard_workloads::Memcached;
 
 fn scenario() -> MemcachedScenario {
@@ -31,33 +32,46 @@ fn scenario() -> MemcachedScenario {
 /// the STREAM triad's compute per block (fewer cycles = more bandwidth);
 /// each point runs protected and unprotected.
 fn sweep_antagonist() -> Vec<Vec<String>> {
-    let mut rows = Vec::new();
-    for compute in [256u64, 128, 64, 32, 16] {
-        let mut cells = vec![format!("{compute} cyc/block")];
-        for protected in [false, true] {
-            let s = MemcachedScenario {
-                stream_compute_per_block: compute,
-                ..scenario()
-            };
-            let (mut server, mc) = build_memcached_server_no_rule(&s);
-            if protected {
-                install_llc_trigger_with(&mut server, mc, 30);
-            }
-            server.run_for(s.warmup + s.measure);
-            let report = server.with_engine::<Memcached, _>(0, |m| m.report());
-            cells.push(format!("{:.3}", report.p95.as_ms()));
-            let _ = mc;
+    const COMPUTES: [u64; 5] = [256, 128, 64, 32, 16];
+    // Each (intensity, protected) cell is an independent run.
+    let grid: Vec<(u64, bool)> = COMPUTES
+        .iter()
+        .flat_map(|&compute| [(compute, false), (compute, true)])
+        .collect();
+    let cells = par_map(grid, |(compute, protected)| {
+        let s = MemcachedScenario {
+            stream_compute_per_block: compute,
+            ..scenario()
+        };
+        let (mut server, mc) = build_memcached_server_no_rule(&s);
+        if protected {
+            install_llc_trigger_with(&mut server, mc, 30);
         }
-        eprintln!("  antagonist {compute} cyc/block done");
-        rows.push(cells);
-    }
-    rows
+        server.run_for(s.warmup + s.measure);
+        let report = server.with_engine::<Memcached, _>(0, |m| m.report());
+        eprintln!("  antagonist {compute} cyc/block ({}) done", {
+            if protected {
+                "protected"
+            } else {
+                "unprotected"
+            }
+        });
+        format!("{:.3}", report.p95.as_ms())
+    });
+    COMPUTES
+        .iter()
+        .zip(cells.chunks(2))
+        .map(|(compute, pair)| {
+            let mut row = vec![format!("{compute} cyc/block")];
+            row.extend(pair.iter().cloned());
+            row
+        })
+        .collect()
 }
 
 /// Partition-size sweep: the action grants N of 16 ways to memcached.
 fn sweep_partition() -> Vec<Vec<String>> {
-    let mut rows = Vec::new();
-    for ways in [2u32, 4, 8, 12, 14] {
+    par_map(vec![2u32, 4, 8, 12, 14], |ways| {
         let s = scenario();
         let (mut server, mc) = build_memcached_server(&s);
         let mc_mask: u64 = ((1u64 << ways) - 1) << (16 - ways);
@@ -75,21 +89,19 @@ fn sweep_partition() -> Vec<Vec<String>> {
         server.run_for(s.warmup + s.measure);
         let report = server.with_engine::<Memcached, _>(0, |m| m.report());
         let miss = server.llc_cp().lock().stat(mc, "miss_rate").unwrap();
-        rows.push(vec![
+        eprintln!("  partition {ways}/16 done");
+        vec![
             format!("{ways}/16 ways"),
             format!("{:.3}", report.p95.as_ms()),
             format!("{:.1}", report.achieved_rps / 1000.0),
             format!("{miss}%"),
-        ]);
-        eprintln!("  partition {ways}/16 done");
-    }
-    rows
+        ]
+    })
 }
 
 /// PRM poll-interval sweep: the trigger ⇒ action reaction-latency floor.
 fn sweep_poll() -> Vec<Vec<String>> {
-    let mut rows = Vec::new();
-    for poll_us in [20u64, 100, 1_000, 10_000] {
+    par_map(vec![20u64, 100, 1_000, 10_000], |poll_us| {
         let s = MemcachedScenario {
             prm_poll: Some(Time::from_us(poll_us)),
             ..scenario()
@@ -98,15 +110,14 @@ fn sweep_poll() -> Vec<Vec<String>> {
         server.run_for(s.warmup + s.measure);
         let report = server.with_engine::<Memcached, _>(0, |m| m.report());
         let mask = server.llc_cp().lock().param(mc, "waymask").unwrap();
-        rows.push(vec![
+        eprintln!("  poll {poll_us} us done");
+        vec![
             format!("{poll_us} us"),
             format!("{:.3}", report.p95.as_ms()),
             format!("{:.1}", report.achieved_rps / 1000.0),
             if mask == 0xFF00 { "fired" } else { "pending" }.into(),
-        ]);
-        eprintln!("  poll {poll_us} us done");
-    }
-    rows
+        ]
+    })
 }
 
 fn main() {

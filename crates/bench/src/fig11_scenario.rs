@@ -7,8 +7,10 @@
 //! `(seed, rate, requests)` triple reproduces the exact same numbers on
 //! every run and host.
 
+use crate::json::JsonValue;
 use pard_dram::{MemCtrl, MemCtrlConfig};
 use pard_icn::{DsId, LAddr, MemKind, MemPacket, PacketId, PardEvent, TickKind};
+use pard_sim::par::par_map;
 use pard_sim::rng::{stream_rng, Rng, Xoshiro256pp};
 use pard_sim::{Component, ComponentId, Ctx, Simulation, Time};
 
@@ -95,6 +97,33 @@ pub struct RunResult {
     pub cdf_high: Vec<(f64, f64)>,
     /// `(cycles, fraction)` CDF of the low-priority class.
     pub cdf_low: Vec<(f64, f64)>,
+}
+
+/// Runs the baseline (no priorities) and PARD (priorities) configurations
+/// as two independent simulations fanned over the [`par_map`] worker
+/// pool. Both derive their RNG from the same named stream, so the pair is
+/// bit-identical to two serial [`run`] calls at any `PARD_THREADS`.
+pub fn run_pair(inject_rate: f64, requests: u64) -> (RunResult, RunResult) {
+    let mut results = par_map(vec![false, true], |priorities| {
+        run(inject_rate, priorities, requests)
+    });
+    let pard = results.pop().expect("pard run");
+    let base = results.pop().expect("baseline run");
+    (base, pard)
+}
+
+/// The `fig11.json` document for one baseline/PARD result pair — shared
+/// by the `fig11` binary and the cross-thread-count determinism test.
+pub fn summary_json(inject_rate: f64, base: &RunResult, pard: &RunResult) -> JsonValue {
+    let speedup = base.mean_all / pard.mean_high.max(0.01);
+    let low_penalty = (pard.mean_low / base.mean_all - 1.0) * 100.0;
+    JsonValue::object()
+        .field("inject_rate", inject_rate)
+        .field("baseline_mean_cycles", base.mean_all)
+        .field("high_mean_cycles", pard.mean_high)
+        .field("low_mean_cycles", pard.mean_low)
+        .field("speedup", speedup)
+        .field("low_penalty_pct", low_penalty)
 }
 
 /// Runs the injector against the DDR3 controller and collects queueing

@@ -7,7 +7,7 @@
 //! landed. If these ever drift, either the RNG stream or the memory
 //! controller's arbitration changed — both are things a reviewer must see.
 
-use pard_bench::fig11_scenario::run;
+use pard_bench::fig11_scenario::{run, run_pair, summary_json};
 
 const RATE: f64 = 0.55;
 const REQUESTS: u64 = 4_000;
@@ -40,4 +40,28 @@ fn fig11_runs_are_identical() {
     assert_eq!(a.mean_low, b.mean_low);
     assert_eq!(a.cdf_high, b.cdf_high);
     assert_eq!(a.cdf_low, b.cdf_low);
+}
+
+/// The parallel runner must not affect results: the fig11 JSON rendered
+/// from a `par_map`-driven pair is byte-identical whether the pool has
+/// one worker or eight. Both thread counts run inside a single test
+/// (env vars are process-global, so splitting this across tests would
+/// race under the parallel test harness).
+#[test]
+fn fig11_json_is_byte_identical_across_thread_counts() {
+    let render = || {
+        let (base, pard) = run_pair(RATE, REQUESTS);
+        summary_json(RATE, &base, &pard).to_string_pretty()
+    };
+
+    std::env::set_var("PARD_THREADS", "1");
+    let serial = render();
+    std::env::set_var("PARD_THREADS", "8");
+    let parallel = render();
+    std::env::remove_var("PARD_THREADS");
+
+    assert_eq!(
+        serial, parallel,
+        "fig11 JSON must not depend on PARD_THREADS"
+    );
 }

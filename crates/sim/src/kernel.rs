@@ -65,12 +65,17 @@ pub struct Simulation<E> {
     events_processed: u64,
 }
 
+/// Pending-event capacity reserved up front by [`Simulation::new`]: large
+/// enough that the memory-system models never reallocate the queue's hot
+/// tiers mid-run, small enough to be free for unit tests.
+const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
 impl<E: 'static> Simulation<E> {
     /// Creates an empty simulation at time zero.
     pub fn new() -> Self {
         Simulation {
             components: Vec::new(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(DEFAULT_QUEUE_CAPACITY),
             now: Time::ZERO,
             stop_requested: false,
             events_processed: 0,
@@ -155,18 +160,31 @@ impl<E: 'static> Simulation<E> {
         true
     }
 
+    /// Consumes a pending stop request, clearing the flag.
+    ///
+    /// Both run loops check (and reset) the flag through this single
+    /// path, so a stop requested by the last event before *any* exit —
+    /// including one at exactly a `run_until` deadline — is observed
+    /// before another event can be delivered.
+    #[inline]
+    fn take_stop(&mut self) -> bool {
+        std::mem::take(&mut self.stop_requested)
+    }
+
     /// Runs until the event queue drains or a component requests a stop.
     pub fn run(&mut self) {
-        while !self.stop_requested && self.step() {}
-        self.stop_requested = false;
+        loop {
+            if self.take_stop() || !self.step() {
+                return;
+            }
+        }
     }
 
     /// Runs until simulated time reaches `deadline` (events at exactly
     /// `deadline` are delivered), the queue drains, or a stop is requested.
     pub fn run_until(&mut self, deadline: Time) {
         loop {
-            if self.stop_requested {
-                self.stop_requested = false;
+            if self.take_stop() {
                 return;
             }
             match self.queue.peek_time() {
@@ -314,6 +332,23 @@ mod tests {
         assert_eq!(sim.events_processed(), 1);
         // The stop flag resets; a subsequent run drains the queue.
         sim.run();
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn stop_at_exact_run_until_deadline_is_not_dropped() {
+        let deadline = Time::from_ns(5);
+        let mut sim = Simulation::new();
+        let id = sim.add_component(Box::new(Stopper));
+        // Two events at exactly the deadline: the first requests a stop,
+        // so the second must stay queued for the next run.
+        sim.post(id, deadline, Msg::Ping);
+        sim.post(id, deadline, Msg::Ping);
+        sim.run_until(deadline);
+        assert_eq!(sim.events_processed(), 1, "stop at the deadline dropped");
+        assert_eq!(sim.now(), deadline);
+        // The flag must not leak into the next run either.
+        sim.run_until(deadline);
         assert_eq!(sim.events_processed(), 2);
     }
 

@@ -45,6 +45,7 @@ pub mod check;
 mod component;
 mod event;
 mod kernel;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod sync;

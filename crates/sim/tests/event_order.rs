@@ -1,0 +1,120 @@
+//! Cross-ordering property tests for the ladder [`EventQueue`]: under
+//! randomized push/pop interleavings its pop sequence must match a
+//! reference sort by `(time, seq)` exactly — including equal-time ties
+//! whose bucket spans straddle the queue's internal tier boundaries.
+
+use pard_sim::check::{self, cases};
+use pard_sim::rng::Rng;
+use pard_sim::{ComponentId, EventQueue, Time};
+
+fn dst() -> ComponentId {
+    ComponentId::from_raw(0)
+}
+
+/// Drives `q` and a sorted reference with the same operations; each pop
+/// must return the reference's front.
+struct Cross {
+    q: EventQueue<u64>,
+    reference: Vec<(u64, u64)>, // (time units, seq), kept sorted
+    seq: u64,
+}
+
+impl Cross {
+    fn new() -> Self {
+        Cross {
+            q: EventQueue::new(),
+            reference: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, units: u64) {
+        self.q.push(Time::from_units(units), dst(), self.seq);
+        let at = self
+            .reference
+            .partition_point(|&e| e < (units, self.seq));
+        self.reference.insert(at, (units, self.seq));
+        self.seq += 1;
+    }
+
+    fn pop_and_check(&mut self) {
+        let expect = self.reference.remove(0);
+        let got = self.q.pop().expect("queue and reference agree on len");
+        assert_eq!((got.time.units(), got.seq), expect);
+        assert_eq!(got.event, expect.1, "payload follows its (time, seq)");
+    }
+
+    fn drain(&mut self) {
+        while !self.reference.is_empty() {
+            self.pop_and_check();
+        }
+        assert!(self.q.pop().is_none());
+        assert!(self.q.is_empty());
+    }
+}
+
+#[test]
+fn random_interleavings_match_reference_sort() {
+    cases("event_order.random_interleavings", 128, |rng| {
+        let mut x = Cross::new();
+        let mut now = 0u64;
+        let ops = rng.gen_range(10usize..400);
+        for _ in 0..ops {
+            if x.reference.is_empty() || rng.gen_bool(0.6) {
+                // Mix delay scales so events land in the active bucket,
+                // across several ring buckets, and in the overflow tier.
+                let delay = match rng.gen_range(0u32..4) {
+                    0 => rng.gen_range(0u64..8),         // same bucket
+                    1 => rng.gen_range(0u64..512),       // nearby buckets
+                    2 => rng.gen_range(0u64..6_000),     // across the ring
+                    _ => rng.gen_range(0u64..500_000),   // overflow tier
+                };
+                x.push(now + delay);
+            } else {
+                x.pop_and_check();
+                now = now.max(x.reference.first().map_or(now, |&(t, _)| t));
+            }
+        }
+        x.drain();
+    });
+}
+
+#[test]
+fn equal_time_ties_across_bucket_boundaries_pop_in_seq_order() {
+    cases("event_order.tie_storm", 64, |rng| {
+        let mut x = Cross::new();
+        // A handful of distinct timestamps, deliberately clustered near
+        // multiples of the 64-unit bucket width so ties sit exactly on
+        // tier boundaries, each pushed many times interleaved.
+        let base = rng.gen_range(0u64..10_000);
+        let times: Vec<u64> = (0..rng.gen_range(2usize..6))
+            .map(|_| base + rng.gen_range(0u64..40) * 64)
+            .collect();
+        for round in 0..rng.gen_range(4u32..30) {
+            let t = times[rng.gen_range(0..times.len())];
+            x.push(t);
+            if round % 3 == 2 {
+                x.pop_and_check();
+            }
+        }
+        x.drain();
+    });
+}
+
+#[test]
+fn pops_between_refills_preserve_order_after_idle_gaps() {
+    // Drain-to-empty then push far ahead: the queue rebases its ladder;
+    // ordering must survive arbitrarily many such idle gaps.
+    cases("event_order.idle_gaps", 64, |rng| {
+        let mut x = Cross::new();
+        let mut now = 0u64;
+        for _ in 0..rng.gen_range(2u32..10) {
+            let burst = check::vec_of(rng, 1..20, |r| now + r.gen_range(0u64..300));
+            for t in burst {
+                x.push(t);
+            }
+            x.drain();
+            now += rng.gen_range(1_000u64..10_000_000);
+        }
+    });
+}
