@@ -37,4 +37,23 @@ if [ ! -s BENCH_kernel.json ]; then
 fi
 echo "ok: BENCH_kernel.json written"
 
+echo "== trace smoke: traced fig07 emits schema-valid JSONL =="
+# Run in a scratch cwd so the figure's JSON dump cannot clobber the
+# committed fig07.json; then schema-validate the trace and demand the
+# instrumented layers all show up with the right DS attribution.
+repo="$PWD"
+scratch="$(mktemp -d)"
+(
+    cd "$scratch"
+    PARD_TRACE=trace.jsonl "$repo/target/release/fig07" --quick >/dev/null
+    "$repo/target/release/pard-trace" --check trace.jsonl \
+        --require kernel,llc,dram,ide,trigger,prm
+)
+rm -rf "$scratch"
+echo "ok: traced fig07 passes pard-trace --check"
+
+echo "== rustdoc gate: no documentation warnings =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace >/dev/null
+echo "ok: cargo doc clean"
+
 echo "CI green"

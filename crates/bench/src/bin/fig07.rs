@@ -9,11 +9,11 @@
 //!   * at T_repart the operator runs the paper's three `echo waymask`
 //!     commands, dedicating half the LLC to LDom0.
 
-use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard::{Action, CmpOp, DsId, LDomSpec, PardServer, SystemConfig, Time};
 use pard_bench::duration_scale;
 use pard_bench::json::JsonValue;
 use pard_bench::output::{print_series, save_json};
-use pard_workloads::{BootThen, CacheFlush, LbmProxy, Leslie3dProxy};
+use pard_workloads::{BootThen, CacheFlush, DiskCopy, DiskCopyConfig, LbmProxy, Leslie3dProxy};
 
 fn main() {
     let scale = duration_scale();
@@ -50,6 +50,20 @@ fn main() {
             Box::new(CacheFlush::new(0x0400_0000, 8 << 20)),
         )),
     );
+
+    // Observability: a monitoring trigger on the CacheFlush LDom's memory
+    // bandwidth, bound to a no-op native action. Trigger fire/re-arm and
+    // PRM dispatch become visible under `PARD_TRACE` without reprogramming
+    // any resource, so the figure's committed output is unchanged.
+    {
+        let fw = server.firmware().clone();
+        let mut fw = fw.lock();
+        fw.register_action("monitor", Action::Native(Box::new(|_, _| {})));
+        fw.pardtrigger(1, DsId::new(2), 9, "bandwidth", CmpOp::Gt, 100)
+            .expect("install monitoring trigger");
+        fw.write("/sys/cpa/cpa1/ldoms/ldom2/triggers/9", "monitor")
+            .expect("bind monitoring action");
+    }
 
     let mut cache_series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
     let mut bw_series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
@@ -123,4 +137,20 @@ fn main() {
             .field("occupied_llc_mb", cache_series)
             .field("mem_bandwidth_gbps", bw_series),
     );
+
+    // Epilogue (after every sample is collected, so the figure output
+    // above is untouched): wake the paper's idle fourth LDom with a short
+    // `dd`, so a `PARD_TRACE` run of this binary also covers the
+    // I/O-bridge and IDE quota layers.
+    server.install_engine(
+        3,
+        Box::new(DiskCopy::new(DiskCopyConfig {
+            disk: 0,
+            block_bytes: 1 << 20,
+            count: 4,
+            ..DiskCopyConfig::default()
+        })),
+    );
+    server.launch(DsId::new(3)).expect("launch ldom3");
+    server.run_for(Time::from_ms(20));
 }

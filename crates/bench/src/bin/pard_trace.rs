@@ -1,0 +1,197 @@
+//! `pard-trace` — validate, summarise, or generate PARD trace files.
+//!
+//! Usage:
+//!
+//! ```text
+//! pard-trace --check FILE [--require cat1,cat2,...]
+//! pard-trace --replay [FILE]
+//! pard-trace FILE
+//! ```
+//!
+//! * `--check` schema-validates every JSONL line (must be a JSON object
+//!   with numeric `time`, integer `ds`, known `cat`, string `event`) and
+//!   exits non-zero on the first violation. `--require` additionally
+//!   demands at least one event from each listed category.
+//! * `--replay` runs a scaled-down fig07-style scenario with tracing
+//!   installed programmatically, writes the trace to `FILE` (default
+//!   `pard-trace-replay.jsonl`), then validates and summarises it.
+//! * With just a `FILE`, pretty-prints a per-category / per-DS-id summary.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use pard::{Action, CmpOp, DsId, LDomSpec, PardServer, SystemConfig, Time};
+use pard_bench::json::JsonValue;
+use pard_sim::trace::{self, TraceCat, TraceConfig};
+use pard_workloads::{CacheFlush, DiskCopy, DiskCopyConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut replay = false;
+    let mut require: Vec<String> = Vec::new();
+    let mut file: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check = true,
+            "--replay" => replay = true,
+            "--require" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--require needs a comma-separated category list");
+                    return ExitCode::FAILURE;
+                };
+                require = list.split(',').map(str::to_string).collect();
+            }
+            "--help" | "-h" => {
+                println!("pard-trace --check FILE [--require cats] | --replay [FILE] | FILE");
+                return ExitCode::SUCCESS;
+            }
+            other => file = Some(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if replay {
+        let path = file.unwrap_or_else(|| "pard-trace-replay.jsonl".to_string());
+        if let Err(e) = run_replay(&path) {
+            eprintln!("replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        return validate(&path, &require, true);
+    }
+
+    let Some(path) = file else {
+        eprintln!("usage: pard-trace --check FILE [--require cats] | --replay [FILE] | FILE");
+        return ExitCode::FAILURE;
+    };
+    validate(&path, &require, !check)
+}
+
+/// Validates `path` line by line; prints a summary unless `--check` asked
+/// for silence-on-success. Returns the process exit code.
+fn validate(path: &str, require: &[String], summarise: bool) -> ExitCode {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut by_cat: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_ds: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut first_time = f64::INFINITY;
+    let mut last_time = f64::NEG_INFINITY;
+    let mut total = 0u64;
+
+    for (lineno, line) in content.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let v = match JsonValue::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}:{}: invalid JSON: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(time) = v.get("time").and_then(JsonValue::as_f64) else {
+            eprintln!("{path}:{}: missing numeric \"time\"", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        let Some(ds) = v.get("ds").and_then(JsonValue::as_u64) else {
+            eprintln!("{path}:{}: missing integer \"ds\"", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        let Some(cat) = v.get("cat").and_then(JsonValue::as_str) else {
+            eprintln!("{path}:{}: missing string \"cat\"", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        if TraceCat::parse(cat).is_none() {
+            eprintln!("{path}:{}: unknown category {cat:?}", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        if v.get("event").and_then(JsonValue::as_str).is_none() {
+            eprintln!("{path}:{}: missing string \"event\"", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        *by_cat.entry(cat.to_string()).or_insert(0) += 1;
+        *by_ds.entry(ds).or_insert(0) += 1;
+        first_time = first_time.min(time);
+        last_time = last_time.max(time);
+        total += 1;
+    }
+
+    for want in require {
+        if !by_cat.contains_key(want.as_str()) {
+            eprintln!("{path}: no events from required category {want:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if summarise {
+        println!("{path}: {total} events");
+        if total > 0 {
+            println!("  time span: {first_time} .. {last_time} ns");
+            for (cat, n) in &by_cat {
+                println!("  {cat:>8}: {n}");
+            }
+            let top: Vec<String> = by_ds
+                .iter()
+                .map(|(ds, n)| {
+                    if *ds == u64::from(u16::MAX) {
+                        format!("untagged={n}")
+                    } else {
+                        format!("ds{ds}={n}")
+                    }
+                })
+                .collect();
+            println!("  by ds: {}", top.join(" "));
+        }
+    } else {
+        println!("{path}: OK ({total} events)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// A short fig07-flavoured run with every trace category armed: one LDom
+/// running CacheFlush (kernel / LLC / DRAM / trigger events) and one
+/// running DiskCopy (I/O bridge / IDE events), plus a monitoring trigger
+/// on memory bandwidth bound to a no-op action. ~20 ms of simulated time.
+fn run_replay(path: &str) -> std::io::Result<()> {
+    trace::install(TraceConfig::to_file(path))?;
+
+    let mut server = PardServer::new(SystemConfig::small_test());
+    for (i, name) in ["ldom0", "ldom1"].iter().enumerate() {
+        server
+            .create_ldom(LDomSpec::new(*name, vec![i], 16 << 20))
+            .expect("create ldom");
+    }
+    server.install_engine(0, Box::new(CacheFlush::new(0, 1 << 20)));
+    server.install_engine(
+        1,
+        Box::new(DiskCopy::new(DiskCopyConfig {
+            disk: 0,
+            block_bytes: 1 << 20,
+            count: 8,
+            ..DiskCopyConfig::default()
+        })),
+    );
+    {
+        let fw = server.firmware().clone();
+        let mut fw = fw.lock();
+        fw.register_action("monitor", Action::Native(Box::new(|_, _| {})));
+        fw.pardtrigger(1, DsId::new(0), 9, "bandwidth", CmpOp::Gt, 1)
+            .expect("install trigger");
+        fw.write("/sys/cpa/cpa1/ldoms/ldom0/triggers/9", "monitor")
+            .expect("bind action");
+    }
+    server.launch(DsId::new(0)).expect("launch");
+    server.launch(DsId::new(1)).expect("launch");
+    server.run_for(Time::from_ms(20));
+    drop(server);
+    trace::disable();
+    Ok(())
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use pard_cp::{shared, CpHandle};
 use pard_icn::{cpu_cycles, DsId, MemKind, MemPacket, MemResp, PacketIdGen, PardEvent, TickKind};
+use pard_sim::trace::{self, TraceCat, TraceVal};
 use pard_sim::{Component, ComponentId, Ctx, Time};
 
 use crate::array::TagArray;
@@ -207,6 +208,15 @@ impl Llc {
                 let is_write = pkt.kind == MemKind::Write;
                 if self.array.access(ds, pkt.addr, is_write) {
                     self.record(ds, true);
+                    if trace::enabled(TraceCat::Llc) {
+                        trace::emit(
+                            TraceCat::Llc,
+                            ctx.now(),
+                            ds.raw(),
+                            "hit",
+                            &[("addr", TraceVal::U(pkt.addr.raw()))],
+                        );
+                    }
                     let resp = MemResp {
                         id: pkt.id,
                         ds,
@@ -218,6 +228,15 @@ impl Llc {
                     ctx.send(pkt.reply_to, hit_latency, PardEvent::MemResp(resp));
                 } else {
                     self.record(ds, false);
+                    if trace::enabled(TraceCat::Llc) {
+                        trace::emit(
+                            TraceCat::Llc,
+                            ctx.now(),
+                            ds.raw(),
+                            "miss",
+                            &[("addr", TraceVal::U(pkt.addr.raw()))],
+                        );
+                    }
                     let key = MshrKey {
                         ds,
                         line: pkt.addr.line_base(),
@@ -271,6 +290,18 @@ impl Llc {
                 } else {
                     victim.owner
                 };
+                if trace::enabled(TraceCat::Llc) {
+                    trace::emit(
+                        TraceCat::Llc,
+                        ctx.now(),
+                        wb_ds.raw(),
+                        "evict",
+                        &[
+                            ("addr", TraceVal::U(victim.addr.raw())),
+                            ("dirty", TraceVal::B(true)),
+                        ],
+                    );
+                }
                 let wb = MemPacket {
                     id: self.ids.next_id(),
                     ds: wb_ds,

@@ -5,7 +5,8 @@ use pard_cp::CpHandle;
 use pard_dram::{MemCtrl, QueueingStats};
 use pard_icn::{Crossbar, DsId, PardEvent, TickKind};
 use pard_io::{Apic, ApicRoutes, IdeCtrl, IoBridge, Nic};
-use pard_prm::{Firmware, FirmwareConfig, FwError, FwHandle, LDomSpec, Prm};
+use pard_prm::{Firmware, FirmwareConfig, FwError, FwHandle, LDomSpec, MetricsSnapshot, Prm};
+use pard_sim::trace::{self, TraceCat, TraceVal};
 use pard_sim::{ComponentId, Simulation, Time};
 use pard_workloads::WorkloadEngine;
 
@@ -45,7 +46,25 @@ pub struct PardServer {
 impl PardServer {
     /// Builds and wires the whole machine.
     pub fn new(cfg: SystemConfig) -> Self {
+        // Arm the tracer from `PARD_TRACE` / `PARD_TRACE_FILTER` before any
+        // component can emit (idempotent; a no-op when the env is unset).
+        trace::init_from_env();
         let mut sim: Simulation<PardEvent> = Simulation::new();
+
+        // The kernel event loop is instrumented through the simulation's
+        // event hook so the raw kernel stays hook-free when tracing is off.
+        if trace::enabled(TraceCat::Kernel) {
+            sim.set_event_hook(Some(Box::new(|now, dst, ev: &PardEvent| {
+                let ds = ev.ds().map_or(u16::MAX, DsId::raw);
+                trace::emit(
+                    TraceCat::Kernel,
+                    now,
+                    ds,
+                    ev.kind_label(),
+                    &[("dst", TraceVal::U(u64::from(dst.raw())))],
+                );
+            })));
+        }
 
         // Memory controller.
         let mem_cfg = pard_dram::MemCtrlConfig {
@@ -297,6 +316,13 @@ impl PardServer {
             .with_component::<MemCtrl, _, _>(self.mem, |m| m.mean_queueing_cycles())
     }
 
+    /// Total requests served by the memory controller across every DS-id
+    /// (live cumulative counter, independent of the statistics windows).
+    pub fn mem_served_total(&mut self) -> u64 {
+        self.sim
+            .with_component::<MemCtrl, _, _>(self.mem, |m| m.served_total())
+    }
+
     /// Per-DS disk progress.
     pub fn disk_progress(&mut self, ds: DsId) -> pard_io::DiskProgress {
         self.sim
@@ -347,6 +373,26 @@ impl PardServer {
     /// Mutable access to the underlying simulation (advanced harnesses).
     pub fn sim_mut(&mut self) -> &mut Simulation<PardEvent> {
         &mut self.sim
+    }
+
+    /// A machine-wide per-DS-id statistics snapshot (every control
+    /// plane's non-zero rows), stamped with the firmware's current time.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.fw.lock().metrics_snapshot()
+    }
+}
+
+impl Drop for PardServer {
+    fn drop(&mut self) {
+        // Exit-time observability: dump the final metrics snapshot when
+        // `PARD_METRICS=path` is set, and flush any buffered trace lines.
+        if let Ok(path) = std::env::var("PARD_METRICS") {
+            if !path.is_empty() {
+                let json = self.fw.lock().metrics_snapshot().to_json();
+                let _ = std::fs::write(&path, json);
+            }
+        }
+        trace::flush();
     }
 }
 

@@ -33,6 +33,15 @@ pub enum CpError {
         /// Number of slots available.
         slots: usize,
     },
+    /// The trigger's statistics-column index exceeds the width of the
+    /// plane's statistics table, so the comparator could never observe a
+    /// driven value. Rejected at install time as a programming error.
+    TriggerColumnOutOfRange {
+        /// The offending statistics-column offset.
+        column: usize,
+        /// Number of statistics columns this plane drives.
+        width: usize,
+    },
     /// Register-file access at an offset that is not a defined register.
     BadRegister(u64),
 }
@@ -50,6 +59,12 @@ impl fmt::Display for CpError {
             CpError::BadCommand(cmd) => write!(f, "unknown control-plane command {cmd:#x}"),
             CpError::TriggerSlotOutOfRange { slot, slots } => {
                 write!(f, "trigger slot {slot} out of range for {slots} slots")
+            }
+            CpError::TriggerColumnOutOfRange { column, width } => {
+                write!(
+                    f,
+                    "trigger statistics column {column} out of range for a {width}-column table"
+                )
             }
             CpError::BadRegister(off) => write!(f, "no CPA register at offset {off:#x}"),
         }
@@ -75,6 +90,9 @@ mod tests {
         assert!(CpError::BadTableSelect(3).to_string().contains('3'));
         assert!(CpError::BadCommand(9).to_string().contains("0x9"));
         assert!(CpError::BadRegister(0x40).to_string().contains("0x40"));
+        let e = CpError::TriggerColumnOutOfRange { column: 9, width: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use pard_icn::DsId;
 use pard_sim::sync::{unbounded, Mutex, Receiver, Sender, TryRecvError};
-use pard_sim::Time;
+use pard_sim::{trace, Time};
 
 use crate::error::CpError;
 use crate::table::DsTable;
@@ -281,23 +281,57 @@ impl ControlPlane {
     ///
     /// # Errors
     ///
-    /// Propagates trigger-table range errors.
+    /// Propagates trigger-table range errors, and rejects (with
+    /// [`CpError::TriggerColumnOutOfRange`]) a trigger whose
+    /// `stats_column` exceeds the width of this plane's statistics table —
+    /// such a comparator could never observe a driven value, so installing
+    /// one is a programming error.
     pub fn install_trigger(&mut self, slot: usize, trigger: Trigger) -> Result<(), CpError> {
+        let width = self.stats.columns().len();
+        if trigger.stats_column >= width {
+            return Err(CpError::TriggerColumnOutOfRange {
+                column: trigger.stats_column,
+                width,
+            });
+        }
         self.triggers.install(slot, trigger)
     }
 
     /// Evaluates all triggers watching `ds` against its current statistics
     /// row, raising one interrupt per newly-firing slot. Returns the number
     /// of interrupts raised.
+    ///
+    /// Fire, re-arm, and skipped-column outcomes are traced under
+    /// [`TraceCat::Trigger`](pard_sim::trace::TraceCat::Trigger).
     pub fn evaluate_triggers(&mut self, ds: DsId, now: Time) -> usize {
         let Ok(row) = self.stats.row(ds) else {
             return 0;
         };
         let row = row.to_vec();
-        let fired = self.triggers.evaluate(ds, &row);
-        let n = fired.len();
+        let outcome = self.triggers.evaluate_detailed(ds, &row);
+        if trace::enabled(trace::TraceCat::Trigger) {
+            for (what, slots) in [
+                ("fire", &outcome.fired),
+                ("rearm", &outcome.rearmed),
+                ("skip", &outcome.skipped),
+            ] {
+                for &slot in slots {
+                    trace::emit(
+                        trace::TraceCat::Trigger,
+                        now,
+                        ds.raw(),
+                        what,
+                        &[
+                            ("cpa", trace::TraceVal::U(self.cpa_index as u64)),
+                            ("slot", trace::TraceVal::U(slot as u64)),
+                        ],
+                    );
+                }
+            }
+        }
+        let n = outcome.fired.len();
         if let Some(irq) = &self.irq {
-            for slot in fired {
+            for slot in outcome.fired {
                 irq.raise(CpInterrupt {
                     cpa: self.cpa_index,
                     ds,
@@ -396,6 +430,22 @@ mod tests {
     fn out_of_range_ds_evaluates_to_nothing() {
         let mut cp = plane();
         assert_eq!(cp.evaluate_triggers(DsId::new(100), Time::ZERO), 0);
+    }
+
+    #[test]
+    fn install_rejects_columns_beyond_the_stats_table() {
+        let mut cp = plane();
+        // The fixture's statistics table has 2 columns; column 2 is out.
+        let err = cp
+            .install_trigger(0, Trigger::new(DsId::new(0), 2, CmpOp::Gt, 0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CpError::TriggerColumnOutOfRange { column: 2, width: 2 }
+        );
+        assert!(cp.triggers().get(0).is_none());
+        cp.install_trigger(0, Trigger::new(DsId::new(0), 1, CmpOp::Gt, 0))
+            .unwrap();
     }
 
     #[test]

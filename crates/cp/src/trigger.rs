@@ -310,26 +310,59 @@ impl TriggerTable {
     /// Evaluates all triggers watching `ds` against its statistics row,
     /// returning the slots that fire (become true while unlatched).
     ///
-    /// Conditions referencing columns beyond `stats_row` are treated as
-    /// false (the hardware comparator reads zeroes from undriven lines).
+    /// Conditions referencing columns beyond `stats_row` are **skipped**:
+    /// the comparator has no driven value to observe, so the slot neither
+    /// fires nor re-arms. (Earlier revisions read such columns as 0, which
+    /// made `Eq 0` / `Lt` triggers fire spuriously.) See
+    /// [`evaluate_detailed`](TriggerTable::evaluate_detailed) for the full
+    /// per-slot outcome.
     pub fn evaluate(&mut self, ds: DsId, stats_row: &[u64]) -> Vec<usize> {
-        let mut fired = Vec::new();
+        self.evaluate_detailed(ds, stats_row).fired
+    }
+
+    /// Evaluates all triggers watching `ds`, reporting every slot outcome.
+    ///
+    /// * `fired` — the condition became true while the slot was unlatched;
+    ///   an interrupt should be raised for each of these.
+    /// * `rearmed` — a previously latched slot observed its condition false
+    ///   and is armed again.
+    /// * `skipped` — the slot references a statistics column beyond the
+    ///   supplied row, so it was not evaluated and its latch is untouched.
+    pub fn evaluate_detailed(&mut self, ds: DsId, stats_row: &[u64]) -> EvalOutcome {
+        let mut outcome = EvalOutcome::default();
         for (slot, t) in self.slots.iter_mut().enumerate() {
             let Some(t) = t else { continue };
             if !t.enabled || t.ds != ds {
                 continue;
             }
-            let observed = stats_row.get(t.stats_column).copied().unwrap_or(0);
+            let Some(observed) = stats_row.get(t.stats_column).copied() else {
+                outcome.skipped.push(slot);
+                continue;
+            };
             let cond = t.op.eval(observed, t.value);
             if cond && !t.latched {
                 t.latched = true;
-                fired.push(slot);
+                outcome.fired.push(slot);
             } else if !cond {
+                if t.latched {
+                    outcome.rearmed.push(slot);
+                }
                 t.latched = false;
             }
         }
-        fired
+        outcome
     }
+}
+
+/// Per-slot result of one [`TriggerTable::evaluate_detailed`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// Slots whose condition became true while unlatched.
+    pub fired: Vec<usize>,
+    /// Previously latched slots whose condition was observed false.
+    pub rearmed: Vec<usize>,
+    /// Slots skipped because their column is beyond the statistics row.
+    pub skipped: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -383,12 +416,38 @@ mod tests {
     }
 
     #[test]
-    fn missing_column_reads_zero() {
+    fn missing_column_is_skipped_not_read_as_zero() {
+        // Regression: an out-of-range column used to be observed as 0,
+        // making `Eq 0` fire spuriously. It must be skipped instead.
         let mut tt = TriggerTable::new(1);
         tt.install(0, Trigger::new(DsId::new(0), 9, CmpOp::Eq, 0))
             .unwrap();
-        // Column 9 doesn't exist -> observed 0 -> Eq 0 fires.
-        assert_eq!(tt.evaluate(DsId::new(0), &[1, 2]), vec![0]);
+        assert!(tt.evaluate(DsId::new(0), &[1, 2]).is_empty());
+        let outcome = tt.evaluate_detailed(DsId::new(0), &[1, 2]);
+        assert_eq!(outcome.skipped, vec![0]);
+        assert!(outcome.fired.is_empty());
+        // A skip leaves the latch untouched: once the row grows wide
+        // enough, the trigger fires exactly once.
+        assert_eq!(
+            tt.evaluate(DsId::new(0), &[1, 2, 0, 0, 0, 0, 0, 0, 0, 0]),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn evaluate_detailed_reports_rearm() {
+        let mut tt = TriggerTable::new(2);
+        tt.install(0, Trigger::new(DsId::new(1), 0, CmpOp::Gt, 10))
+            .unwrap();
+        assert_eq!(tt.evaluate_detailed(DsId::new(1), &[20]).fired, vec![0]);
+        // Condition still true: latched, nothing reported.
+        assert_eq!(
+            tt.evaluate_detailed(DsId::new(1), &[20]),
+            EvalOutcome::default()
+        );
+        // Condition clears: the slot re-arms.
+        assert_eq!(tt.evaluate_detailed(DsId::new(1), &[5]).rearmed, vec![0]);
+        assert_eq!(tt.evaluate_detailed(DsId::new(1), &[99]).fired, vec![0]);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use pard_cp::{shared, CpHandle};
 use pard_icn::{to_mem_cycles, DsId, MemPacket, MemResp, PardEvent, TickKind, MEM_CYCLE};
-use pard_sim::stats::LatencySample;
+use pard_sim::stats::{LatencySample, WindowedCounter};
+use pard_sim::trace::{self, TraceCat, TraceVal};
 use pard_sim::{Component, Ctx, Time};
 
 use crate::bank::{Bank, RankTracker};
@@ -115,6 +116,10 @@ pub struct MemCtrl {
     rowhit_cum: Vec<u64>,
     comp_saved_cum: Vec<u64>,
     active_ds: Vec<bool>,
+    /// Measures the real span of each statistics window, so bandwidth
+    /// divides by the time actually covered rather than the configured
+    /// width (they differ when a window closes irregularly).
+    window_clock: WindowedCounter,
     // Figure 11 recorders.
     rec_high: LatencySample,
     rec_low: LatencySample,
@@ -152,6 +157,7 @@ impl MemCtrl {
             rowhit_cum: vec![0; cfg.max_ds],
             comp_saved_cum: vec![0; cfg.max_ds],
             active_ds: vec![false; cfg.max_ds],
+            window_clock: WindowedCounter::new(),
             rec_high: LatencySample::new(),
             rec_low: LatencySample::new(),
             served_total: 0,
@@ -258,6 +264,19 @@ impl MemCtrl {
             self.high_q.push_back(pending);
         } else {
             self.low_q.push_back(pending);
+        }
+        if trace::enabled(TraceCat::Dram) {
+            trace::emit(
+                TraceCat::Dram,
+                ctx.now(),
+                pkt.ds.raw(),
+                "queue",
+                &[
+                    ("bank", TraceVal::U(u64::from(loc.bank))),
+                    ("high", TraceVal::B(high)),
+                    ("bytes", TraceVal::U(u64::from(pkt.size))),
+                ],
+            );
         }
         self.arm_tick(ctx);
     }
@@ -488,6 +507,20 @@ impl MemCtrl {
             self.rowhit_cum[i] += 1;
         }
         self.served_total += 1;
+        if trace::enabled(TraceCat::Dram) {
+            trace::emit(
+                TraceCat::Dram,
+                now,
+                p.pkt.ds.raw(),
+                "issue",
+                &[
+                    ("bank", TraceVal::U(u64::from(p.loc.bank))),
+                    ("qdelay_cycles", TraceVal::U(to_mem_cycles(qdelay))),
+                    ("row_hit", TraceVal::B(service.row_hit)),
+                    ("high", TraceVal::B(p.high)),
+                ],
+            );
+        }
         if self.cfg.record_queueing {
             if p.high {
                 self.rec_high.record(qdelay);
@@ -510,6 +543,7 @@ impl MemCtrl {
     fn arm_window(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
         if !self.window_armed {
             self.window_armed = true;
+            self.window_clock.open_window_at(ctx.now());
             let window = self.cfg.window;
             ctx.send(ctx.self_id(), window, PardEvent::Tick(TickKind::CpWindow));
         }
@@ -517,7 +551,16 @@ impl MemCtrl {
 
     fn on_window(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
         let now = ctx.now();
-        let secs = self.cfg.window.as_secs();
+        // Divide by the real span of the window just closed: a window that
+        // closes irregularly (e.g. a delayed tick) must not be rated as if
+        // it covered the configured width.
+        self.window_clock.roll(now);
+        let span = self.window_clock.last_window_span();
+        let secs = if span == Time::ZERO {
+            self.cfg.window.as_secs()
+        } else {
+            span.as_secs()
+        };
         {
             let mut cp = self.cp.lock();
             for i in 0..self.cfg.max_ds {

@@ -69,6 +69,44 @@ pub enum PardEvent {
     CoreCtl(CoreCommand),
 }
 
+impl PardEvent {
+    /// The DS-id this event is attributed to, when it carries one.
+    ///
+    /// Timers, core control, and raw network frames (whose DS-id is only
+    /// resolved by the NIC's MAC lookup) have none. Used by the kernel
+    /// trace hook to attribute event-loop deliveries to LDoms.
+    pub fn ds(&self) -> Option<crate::DsId> {
+        match self {
+            PardEvent::MemReq(p) => Some(p.ds),
+            PardEvent::MemResp(p) => Some(p.ds),
+            PardEvent::DiskReq(p) => Some(p.ds),
+            PardEvent::DiskDone(p) => Some(p.ds),
+            PardEvent::Interrupt(p) => Some(p.ds),
+            PardEvent::Pio(p) => Some(p.ds),
+            PardEvent::NetFrame(_)
+            | PardEvent::PioResp(_)
+            | PardEvent::Tick(_)
+            | PardEvent::CoreCtl(_) => None,
+        }
+    }
+
+    /// A short static label naming the event variant (trace-friendly).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            PardEvent::MemReq(_) => "mem_req",
+            PardEvent::MemResp(_) => "mem_resp",
+            PardEvent::DiskReq(_) => "disk_req",
+            PardEvent::DiskDone(_) => "disk_done",
+            PardEvent::NetFrame(_) => "net_frame",
+            PardEvent::Interrupt(_) => "interrupt",
+            PardEvent::Pio(_) => "pio",
+            PardEvent::PioResp(_) => "pio_resp",
+            PardEvent::Tick(_) => "tick",
+            PardEvent::CoreCtl(_) => "core_ctl",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +127,30 @@ mod tests {
     fn tick_kinds_compare() {
         assert_eq!(TickKind::Dram, TickKind::Dram);
         assert_ne!(TickKind::Dram, TickKind::Ide);
+    }
+
+    #[test]
+    fn ds_attribution_and_labels() {
+        use crate::packet::{MemKind, PacketIdGen};
+        use crate::{DsId, LAddr};
+        use pard_sim::{ComponentId, Time};
+
+        let mut ids = PacketIdGen::new();
+        let pkt = MemPacket {
+            id: ids.next_id(),
+            ds: DsId::new(3),
+            addr: LAddr::new(0x40),
+            kind: MemKind::Read,
+            size: 64,
+            reply_to: ComponentId::UNWIRED,
+            issued_at: Time::ZERO,
+            dma: false,
+        };
+        let ev = PardEvent::MemReq(pkt);
+        assert_eq!(ev.ds(), Some(DsId::new(3)));
+        assert_eq!(ev.kind_label(), "mem_req");
+        let tick = PardEvent::Tick(TickKind::Dram);
+        assert_eq!(tick.ds(), None);
+        assert_eq!(tick.kind_label(), "tick");
     }
 }

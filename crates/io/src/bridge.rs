@@ -2,6 +2,7 @@
 
 use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable};
 use pard_icn::{cpu_cycles, DsId, PardEvent, TickKind};
+use pard_sim::trace::{self, TraceCat, TraceVal};
 use pard_sim::{Component, ComponentId, Ctx, Time};
 
 /// Configuration of the [`IoBridge`].
@@ -169,10 +170,28 @@ impl Component<PardEvent> for IoBridge {
                 debug_assert!(pkt.dma, "non-DMA memory traffic through the bridge");
                 if self.enabled(pkt.ds) {
                     self.account(pkt.ds, u64::from(pkt.size));
+                    if trace::enabled(TraceCat::Io) {
+                        trace::emit(
+                            TraceCat::Io,
+                            ctx.now(),
+                            pkt.ds.raw(),
+                            "dma",
+                            &[("bytes", TraceVal::U(u64::from(pkt.size)))],
+                        );
+                    }
                     let hop = self.cfg.hop_latency;
                     ctx.send(self.mem_ctrl, hop, PardEvent::MemReq(pkt));
                 } else {
                     self.dropped += 1;
+                    if trace::enabled(TraceCat::Io) {
+                        trace::emit(
+                            TraceCat::Io,
+                            ctx.now(),
+                            pkt.ds.raw(),
+                            "drop",
+                            &[("bytes", TraceVal::U(u64::from(pkt.size)))],
+                        );
+                    }
                 }
             }
             PardEvent::Tick(TickKind::CpWindow) => self.on_window(ctx),

@@ -10,6 +10,8 @@ use pard_icn::{
     DiskDone, DiskKind, DiskRequest, LAddr, MemKind, MemPacket, PacketIdGen, PardEvent, PioResp,
     TickKind,
 };
+use pard_sim::stats::WindowedCounter;
+use pard_sim::trace::{self, TraceCat, TraceVal};
 use pard_sim::{Component, ComponentId, Ctx, Time};
 
 use crate::apic::ide_interrupt;
@@ -121,6 +123,9 @@ pub struct IdeCtrl {
     cum_bytes: Vec<u64>,
     cum_reqs: Vec<u64>,
     active_ds: Vec<bool>,
+    /// Tracks the real span of each closed statistics window so bandwidth
+    /// divides by observed time, not the configured width.
+    window_clock: WindowedCounter,
 }
 
 impl IdeCtrl {
@@ -143,6 +148,7 @@ impl IdeCtrl {
             cum_bytes: vec![0; cfg.max_ds],
             cum_reqs: vec![0; cfg.max_ds],
             active_ds: vec![false; cfg.max_ds],
+            window_clock: WindowedCounter::new(),
             cp: cp.clone(),
             cfg,
         };
@@ -255,6 +261,18 @@ impl IdeCtrl {
         let quantum_bytes = self.cfg.aggregate_bandwidth * self.cfg.quantum.as_secs();
         for (i, share_pct) in self.shares(&active) {
             let mut budget = (quantum_bytes * share_pct / 100.0) as u64;
+            if trace::enabled(TraceCat::Ide) {
+                trace::emit(
+                    TraceCat::Ide,
+                    ctx.now(),
+                    i as u16,
+                    "grant",
+                    &[
+                        ("share_pct", TraceVal::F(share_pct)),
+                        ("budget_bytes", TraceVal::U(budget)),
+                    ],
+                );
+            }
             while budget > 0 {
                 let Some(head) = self.queues[i].front_mut() else {
                     break;
@@ -291,6 +309,15 @@ impl IdeCtrl {
                 if head.remaining == 0 {
                     let finished = self.queues[i].pop_front().expect("head exists");
                     self.cum_reqs[i] += 1;
+                    if trace::enabled(TraceCat::Ide) {
+                        trace::emit(
+                            TraceCat::Ide,
+                            ctx.now(),
+                            finished.tag.raw(),
+                            "done",
+                            &[("bytes", TraceVal::U(finished.req.bytes))],
+                        );
+                    }
                     let done = DiskDone {
                         id: finished.req.id,
                         ds: finished.tag,
@@ -314,7 +341,13 @@ impl IdeCtrl {
 
     fn on_window(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
         let now = ctx.now();
-        let secs = self.cfg.window.as_secs();
+        self.window_clock.roll(now);
+        let span = self.window_clock.last_window_span();
+        let secs = if span == Time::ZERO {
+            self.cfg.window.as_secs()
+        } else {
+            span.as_secs()
+        };
         {
             let mut cp = self.cp.lock();
             for i in 0..self.cfg.max_ds {
@@ -343,6 +376,7 @@ impl Component<PardEvent> for IdeCtrl {
     fn handle(&mut self, ev: PardEvent, ctx: &mut Ctx<'_, PardEvent>) {
         if !self.window_armed {
             self.window_armed = true;
+            self.window_clock.open_window_at(ctx.now());
             let window = self.cfg.window;
             ctx.send(ctx.self_id(), window, PardEvent::Tick(TickKind::CpWindow));
         }

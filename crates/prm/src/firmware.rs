@@ -10,11 +10,13 @@ use pard_cp::{
 use pard_icn::{CoreCommand, DsId};
 use pard_io::ApicRoutes;
 use pard_sim::sync::Mutex;
+use pard_sim::trace::{self, TraceCat, TraceVal};
 use pard_sim::{ComponentId, Time};
 
 use crate::alloc::MemAllocator;
 use crate::error::FwError;
 use crate::ldom::{LDomInfo, LDomSpec, Priority};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::script::{self, parse_num, Env, ScriptIo};
 use crate::tree::{DeviceFileTree, Node};
 
@@ -93,6 +95,7 @@ pub struct Firmware {
     pending_core_cmds: Vec<(ComponentId, CoreCommand)>,
     log: Vec<(Time, String)>,
     now: Time,
+    metrics: MetricsRegistry,
 }
 
 impl Firmware {
@@ -102,7 +105,19 @@ impl Firmware {
         let mut tree = DeviceFileTree::new();
         tree.mkdir_all("/sys/cpa").expect("static path");
         tree.mkdir_all("/log").expect("static path");
+        tree.mkdir_all("/sys/stats").expect("static path");
+        let metrics = MetricsRegistry::new();
+        let reg = metrics.clone();
+        tree.install(
+            "/sys/stats/snapshot",
+            Node::Hook {
+                read: Box::new(move || reg.snapshot_now().to_json()),
+                write: None,
+            },
+        )
+        .expect("static path");
         Firmware {
+            metrics,
             tree,
             cpas: Vec::new(),
             cp_types: Vec::new(),
@@ -136,6 +151,7 @@ impl Firmware {
         let index = self.cpas.len();
         let cp_type = cp.lock().cp_type();
         cp.lock().attach(index, self.irq_line.clone());
+        self.metrics.register(index, cp.clone());
         let regfile = Arc::new(Mutex::new(CpaRegisterFile::new(cp)));
         self.cpas.push(regfile.clone());
         self.cp_types.push(cp_type);
@@ -563,6 +579,18 @@ impl Firmware {
             .slot_owner
             .get(&(irq.cpa, irq.slot))
             .ok_or_else(|| FwError::NoSuchAction(format!("cpa{} slot {}", irq.cpa, irq.slot)))?;
+        if trace::enabled(TraceCat::Prm) {
+            trace::emit(
+                TraceCat::Prm,
+                self.now,
+                ds_raw,
+                "dispatch",
+                &[
+                    ("cpa", TraceVal::U(irq.cpa as u64)),
+                    ("slot", TraceVal::U(irq.slot as u64)),
+                ],
+            );
+        }
         let leaf = format!(
             "/sys/cpa/cpa{}/ldoms/ldom{ds_raw}/triggers/{action_id}",
             irq.cpa
@@ -688,6 +716,20 @@ impl Firmware {
     /// Updates the firmware's notion of time (called by the PRM tick).
     pub fn set_now(&mut self, now: Time) {
         self.now = now;
+        self.metrics.set_now(now);
+    }
+
+    /// A machine-wide per-DS-id statistics snapshot, stamped with the
+    /// firmware's current time. Also readable as JSON through the device
+    /// file tree at `/sys/stats/snapshot`.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.now)
+    }
+
+    /// A clone of the metrics registry (for exit-time dumps that outlive
+    /// the firmware lock).
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        self.metrics.clone()
     }
 
     /// Appends a log line.
@@ -942,6 +984,29 @@ echo 0xFF00 > /sys/cpa/cpa$CPA/ldoms/ldom$DS/parameters/waymask
         // Memory was freed: a full-capacity LDom fits again.
         fw.create_ldom(LDomSpec::new("big", vec![0], 1 << 30))
             .unwrap();
+    }
+
+    #[test]
+    fn metrics_snapshot_walks_every_plane_and_mounts_as_a_file() {
+        let (mut fw, cache, mem) = fw_with_planes();
+        let ds = fw
+            .create_ldom(LDomSpec::new("t", vec![0], 1 << 20))
+            .unwrap();
+        cache.lock().set_stat(ds, "miss_rate", 33).unwrap();
+        mem.lock().set_stat(ds, "bandwidth", 1200).unwrap();
+        fw.set_now(Time::from_us(7));
+
+        let snap = fw.metrics_snapshot();
+        assert_eq!(snap.taken_at, Time::from_us(7));
+        assert_eq!(snap.planes.len(), 2);
+        assert_eq!(snap.column_total("CACHE_CP", "miss_rate"), 33);
+        assert_eq!(snap.column_total("MEMORY_CP", "bandwidth"), 1200);
+
+        // The same data is readable through the device file tree.
+        let json = fw.read("/sys/stats/snapshot").unwrap();
+        assert!(json.contains("\"ident\": \"CACHE_CP\""));
+        assert!(json.contains("\"ident\": \"MEMORY_CP\""));
+        assert!(json.contains("\"taken_at_ns\": 7000"));
     }
 
     #[test]

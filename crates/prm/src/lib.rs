@@ -29,6 +29,7 @@ mod alloc;
 mod error;
 mod firmware;
 mod ldom;
+mod metrics;
 mod prm;
 pub mod script;
 mod tree;
@@ -36,6 +37,7 @@ mod tree;
 pub use alloc::MemAllocator;
 pub use error::FwError;
 pub use firmware::{Action, ActionEnv, Firmware, FirmwareConfig, FwHandle, NativeAction};
+pub use metrics::{DsRow, MetricsRegistry, MetricsSnapshot, PlaneMetrics};
 pub use ldom::{LDomInfo, LDomSpec, Priority};
 pub use prm::Prm;
 pub use tree::{DeviceFileTree, Node};

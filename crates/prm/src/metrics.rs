@@ -1,0 +1,278 @@
+//! The unified per-DS-id metrics registry.
+//!
+//! Every control plane registered with the firmware is also registered
+//! here; [`MetricsRegistry::snapshot`] walks each plane's statistics
+//! table and collects the non-zero rows into a [`MetricsSnapshot`] — the
+//! machine-wide per-DS-id observability view the paper's management
+//! interface implies but scatters across `/sys/cpa/cpaN/...` leaves.
+//! The firmware exports the snapshot through the device file tree as
+//! `/sys/stats/snapshot` (a JSON document), and experiment harnesses can
+//! dump it at run end via `PARD_METRICS`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pard_cp::CpHandle;
+use pard_icn::DsId;
+use pard_sim::sync::Mutex;
+use pard_sim::Time;
+
+/// A shareable registry of every control plane on the machine.
+///
+/// Cloning is cheap (the plane list is behind an `Arc`); the firmware
+/// holds one clone and the `/sys/stats/snapshot` file hook another.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    planes: Arc<Mutex<Vec<(usize, CpHandle)>>>,
+    /// Last firmware time, in [`Time`] units; lets detached holders (the
+    /// file-tree hook, the server's exit dump) stamp snapshots.
+    clock: Arc<AtomicU64>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            planes: Arc::new(Mutex::new(Vec::new())),
+            clock: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Advances the registry's clock (called from the firmware tick).
+    pub fn set_now(&self, now: Time) {
+        self.clock.store(now.units(), Ordering::Relaxed);
+    }
+
+    /// The last time recorded via [`MetricsRegistry::set_now`].
+    pub fn now(&self) -> Time {
+        Time::from_units(self.clock.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot stamped with the registry's own clock.
+    pub fn snapshot_now(&self) -> MetricsSnapshot {
+        self.snapshot(self.now())
+    }
+
+    /// Registers control plane `plane` mounted as CPA index `cpa`.
+    pub fn register(&self, cpa: usize, plane: CpHandle) {
+        self.planes.lock().push((cpa, plane));
+    }
+
+    /// Number of registered planes.
+    pub fn len(&self) -> usize {
+        self.planes.lock().len()
+    }
+
+    /// Whether no planes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Walks every registered plane's statistics table and returns the
+    /// non-zero rows, stamped with `now`.
+    pub fn snapshot(&self, now: Time) -> MetricsSnapshot {
+        let planes = self.planes.lock();
+        let mut out = Vec::with_capacity(planes.len());
+        for (cpa, handle) in planes.iter() {
+            let plane = handle.lock();
+            let stats = plane.stats();
+            let columns: Vec<&'static str> = stats.columns().iter().map(|c| c.name).collect();
+            let mut rows = Vec::new();
+            for i in 0..stats.rows() {
+                let ds = DsId::new(i as u16);
+                let Ok(row) = stats.row(ds) else { continue };
+                if row.iter().all(|&v| v == 0) {
+                    continue;
+                }
+                rows.push(DsRow {
+                    ds: ds.raw(),
+                    values: row.to_vec(),
+                });
+            }
+            out.push(PlaneMetrics {
+                cpa: *cpa,
+                ident: plane.ident().to_string(),
+                cp_type: plane.cp_type().code(),
+                columns,
+                rows,
+            });
+        }
+        MetricsSnapshot {
+            taken_at: now,
+            planes: out,
+        }
+    }
+}
+
+/// One control plane's statistics at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaneMetrics {
+    /// CPA index the plane is mounted at (`/sys/cpa/cpaN`).
+    pub cpa: usize,
+    /// The plane's identification string (e.g. `"CACHE_CP"`).
+    pub ident: String,
+    /// The plane's type code (e.g. `'C'`, `'M'`, `'I'`).
+    pub cp_type: char,
+    /// Statistics-column names, in table order.
+    pub columns: Vec<&'static str>,
+    /// Rows with at least one non-zero statistic, in DS-id order.
+    pub rows: Vec<DsRow>,
+}
+
+/// One DS-id's statistics row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsRow {
+    /// The DS-id.
+    pub ds: u16,
+    /// Cell values, parallel to [`PlaneMetrics::columns`].
+    pub values: Vec<u64>,
+}
+
+/// A machine-wide per-DS-id statistics snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Firmware time the snapshot was taken.
+    pub taken_at: Time,
+    /// Per-plane statistics, in CPA-index order.
+    pub planes: Vec<PlaneMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a deterministic JSON document.
+    ///
+    /// Key order is fixed (insertion order mirrors the struct layout) so
+    /// two snapshots of identical state render byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"taken_at_ns\": {},", self.taken_at.as_ns());
+        s.push_str("  \"planes\": [");
+        for (pi, p) in self.planes.iter().enumerate() {
+            if pi > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\n");
+            let _ = writeln!(s, "      \"cpa\": {},", p.cpa);
+            let _ = writeln!(s, "      \"ident\": \"{}\",", p.ident);
+            let _ = writeln!(s, "      \"type\": \"{}\",", p.cp_type);
+            let cols: Vec<String> = p.columns.iter().map(|c| format!("\"{c}\"")).collect();
+            let _ = writeln!(s, "      \"columns\": [{}],", cols.join(", "));
+            s.push_str("      \"rows\": [");
+            for (ri, r) in p.rows.iter().enumerate() {
+                if ri > 0 {
+                    s.push(',');
+                }
+                let vals: Vec<String> = r.values.iter().map(u64::to_string).collect();
+                let _ = write!(
+                    s,
+                    "\n        {{\"ds\": {}, \"values\": [{}]}}",
+                    r.ds,
+                    vals.join(", ")
+                );
+            }
+            if !p.rows.is_empty() {
+                s.push_str("\n      ");
+            }
+            s.push_str("]\n    }");
+        }
+        if !self.planes.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}");
+        s
+    }
+
+    /// Total of column `column` summed across every row of every plane
+    /// whose ident is `ident` (test/analysis convenience).
+    pub fn column_total(&self, ident: &str, column: &str) -> u64 {
+        self.planes
+            .iter()
+            .filter(|p| p.ident == ident)
+            .flat_map(|p| {
+                let idx = p.columns.iter().position(|c| *c == column);
+                p.rows
+                    .iter()
+                    .filter_map(move |r| idx.and_then(|i| r.values.get(i)).copied())
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_cp::{shared, ColumnDef, ControlPlane, CpType, DsTable};
+
+    fn plane() -> CpHandle {
+        let params = DsTable::new("parameter", vec![ColumnDef::new("enable")], 4);
+        let stats = DsTable::new(
+            "statistics",
+            vec![ColumnDef::new("hits"), ColumnDef::new("misses")],
+            4,
+        );
+        shared(ControlPlane::new("TEST_CP", CpType::Cache, params, stats, 4))
+    }
+
+    #[test]
+    fn snapshot_collects_only_nonzero_rows() {
+        let reg = MetricsRegistry::new();
+        let cp = plane();
+        reg.register(0, cp.clone());
+        cp.lock().set_stat(DsId::new(1), "hits", 10).unwrap();
+        cp.lock().set_stat(DsId::new(3), "misses", 7).unwrap();
+
+        let snap = reg.snapshot(Time::from_us(2));
+        assert_eq!(snap.planes.len(), 1);
+        let p = &snap.planes[0];
+        assert_eq!(p.ident, "TEST_CP");
+        assert_eq!(p.cp_type, 'C');
+        assert_eq!(p.columns, vec!["hits", "misses"]);
+        assert_eq!(
+            p.rows,
+            vec![
+                DsRow {
+                    ds: 1,
+                    values: vec![10, 0]
+                },
+                DsRow {
+                    ds: 3,
+                    values: vec![0, 7]
+                },
+            ]
+        );
+        assert_eq!(snap.column_total("TEST_CP", "hits"), 10);
+        assert_eq!(snap.column_total("TEST_CP", "misses"), 7);
+        assert_eq!(snap.column_total("TEST_CP", "absent"), 0);
+        assert_eq!(snap.column_total("OTHER", "hits"), 0);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_parseable_shape() {
+        let reg = MetricsRegistry::new();
+        let cp = plane();
+        reg.register(2, cp.clone());
+        cp.lock().set_stat(DsId::new(0), "hits", 1).unwrap();
+
+        let a = reg.snapshot(Time::from_ns(5)).to_json();
+        let b = reg.snapshot(Time::from_ns(5)).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"taken_at_ns\": 5"));
+        assert!(a.contains("\"cpa\": 2"));
+        assert!(a.contains("\"ident\": \"TEST_CP\""));
+        assert!(a.contains("{\"ds\": 0, \"values\": [1, 0]}"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_list() {
+        let reg = MetricsRegistry::new();
+        let json = reg.snapshot(Time::ZERO).to_json();
+        assert!(json.contains("\"planes\": []"));
+    }
+}

@@ -230,7 +230,8 @@ impl<E> FourAryHeap<E> {
 /// Events with equal timestamps are delivered in insertion order, which
 /// (combined with seeded RNGs) makes every simulation run reproducible.
 /// Internally a two-tier ladder (bucket ring + four-ary overflow heap);
-/// see the [module docs](self) for the layout.
+/// the comment at the top of `crates/sim/src/event.rs` describes the
+/// layout.
 ///
 /// # Example
 ///

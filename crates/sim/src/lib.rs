@@ -50,6 +50,7 @@ pub mod rng;
 pub mod stats;
 pub mod sync;
 mod time;
+pub mod trace;
 
 pub use component::{Component, ComponentId};
 pub use event::{EventQueue, ScheduledEvent};

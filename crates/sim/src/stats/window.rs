@@ -31,6 +31,7 @@ pub struct WindowedCounter {
     window: u64,
     last_window: u64,
     window_started: Time,
+    last_span: Time,
 }
 
 impl WindowedCounter {
@@ -71,10 +72,14 @@ impl WindowedCounter {
     }
 
     /// Closes the current window at time `now`, returning its count and
-    /// starting a fresh one.
+    /// starting a fresh one. The real span of the closed window (which may
+    /// differ from the configured width if the window was closed
+    /// irregularly) is retained and available from
+    /// [`last_window_span`](WindowedCounter::last_window_span).
     pub fn roll(&mut self, now: Time) -> u64 {
         self.last_window = self.window;
         self.window = 0;
+        self.last_span = now.saturating_sub(self.window_started);
         self.window_started = now;
         self.last_window
     }
@@ -82,6 +87,25 @@ impl WindowedCounter {
     /// Start time of the currently open window.
     pub fn window_started(&self) -> Time {
         self.window_started
+    }
+
+    /// Opens the current window at `now` without touching any counts.
+    ///
+    /// Components call this when they arm their first window tick, so the
+    /// first [`roll`](WindowedCounter::roll) measures a true span instead
+    /// of one stretched back to time zero.
+    pub fn open_window_at(&mut self, now: Time) {
+        self.window_started = now;
+    }
+
+    /// Real duration of the most recently closed window.
+    ///
+    /// Rates derived from windowed counts must divide by this span — not by
+    /// the configured window width — so that irregularly-closed windows
+    /// (e.g. a window tick delayed past a run deadline) still produce
+    /// correct per-second figures.
+    pub fn last_window_span(&self) -> Time {
+        self.last_span
     }
 
     /// Resets everything to zero.
@@ -126,6 +150,24 @@ mod tests {
         assert_eq!(c.window(), 3);
         assert_eq!(c.last_window(), 2);
         assert_eq!(c.window_started(), Time::from_us(10));
+    }
+
+    #[test]
+    fn roll_records_the_real_closed_span() {
+        let mut c = WindowedCounter::new();
+        c.open_window_at(Time::from_us(5));
+        c.add(100);
+        // The window closes late: 7 us instead of a nominal 5.
+        c.roll(Time::from_us(12));
+        assert_eq!(c.last_window_span(), Time::from_us(7));
+        assert_eq!(c.last_window(), 100);
+        // The next window starts where the last closed.
+        c.roll(Time::from_us(13));
+        assert_eq!(c.last_window_span(), Time::from_us(1));
+        // A roll at (or before) the window start yields an empty span
+        // rather than underflowing.
+        c.roll(Time::from_us(13));
+        assert_eq!(c.last_window_span(), Time::ZERO);
     }
 
     #[test]

@@ -41,27 +41,56 @@ impl Time {
     }
 
     /// Creates a time from whole nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the quarter-nanosecond clock
+    /// (release builds would otherwise wrap silently).
     #[inline]
     pub const fn from_ns(ns: u64) -> Self {
-        Time(ns * Self::UNITS_PER_NS)
+        match ns.checked_mul(Self::UNITS_PER_NS) {
+            Some(units) => Time(units),
+            None => panic!("Time::from_ns overflows the quarter-nanosecond clock"),
+        }
     }
 
     /// Creates a time from whole microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the quarter-nanosecond clock.
     #[inline]
     pub const fn from_us(us: u64) -> Self {
-        Time(us * 1_000 * Self::UNITS_PER_NS)
+        match us.checked_mul(1_000 * Self::UNITS_PER_NS) {
+            Some(units) => Time(units),
+            None => panic!("Time::from_us overflows the quarter-nanosecond clock"),
+        }
     }
 
     /// Creates a time from whole milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the quarter-nanosecond clock.
     #[inline]
     pub const fn from_ms(ms: u64) -> Self {
-        Time(ms * 1_000_000 * Self::UNITS_PER_NS)
+        match ms.checked_mul(1_000_000 * Self::UNITS_PER_NS) {
+            Some(units) => Time(units),
+            None => panic!("Time::from_ms overflows the quarter-nanosecond clock"),
+        }
     }
 
     /// Creates a time from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the quarter-nanosecond clock.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        Time(s * 1_000_000_000 * Self::UNITS_PER_NS)
+        match s.checked_mul(1_000_000_000 * Self::UNITS_PER_NS) {
+            Some(units) => Time(units),
+            None => panic!("Time::from_secs overflows the quarter-nanosecond clock"),
+        }
     }
 
     /// Raw quarter-nanosecond units.
@@ -298,5 +327,44 @@ mod tests {
     fn sum_of_times() {
         let total: Time = [Time::from_ns(1), Time::from_ns(2)].into_iter().sum();
         assert_eq!(total, Time::from_ns(3));
+    }
+
+    #[test]
+    fn constructors_accept_the_largest_representable_values() {
+        // The largest input for each unit that still fits in u64 units.
+        assert_eq!(Time::from_ns(u64::MAX / 4).units(), (u64::MAX / 4) * 4);
+        assert_eq!(Time::from_us(u64::MAX / 4_000).units(), (u64::MAX / 4_000) * 4_000);
+        assert_eq!(
+            Time::from_ms(u64::MAX / 4_000_000).units(),
+            (u64::MAX / 4_000_000) * 4_000_000
+        );
+        assert_eq!(
+            Time::from_secs(u64::MAX / 4_000_000_000).units(),
+            (u64::MAX / 4_000_000_000) * 4_000_000_000
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Time::from_ns overflows")]
+    fn from_ns_overflow_panics() {
+        let _ = Time::from_ns(u64::MAX / 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Time::from_us overflows")]
+    fn from_us_overflow_panics() {
+        let _ = Time::from_us(u64::MAX / 4_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Time::from_ms overflows")]
+    fn from_ms_overflow_panics() {
+        let _ = Time::from_ms(u64::MAX / 4_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Time::from_secs overflows")]
+    fn from_secs_overflow_panics() {
+        let _ = Time::from_secs(u64::MAX / 4_000_000_000 + 1);
     }
 }

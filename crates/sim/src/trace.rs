@@ -1,0 +1,508 @@
+//! Structured, per-DS-id event tracing for the simulated machine.
+//!
+//! Every shared resource in the PARD reproduction (the kernel event loop,
+//! the LLC, the memory controller, the I/O bridge, the IDE virtualisation
+//! layer, the trigger comparators, and the PRM firmware) can emit trace
+//! events tagged with the simulated time, the DS-id the event is attributed
+//! to, a category, and a small set of key/value fields. Events are rendered
+//! as JSON Lines: one self-contained JSON object per line, always carrying
+//! the `time` (nanoseconds), `ds`, `cat`, and `event` keys.
+//!
+//! Tracing is **zero-cost when disabled**: the only work on a hot path is a
+//! single relaxed atomic load through [`enabled`], and instrumented
+//! components are expected to guard their field-gathering behind it.
+//! Tracing is a pure observer — it never schedules events, never touches
+//! any RNG, and therefore never perturbs a simulation's outcome; a traced
+//! run produces byte-identical figure output to an untraced run.
+//!
+//! # Enabling a trace
+//!
+//! The environment-variable interface (read by [`init_from_env`], which the
+//! system model calls at construction):
+//!
+//! * `PARD_TRACE=<path>` — enable tracing and stream JSONL to `<path>`
+//!   (the magic value `-` keeps events only in the in-memory ring).
+//! * `PARD_TRACE_FILTER=cat[:ds],...` — restrict to the listed categories,
+//!   optionally to specific DS-ids within a category. Unset means every
+//!   category and every DS-id. Example: `llc,trigger:2` traces all LLC
+//!   events plus trigger events for DS-id 2 only.
+//! * `PARD_TRACE_SAMPLE=cat:n,...` — keep only every `n`-th event of a
+//!   category, overriding the defaults (kernel 1024, llc 256, dram 256,
+//!   all others 1). Sampling bounds trace volume on multi-million-event
+//!   figure runs.
+//! * `PARD_TRACE_RING=<n>` — in-memory ring capacity in lines
+//!   (default 65536).
+//!
+//! Programmatic use goes through [`TraceConfig`] and [`install`] /
+//! [`disable`], which the trace-vs-untraced byte-identity test exercises
+//! within a single process.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use crate::time::Time;
+
+/// The event categories a trace line can belong to.
+///
+/// Each category maps to one bit in the global enable mask, so the hot-path
+/// check compiles to a load + test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceCat {
+    /// Kernel event-loop deliveries (sampled heavily by default).
+    Kernel = 0,
+    /// Last-level cache hits, misses, and dirty evictions.
+    Llc = 1,
+    /// Memory-controller enqueue and issue decisions.
+    Dram = 2,
+    /// I/O bridge DMA forwarding and drops.
+    Io = 3,
+    /// IDE virtualisation-layer bandwidth grants and completions.
+    Ide = 4,
+    /// Trigger comparator fire / re-arm / skip outcomes.
+    Trigger = 5,
+    /// PRM firmware interrupt servicing.
+    Prm = 6,
+}
+
+/// Number of categories (size of the per-category filter tables).
+const CATS: usize = 7;
+
+impl TraceCat {
+    /// Every category, in bit order.
+    pub const ALL: [TraceCat; CATS] = [
+        TraceCat::Kernel,
+        TraceCat::Llc,
+        TraceCat::Dram,
+        TraceCat::Io,
+        TraceCat::Ide,
+        TraceCat::Trigger,
+        TraceCat::Prm,
+    ];
+
+    /// This category's bit in the enable mask.
+    #[inline]
+    pub const fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// The lower-case name used in trace lines and env filters.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceCat::Kernel => "kernel",
+            TraceCat::Llc => "llc",
+            TraceCat::Dram => "dram",
+            TraceCat::Io => "io",
+            TraceCat::Ide => "ide",
+            TraceCat::Trigger => "trigger",
+            TraceCat::Prm => "prm",
+        }
+    }
+
+    /// Parses a category name as used in `PARD_TRACE_FILTER`.
+    pub fn parse(s: &str) -> Option<TraceCat> {
+        TraceCat::ALL.iter().copied().find(|c| c.name() == s)
+    }
+}
+
+/// A field value attached to a trace event.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceVal {
+    /// An unsigned counter / identifier.
+    U(u64),
+    /// A floating-point measurement.
+    F(f64),
+    /// A static label.
+    S(&'static str),
+    /// A boolean flag.
+    B(bool),
+}
+
+/// Default per-category sampling divisors: the kernel loop and the
+/// cache/memory hot paths fire millions of times per figure run, so they
+/// keep one event in N by default; control-path categories keep everything.
+const DEFAULT_SAMPLE: [u32; CATS] = [1024, 256, 256, 1, 1, 1, 1];
+
+/// Default in-memory ring capacity, in rendered lines.
+const DEFAULT_RING: usize = 65_536;
+
+/// Configuration for [`install`].
+pub struct TraceConfig {
+    /// JSONL sink path; `None` keeps events only in the in-memory ring.
+    pub path: Option<std::path::PathBuf>,
+    /// Enabled categories and their optional DS-id restrictions
+    /// (`None` = all DS-ids).
+    pub filter: Vec<(TraceCat, Option<u16>)>,
+    /// Per-category sampling overrides `(cat, keep_one_in_n)`.
+    pub sample: Vec<(TraceCat, u32)>,
+    /// In-memory ring capacity in lines.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            path: None,
+            filter: Vec::new(),
+            sample: Vec::new(),
+            ring_capacity: DEFAULT_RING,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A config that traces every category with default sampling into the
+    /// given file.
+    pub fn to_file(path: impl Into<std::path::PathBuf>) -> Self {
+        TraceConfig {
+            path: Some(path.into()),
+            ..TraceConfig::default()
+        }
+    }
+}
+
+struct TraceState {
+    ring: VecDeque<String>,
+    ring_capacity: usize,
+    sink: Option<BufWriter<File>>,
+    /// Per-category DS-id allow-lists; `None` admits every DS-id.
+    ds_filter: [Option<Vec<u16>>; CATS],
+    sample_div: [u32; CATS],
+    sample_ctr: [u32; CATS],
+    emitted: u64,
+}
+
+/// Bit i set = category i enabled. The one and only hot-path cost.
+static MASK: AtomicU32 = AtomicU32::new(0);
+static STATE: Mutex<Option<TraceState>> = Mutex::new(None);
+
+/// True when `cat` is being traced. This is the hot-path guard: a single
+/// relaxed atomic load, so instrumented components pay nothing measurable
+/// when tracing is off.
+#[inline]
+pub fn enabled(cat: TraceCat) -> bool {
+    MASK.load(Ordering::Relaxed) & cat.bit() != 0
+}
+
+/// Installs the global tracer from `config`. Replaces any previous tracer
+/// (flushing it first). Fails only if the sink file cannot be created.
+pub fn install(config: TraceConfig) -> std::io::Result<()> {
+    let sink = match &config.path {
+        Some(p) => Some(BufWriter::new(File::create(p)?)),
+        None => None,
+    };
+
+    let mut mask = 0u32;
+    let mut ds_filter: [Option<Vec<u16>>; CATS] = Default::default();
+    if config.filter.is_empty() {
+        mask = TraceCat::ALL.iter().map(|c| c.bit()).sum();
+    } else {
+        for &(cat, ds) in &config.filter {
+            mask |= cat.bit();
+            if let Some(ds) = ds {
+                ds_filter[cat as usize].get_or_insert_with(Vec::new).push(ds);
+            }
+        }
+    }
+
+    let mut sample_div = DEFAULT_SAMPLE;
+    for &(cat, div) in &config.sample {
+        sample_div[cat as usize] = div.max(1);
+    }
+
+    let state = TraceState {
+        ring: VecDeque::new(),
+        ring_capacity: config.ring_capacity.max(1),
+        sink,
+        ds_filter,
+        sample_div,
+        sample_ctr: [0; CATS],
+        emitted: 0,
+    };
+
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(old) = guard.as_mut() {
+        if let Some(sink) = old.sink.as_mut() {
+            let _ = sink.flush();
+        }
+    }
+    *guard = Some(state);
+    // Publish the mask only after the state is in place so a racing emit
+    // never observes enabled-but-uninstalled.
+    MASK.store(mask, Ordering::Release);
+    Ok(())
+}
+
+/// Reads `PARD_TRACE` / `PARD_TRACE_FILTER` / `PARD_TRACE_SAMPLE` /
+/// `PARD_TRACE_RING` and installs the tracer if `PARD_TRACE` is set.
+///
+/// Idempotent: only the first call in a process does anything, so every
+/// `PardServer` construction may call it unconditionally.
+pub fn init_from_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let Ok(path) = std::env::var("PARD_TRACE") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut config = TraceConfig {
+            path: (path != "-").then(|| path.clone().into()),
+            ..TraceConfig::default()
+        };
+        if let Ok(filter) = std::env::var("PARD_TRACE_FILTER") {
+            for term in filter.split(',').filter(|t| !t.is_empty()) {
+                let (cat, ds) = match term.split_once(':') {
+                    Some((c, d)) => (c, d.parse::<u16>().ok()),
+                    None => (term, None),
+                };
+                match TraceCat::parse(cat.trim()) {
+                    Some(cat) => config.filter.push((cat, ds)),
+                    None => eprintln!("PARD_TRACE_FILTER: unknown category {cat:?} ignored"),
+                }
+            }
+        }
+        if let Ok(sample) = std::env::var("PARD_TRACE_SAMPLE") {
+            for term in sample.split(',').filter(|t| !t.is_empty()) {
+                if let Some((cat, div)) = term.split_once(':') {
+                    if let (Some(cat), Ok(div)) = (TraceCat::parse(cat.trim()), div.parse::<u32>())
+                    {
+                        config.sample.push((cat, div));
+                        continue;
+                    }
+                }
+                eprintln!("PARD_TRACE_SAMPLE: bad term {term:?} ignored");
+            }
+        }
+        if let Ok(ring) = std::env::var("PARD_TRACE_RING") {
+            if let Ok(n) = ring.parse::<usize>() {
+                config.ring_capacity = n;
+            }
+        }
+        if let Err(e) = install(config) {
+            eprintln!("PARD_TRACE: cannot open {path:?}: {e}");
+        }
+    });
+}
+
+/// Flushes any pending sink writes and tears the tracer down, returning the
+/// process to the zero-cost disabled state.
+pub fn disable() {
+    MASK.store(0, Ordering::Release);
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(state) = guard.as_mut() {
+        if let Some(sink) = state.sink.as_mut() {
+            let _ = sink.flush();
+        }
+    }
+    *guard = None;
+}
+
+/// Flushes the JSONL sink (if any) without disabling tracing.
+pub fn flush() {
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(state) = guard.as_mut() {
+        if let Some(sink) = state.sink.as_mut() {
+            let _ = sink.flush();
+        }
+    }
+}
+
+/// Emits one trace event.
+///
+/// Callers should guard the call (and any field gathering) behind
+/// [`enabled`]; `emit` re-checks, applies the DS-id filter and the
+/// per-category sampling divisor, renders the JSONL line, appends it to the
+/// in-memory ring, and streams it to the sink if one is open.
+pub fn emit(cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, TraceVal)]) {
+    if !enabled(cat) {
+        return;
+    }
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(state) = guard.as_mut() else {
+        return;
+    };
+    let ci = cat as usize;
+    if let Some(allow) = &state.ds_filter[ci] {
+        if !allow.contains(&ds) {
+            return;
+        }
+    }
+    let div = state.sample_div[ci];
+    if div > 1 {
+        let c = state.sample_ctr[ci];
+        state.sample_ctr[ci] = (c + 1) % div;
+        if c != 0 {
+            return;
+        }
+    }
+
+    let mut line = String::with_capacity(96);
+    use std::fmt::Write as _;
+    let _ = write!(
+        line,
+        "{{\"time\":{},\"ds\":{},\"cat\":\"{}\",\"event\":\"{}\"",
+        format_ns(time),
+        ds,
+        cat.name(),
+        event
+    );
+    for (key, val) in fields {
+        let _ = write!(line, ",\"{key}\":");
+        match val {
+            TraceVal::U(u) => {
+                let _ = write!(line, "{u}");
+            }
+            TraceVal::F(f) if f.is_finite() => {
+                let _ = write!(line, "{f}");
+            }
+            TraceVal::F(_) => line.push_str("null"),
+            TraceVal::S(s) => {
+                let _ = write!(line, "\"{s}\"");
+            }
+            TraceVal::B(b) => line.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    line.push('}');
+
+    if let Some(sink) = state.sink.as_mut() {
+        let _ = writeln!(sink, "{line}");
+    }
+    if state.ring.len() == state.ring_capacity {
+        state.ring.pop_front();
+    }
+    state.ring.push_back(line);
+    state.emitted += 1;
+}
+
+/// Renders a [`Time`] as (possibly fractional) nanoseconds without going
+/// through floating point when the value is whole.
+fn format_ns(t: Time) -> String {
+    let units = t.units();
+    let whole = units / Time::UNITS_PER_NS;
+    let frac = units % Time::UNITS_PER_NS;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        // Quarter-ns resolution: the fraction is always .25/.5/.75.
+        format!("{whole}.{}", match frac {
+            1 => "25",
+            2 => "5",
+            _ => "75",
+        })
+    }
+}
+
+/// The most recent trace lines still held in the in-memory ring.
+pub fn recent_lines() -> Vec<String> {
+    let guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    guard
+        .as_ref()
+        .map(|s| s.ring.iter().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// Total events emitted (post-filter, post-sampling) since [`install`].
+pub fn lines_emitted() -> u64 {
+    let guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    guard.as_ref().map(|s| s.emitted).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracer is process-global, so every test that installs it runs
+    // inside this single test function to avoid cross-test interference.
+    #[test]
+    fn install_filter_sample_disable_lifecycle() {
+        assert!(!enabled(TraceCat::Llc), "tracing must start disabled");
+        emit(TraceCat::Llc, Time::from_ns(1), 0, "miss", &[]);
+        assert_eq!(lines_emitted(), 0);
+
+        // Ring-only tracer, llc for all ds + trigger for ds 2 only, no
+        // sampling so every event lands.
+        install(TraceConfig {
+            path: None,
+            filter: vec![
+                (TraceCat::Llc, None),
+                (TraceCat::Trigger, Some(2)),
+            ],
+            sample: vec![(TraceCat::Llc, 1)],
+            ring_capacity: 4,
+        })
+        .unwrap();
+        assert!(enabled(TraceCat::Llc));
+        assert!(enabled(TraceCat::Trigger));
+        assert!(!enabled(TraceCat::Dram));
+
+        emit(
+            TraceCat::Llc,
+            Time::from_units(9), // 2.25 ns
+            3,
+            "miss",
+            &[("addr", TraceVal::U(64)), ("hot", TraceVal::B(true))],
+        );
+        emit(TraceCat::Trigger, Time::from_ns(5), 1, "fire", &[]); // filtered out
+        emit(TraceCat::Trigger, Time::from_ns(5), 2, "fire", &[("slot", TraceVal::U(0))]);
+        emit(TraceCat::Dram, Time::from_ns(6), 2, "issue", &[]); // category off
+
+        let lines = recent_lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"time\":2.25,\"ds\":3,\"cat\":\"llc\",\"event\":\"miss\",\"addr\":64,\"hot\":true}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"time\":5,\"ds\":2,\"cat\":\"trigger\",\"event\":\"fire\",\"slot\":0}"
+        );
+        assert_eq!(lines_emitted(), 2);
+
+        // Sampling: divisor 3 keeps the 1st, 4th, 7th, ... event.
+        install(TraceConfig {
+            path: None,
+            filter: vec![(TraceCat::Dram, None)],
+            sample: vec![(TraceCat::Dram, 3)],
+            ring_capacity: 16,
+        })
+        .unwrap();
+        for i in 0..7u64 {
+            emit(TraceCat::Dram, Time::from_ns(i), 0, "issue", &[]);
+        }
+        assert_eq!(lines_emitted(), 3);
+
+        // Ring capacity bounds memory.
+        install(TraceConfig {
+            path: None,
+            filter: vec![(TraceCat::Io, None)],
+            sample: Vec::new(),
+            ring_capacity: 2,
+        })
+        .unwrap();
+        for i in 0..5u64 {
+            emit(TraceCat::Io, Time::from_ns(i), 0, "dma", &[]);
+        }
+        assert_eq!(recent_lines().len(), 2);
+        assert!(recent_lines()[0].contains("\"time\":3"));
+
+        disable();
+        assert!(!enabled(TraceCat::Io));
+        assert!(recent_lines().is_empty());
+    }
+
+    #[test]
+    fn category_names_round_trip() {
+        for cat in TraceCat::ALL {
+            assert_eq!(TraceCat::parse(cat.name()), Some(cat));
+        }
+        assert_eq!(TraceCat::parse("nope"), None);
+        // Bits are distinct.
+        let mask: u32 = TraceCat::ALL.iter().map(|c| c.bit()).sum();
+        assert_eq!(mask.count_ones() as usize, TraceCat::ALL.len());
+    }
+}
