@@ -37,20 +37,40 @@ if [ ! -s BENCH_kernel.json ]; then
 fi
 echo "ok: BENCH_kernel.json written"
 
-echo "== trace smoke: traced fig07 emits schema-valid JSONL =="
+echo "== trace+audit smoke: strict-audited fig07 emits clean JSONL =="
 # Run in a scratch cwd so the figure's JSON dump cannot clobber the
 # committed fig07.json; then schema-validate the trace and demand the
-# instrumented layers all show up with the right DS attribution.
+# instrumented layers all show up with the right DS attribution. The run
+# is strict-audited: any invariant violation panics the figure binary,
+# and the report file must validate clean. Finally the offline auditor
+# replays the trace and re-derives the clock and IDE-quota invariants
+# (sound here: fig07 is a single-machine, single-threaded run).
 repo="$PWD"
 scratch="$(mktemp -d)"
 (
     cd "$scratch"
-    PARD_TRACE=trace.jsonl "$repo/target/release/fig07" --quick >/dev/null
+    PARD_TRACE=trace.jsonl PARD_AUDIT=strict PARD_AUDIT_FILE=audit.jsonl \
+        "$repo/target/release/fig07" --quick >/dev/null
     "$repo/target/release/pard-trace" --check trace.jsonl \
         --require kernel,llc,dram,ide,trigger,prm
+    "$repo/target/release/pard-audit" --check audit.jsonl
+    "$repo/target/release/pard-audit" --replay trace.jsonl
 )
 rm -rf "$scratch"
-echo "ok: traced fig07 passes pard-trace --check"
+echo "ok: audited fig07 passes pard-trace --check and pard-audit --check/--replay"
+
+echo "== fig08 golden: default-scale run is byte-identical to the committed JSON =="
+# Fig. 8 is the figure whose golden went stale once (a truncating
+# duration-scale bug); regenerate it at default scale and demand byte
+# identity so drift can never land silently again. (~3 min.)
+scratch="$(mktemp -d)"
+(
+    cd "$scratch"
+    "$repo/target/release/fig08" >/dev/null
+    cmp fig08.json "$repo/fig08.json"
+)
+rm -rf "$scratch"
+echo "ok: fig08.json reproduced byte-identically"
 
 echo "== rustdoc gate: no documentation warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace >/dev/null

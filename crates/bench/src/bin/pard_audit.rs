@@ -1,0 +1,242 @@
+//! `pard-audit` — validate audit reports and re-check trace files offline.
+//!
+//! Usage:
+//!
+//! ```text
+//! pard-audit --check FILE      # validate an audit-report JSONL file
+//! pard-audit --replay FILE     # offline re-check of a trace JSONL file
+//! pard-audit FILE              # summarise an audit-report JSONL file
+//! ```
+//!
+//! * `--check` schema-validates every line of a `PARD_AUDIT_FILE` report
+//!   (JSON object with numeric `time`, integer `ds`, known `kind`, string
+//!   `check`) and exits non-zero on the first malformed line **or on any
+//!   recorded violation** — a clean audited run writes only the trailing
+//!   `summary` line.
+//! * `--replay` re-derives invariants from an ordinary `PARD_TRACE` file
+//!   (the PR 3 format): schema validity, global time monotonicity (sound
+//!   for single-machine traces such as the fig07 artifact), and per-DS-id
+//!   IDE quota accounting — bytes reported `done` can never exceed the
+//!   bytes granted by the quota engine.
+//! * With just a `FILE`, pretty-prints a per-kind / per-DS-id summary of
+//!   an audit report.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use pard_bench::json::JsonValue;
+use pard_sim::audit::AuditKind;
+use pard_sim::trace::TraceCat;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut replay = false;
+    let mut file: Option<String> = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--replay" => replay = true,
+            "--help" | "-h" => {
+                println!("pard-audit --check FILE | --replay FILE | FILE");
+                return ExitCode::SUCCESS;
+            }
+            other => file = Some(other.to_string()),
+        }
+    }
+
+    let Some(path) = file else {
+        eprintln!("usage: pard-audit --check FILE | --replay FILE | FILE");
+        return ExitCode::FAILURE;
+    };
+    if replay {
+        recheck_trace(&path)
+    } else {
+        validate_report(&path, !check)
+    }
+}
+
+/// Validates an audit-report JSONL file; prints a summary unless `--check`
+/// asked for silence-on-success. Any non-`summary` record is a recorded
+/// violation, so its presence alone fails a `--check` run.
+fn validate_report(path: &str, summarise: bool) -> ExitCode {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_ds: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut first: Option<String> = None;
+    let mut violations = 0u64;
+    let mut summaries = 0u64;
+
+    for (lineno, line) in content.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let v = match JsonValue::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}:{}: invalid JSON: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if v.get("time").and_then(JsonValue::as_f64).is_none() {
+            eprintln!("{path}:{}: missing numeric \"time\"", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        let Some(ds) = v.get("ds").and_then(JsonValue::as_u64) else {
+            eprintln!("{path}:{}: missing integer \"ds\"", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        let Some(kind) = v.get("kind").and_then(JsonValue::as_str) else {
+            eprintln!("{path}:{}: missing string \"kind\"", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        if kind != "summary" && AuditKind::parse(kind).is_none() {
+            eprintln!("{path}:{}: unknown kind {kind:?}", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        if v.get("check").and_then(JsonValue::as_str).is_none() {
+            eprintln!("{path}:{}: missing string \"check\"", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        if kind == "summary" {
+            summaries += 1;
+            continue;
+        }
+        violations += 1;
+        *by_kind.entry(kind.to_string()).or_insert(0) += 1;
+        *by_ds.entry(ds).or_insert(0) += 1;
+        if first.is_none() {
+            first = Some(line.to_string());
+        }
+    }
+
+    if summarise {
+        println!("{path}: {violations} violations, {summaries} summary lines");
+        for (kind, n) in &by_kind {
+            println!("  {kind:>16}: {n}");
+        }
+        if let Some(first) = &first {
+            println!("  first: {first}");
+        }
+    }
+    if violations > 0 {
+        if !summarise {
+            eprintln!("{path}: {violations} recorded violations");
+            if let Some(first) = &first {
+                eprintln!("  first: {first}");
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+    if !summarise {
+        println!("{path}: OK (no violations, {summaries} summary lines)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Offline re-check of a `PARD_TRACE` JSONL file: schema, global time
+/// monotonicity, and IDE grant/done quota accounting.
+fn recheck_trace(path: &str) -> ExitCode {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut granted: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut done: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_time = f64::NEG_INFINITY;
+    let mut total = 0u64;
+    let mut failures = 0u64;
+
+    for (lineno, line) in content.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let v = match JsonValue::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}:{}: invalid JSON: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(time) = v.get("time").and_then(JsonValue::as_f64) else {
+            eprintln!("{path}:{}: missing numeric \"time\"", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        let Some(ds) = v.get("ds").and_then(JsonValue::as_u64) else {
+            eprintln!("{path}:{}: missing integer \"ds\"", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        let Some(cat) = v.get("cat").and_then(JsonValue::as_str) else {
+            eprintln!("{path}:{}: missing string \"cat\"", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        if TraceCat::parse(cat).is_none() {
+            eprintln!("{path}:{}: unknown category {cat:?}", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        let Some(event) = v.get("event").and_then(JsonValue::as_str) else {
+            eprintln!("{path}:{}: missing string \"event\"", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        if time < last_time {
+            eprintln!(
+                "{path}:{}: time regression {time} ns after {last_time} ns (clock invariant)",
+                lineno + 1
+            );
+            failures += 1;
+        }
+        last_time = last_time.max(time);
+        if cat == "ide" {
+            match event {
+                "grant" => {
+                    let budget = v.get("budget_bytes").and_then(JsonValue::as_u64);
+                    let Some(budget) = budget else {
+                        eprintln!("{path}:{}: ide grant without budget_bytes", lineno + 1);
+                        return ExitCode::FAILURE;
+                    };
+                    *granted.entry(ds).or_insert(0) += budget;
+                }
+                "done" => {
+                    let bytes = v.get("bytes").and_then(JsonValue::as_u64);
+                    let Some(bytes) = bytes else {
+                        eprintln!("{path}:{}: ide done without bytes", lineno + 1);
+                        return ExitCode::FAILURE;
+                    };
+                    *done.entry(ds).or_insert(0) += bytes;
+                }
+                _ => {}
+            }
+        }
+        total += 1;
+    }
+
+    // Quota invariant: every byte reported complete was granted by the
+    // quota engine first (both counters are cumulative over the file).
+    for (ds, &bytes) in &done {
+        let budget = granted.get(ds).copied().unwrap_or(0);
+        if bytes > budget {
+            eprintln!(
+                "{path}: ds{ds}: {bytes} bytes done but only {budget} granted (quota invariant)"
+            );
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{path}: {failures} invariant failures over {total} events");
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: re-check OK ({total} events, {} IDE DS-ids)", done.len());
+    ExitCode::SUCCESS
+}

@@ -130,6 +130,10 @@ pub fn summary_json(inject_rate: f64, base: &RunResult, pard: &RunResult) -> Jso
 /// delays. `inject_rate` is the fraction of peak request bandwidth
 /// (one 64 B burst per 5 ns = 200 M requests/s at 1.0).
 pub fn run(inject_rate: f64, priorities: bool, requests: u64) -> RunResult {
+    // Each run is an independent machine on a reused worker thread, and
+    // its packet ids restart at 0 — open a fresh audit conservation scope
+    // so back-to-back runs cannot alias each other's in-flight packets.
+    pard_sim::audit::begin_run();
     let mut sim: Simulation<PardEvent> = Simulation::new();
     let (ctrl_model, cp) = MemCtrl::new(MemCtrlConfig {
         priorities_enabled: priorities,

@@ -36,11 +36,25 @@ pub use memcached_scenario::{
 
 /// Parses the common `--quick` / `--full` flags into a duration scale
 /// factor (1.0 = default).
+///
+/// Any other argument is rejected with exit code 2: a typo like
+/// `--qiuck` used to silently run the full-length default spans.
 pub fn duration_scale() -> f64 {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--quick") {
+    let mut quick = false;
+    let mut full = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--full" => full = true,
+            other => {
+                eprintln!("unknown argument {other:?} (expected --quick or --full)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
         0.25
-    } else if args.iter().any(|a| a == "--full") {
+    } else if full {
         4.0
     } else {
         1.0

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use pard_cp::{shared, CpHandle};
 use pard_icn::{cpu_cycles, DsId, MemKind, MemPacket, MemResp, PacketIdGen, PardEvent, TickKind};
 use pard_sim::trace::{self, TraceCat, TraceVal};
-use pard_sim::{Component, ComponentId, Ctx, Time};
+use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 
 use crate::array::TagArray;
 use crate::cpdef::llc_control_plane;
@@ -185,6 +185,18 @@ impl Llc {
     fn on_mem_req(&mut self, pkt: MemPacket, ctx: &mut Ctx<'_, PardEvent>) {
         self.refresh_params();
         let ds = pkt.ds;
+        if audit::enabled() {
+            // The LLC is the terminal consumer of the core → crossbar
+            // conservation domain.
+            audit::packet_retire(
+                "xbar",
+                pkt.reply_to.raw(),
+                pkt.id.0,
+                ds.raw(),
+                ctx.now(),
+                "llc",
+            );
+        }
         if ds.index() < self.cfg.max_ds {
             self.active_ds[ds.index()] = true;
         }
@@ -200,6 +212,15 @@ impl Llc {
                         issued_at: ctx.now(),
                         ..pkt
                     };
+                    if audit::enabled() {
+                        audit::packet_inject(
+                            "mem",
+                            fwd.reply_to.raw(),
+                            fwd.id.0,
+                            fwd.ds.raw(),
+                            ctx.now(),
+                        );
+                    }
                     let hit_latency = self.cfg.hit_latency;
                     ctx.send(self.mem_ctrl, hit_latency, PardEvent::MemReq(fwd));
                 }
@@ -257,6 +278,15 @@ impl Llc {
                                 issued_at: ctx.now(),
                                 dma: false,
                             };
+                            if audit::enabled() {
+                                audit::packet_inject(
+                                    "mem",
+                                    fetch.reply_to.raw(),
+                                    fetch.id.0,
+                                    fetch.ds.raw(),
+                                    ctx.now(),
+                                );
+                            }
                             let hit_latency = self.cfg.hit_latency;
                             ctx.send(self.mem_ctrl, hit_latency, PardEvent::MemReq(fetch));
                         }
@@ -280,6 +310,28 @@ impl Llc {
         let dirty = waiters.iter().any(|w| w.is_write);
         let mask = self.mask_for(key.ds);
         let outcome = self.array.fill(key.ds, key.line, mask, dirty);
+        if audit::enabled() {
+            // Way-mask exclusivity: the fill must land inside the DS-id's
+            // effective mask (the configured mask clipped to the real
+            // associativity; an empty clip falls back to all ways, the
+            // tag array's own semantics).
+            let ways = self.cfg.geometry.ways();
+            let full = if ways >= 64 { u64::MAX } else { (1u64 << ways) - 1 };
+            let clipped = mask & full;
+            let effective = if clipped == 0 { full } else { clipped };
+            if effective & (1u64 << outcome.way) == 0 {
+                audit::violation(
+                    audit::AuditKind::Waymask,
+                    ctx.now(),
+                    key.ds.raw(),
+                    "fill_outside_mask",
+                    &[
+                        ("way", TraceVal::U(u64::from(outcome.way))),
+                        ("mask", TraceVal::U(effective)),
+                    ],
+                );
+            }
+        }
 
         if let Some(victim) = outcome.evicted {
             if victim.dirty {
@@ -312,6 +364,9 @@ impl Llc {
                     issued_at: ctx.now(),
                     dma: false,
                 };
+                if audit::enabled() {
+                    audit::packet_inject("mem", wb.reply_to.raw(), wb.id.0, wb.ds.raw(), ctx.now());
+                }
                 ctx.send(self.mem_ctrl, Time::ZERO, PardEvent::MemReq(wb));
             }
         }
@@ -361,9 +416,45 @@ impl Llc {
                 let _ = cp.set_stat(ds, "capacity", self.array.occupancy_bytes(ds));
                 let _ = cp.set_stat(ds, "hit_cnt", self.cum_hits[i]);
                 let _ = cp.set_stat(ds, "miss_cnt", self.cum_misses[i]);
+                if audit::enabled() {
+                    // Capacity accounting: the published statistic must read
+                    // back as exactly the live tag-array occupancy.
+                    let live = self.array.occupancy_bytes(ds);
+                    let published = cp.stat(ds, "capacity").unwrap_or(u64::MAX);
+                    if published != live {
+                        audit::violation(
+                            audit::AuditKind::Waymask,
+                            now,
+                            ds.raw(),
+                            "capacity_mismatch",
+                            &[
+                                ("published", TraceVal::U(published)),
+                                ("live", TraceVal::U(live)),
+                            ],
+                        );
+                    }
+                }
                 cp.evaluate_triggers(ds, now);
                 self.win_hits[i] = 0;
                 self.win_misses[i] = 0;
+            }
+        }
+        if audit::enabled() {
+            // Capacity accounting: ownership never exceeds the physical
+            // array (each valid line has exactly one owner DS-id).
+            let valid = self.array.total_valid_lines();
+            let lines = self.cfg.geometry.lines();
+            if valid > lines {
+                audit::violation(
+                    audit::AuditKind::Waymask,
+                    now,
+                    u16::MAX,
+                    "occupancy_overflow",
+                    &[
+                        ("valid_lines", TraceVal::U(valid)),
+                        ("total_lines", TraceVal::U(lines)),
+                    ],
+                );
             }
         }
         let window = self.cfg.window;
@@ -382,7 +473,12 @@ impl Component<PardEvent> for Llc {
             PardEvent::MemReq(pkt) => self.on_mem_req(pkt, ctx),
             PardEvent::MemResp(resp) => self.on_mem_resp(resp, ctx),
             PardEvent::Tick(TickKind::CpWindow) => self.on_window(ctx),
-            other => debug_assert!(false, "LLC received unexpected event {other:?}"),
+            other => audit::unexpected_event(
+                "llc",
+                other.kind_label(),
+                ctx.now(),
+                other.ds().map_or(u16::MAX, DsId::raw),
+            ),
         }
     }
 

@@ -7,7 +7,7 @@ use pard_icn::{
     cpu_cycles, CoreCommand, DiskRequest, DsId, MemKind, MemPacket, PacketId, PacketIdGen,
     PardEvent, TickKind,
 };
-use pard_sim::{Component, ComponentId, Ctx, Time};
+use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 use pard_workloads::{Op, WorkloadEngine};
 
 /// Configuration of a [`Core`].
@@ -314,6 +314,17 @@ impl Core {
                         reply_to: ctx.self_id(),
                         issued_at: cursor,
                     };
+                    if audit::enabled() {
+                        // Injection point of the core → bridge → IDE
+                        // ("disk") conservation domain.
+                        audit::packet_inject(
+                            "disk",
+                            req.reply_to.raw(),
+                            req.id.0,
+                            req.ds.raw(),
+                            cursor,
+                        );
+                    }
                     ctx.send_at(self.bridge, cursor, PardEvent::DiskReq(req));
                     self.wait = Wait::Disk(id);
                     self.cursor = cursor;
@@ -387,7 +398,12 @@ impl Component<PardEvent> for Core {
                     }
                 }
             }
-            other => debug_assert!(false, "core received unexpected event {other:?}"),
+            other => audit::unexpected_event(
+                "core",
+                other.kind_label(),
+                ctx.now(),
+                other.ds().map_or(u16::MAX, DsId::raw),
+            ),
         }
     }
 

@@ -7,7 +7,7 @@ use pard_icn::{Crossbar, DsId, PardEvent, TickKind};
 use pard_io::{Apic, ApicRoutes, IdeCtrl, IoBridge, Nic};
 use pard_prm::{Firmware, FirmwareConfig, FwError, FwHandle, LDomSpec, MetricsSnapshot, Prm};
 use pard_sim::trace::{self, TraceCat, TraceVal};
-use pard_sim::{ComponentId, Simulation, Time};
+use pard_sim::{audit, ComponentId, Simulation, Time};
 use pard_workloads::WorkloadEngine;
 
 use crate::config::SystemConfig;
@@ -46,23 +46,33 @@ pub struct PardServer {
 impl PardServer {
     /// Builds and wires the whole machine.
     pub fn new(cfg: SystemConfig) -> Self {
-        // Arm the tracer from `PARD_TRACE` / `PARD_TRACE_FILTER` before any
-        // component can emit (idempotent; a no-op when the env is unset).
+        // Arm the tracer from `PARD_TRACE` / `PARD_TRACE_FILTER` and the
+        // invariant auditor from `PARD_AUDIT` / `PARD_AUDIT_FILE` before
+        // any component can emit (idempotent; no-ops when the env is
+        // unset). A fresh server is a fresh conservation scope: clear any
+        // ledger entries a previous machine on this thread left in flight.
         trace::init_from_env();
+        audit::init_from_env();
+        audit::begin_run();
         let mut sim: Simulation<PardEvent> = Simulation::new();
 
         // The kernel event loop is instrumented through the simulation's
-        // event hook so the raw kernel stays hook-free when tracing is off.
-        if trace::enabled(TraceCat::Kernel) {
-            sim.set_event_hook(Some(Box::new(|now, dst, ev: &PardEvent| {
-                let ds = ev.ds().map_or(u16::MAX, DsId::raw);
-                trace::emit(
-                    TraceCat::Kernel,
-                    now,
-                    ds,
-                    ev.kind_label(),
-                    &[("dst", TraceVal::U(u64::from(dst.raw())))],
-                );
+        // event hook so the raw kernel stays hook-free when neither the
+        // tracer nor the auditor wants deliveries.
+        let trace_kernel = trace::enabled(TraceCat::Kernel);
+        if trace_kernel || audit::enabled() {
+            sim.set_event_hook(Some(Box::new(move |now, dst, ev: &PardEvent| {
+                audit::observe_delivery();
+                if trace_kernel {
+                    let ds = ev.ds().map_or(u16::MAX, DsId::raw);
+                    trace::emit(
+                        TraceCat::Kernel,
+                        now,
+                        ds,
+                        ev.kind_label(),
+                        &[("dst", TraceVal::U(u64::from(dst.raw())))],
+                    );
+                }
             })));
         }
 
@@ -391,6 +401,10 @@ impl Drop for PardServer {
                 let json = self.fw.lock().metrics_snapshot().to_json();
                 let _ = std::fs::write(&path, json);
             }
+        }
+        if audit::enabled() {
+            audit::emit_summary(self.sim.now());
+            audit::flush();
         }
         trace::flush();
     }

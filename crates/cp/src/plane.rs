@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use pard_icn::DsId;
 use pard_sim::sync::{unbounded, Mutex, Receiver, Sender, TryRecvError};
-use pard_sim::{trace, Time};
+use pard_sim::{audit, trace, Time};
 
 use crate::error::CpError;
 use crate::table::DsTable;
@@ -321,6 +321,29 @@ impl ControlPlane {
                         now,
                         ds.raw(),
                         what,
+                        &[
+                            ("cpa", trace::TraceVal::U(self.cpa_index as u64)),
+                            ("slot", trace::TraceVal::U(slot as u64)),
+                        ],
+                    );
+                }
+            }
+        }
+        if audit::enabled() {
+            // Trigger soundness: a slot that fired must have a predicate
+            // that re-evaluates true against the very row it fired on —
+            // the latch logic may only suppress refires, never invent one.
+            for &slot in &outcome.fired {
+                let holds = self.triggers.get(slot).is_some_and(|t| {
+                    row.get(t.stats_column)
+                        .is_some_and(|&observed| t.op.eval(observed, t.value))
+                });
+                if !holds {
+                    audit::violation(
+                        audit::AuditKind::Trigger,
+                        now,
+                        ds.raw(),
+                        "fired_predicate_false",
                         &[
                             ("cpa", trace::TraceVal::U(self.cpa_index as u64)),
                             ("slot", trace::TraceVal::U(slot as u64)),

@@ -8,7 +8,7 @@ use pard_cp::{shared, CpHandle};
 use pard_icn::{to_mem_cycles, DsId, MemPacket, MemResp, PardEvent, TickKind, MEM_CYCLE};
 use pard_sim::stats::{LatencySample, WindowedCounter};
 use pard_sim::trace::{self, TraceCat, TraceVal};
-use pard_sim::{Component, Ctx, Time};
+use pard_sim::{audit, Component, Ctx, Time};
 
 use crate::bank::{Bank, RankTracker};
 use crate::cpdef::mem_control_plane;
@@ -238,6 +238,20 @@ impl MemCtrl {
         #[cfg(feature = "prof")]
         let _t = crate::ctrl::prof::Scope::new(1);
         self.refresh_params();
+        if audit::enabled() {
+            // The controller is the terminal consumer of both the LLC →
+            // DRAM ("mem") and the device → bridge → DRAM ("dma")
+            // conservation domains.
+            let domain = if pkt.dma { "dma" } else { "mem" };
+            audit::packet_retire(
+                domain,
+                pkt.reply_to.raw(),
+                pkt.id.0,
+                pkt.ds.raw(),
+                ctx.now(),
+                "memctrl",
+            );
+        }
         let i = pkt.ds.index().min(self.cfg.max_ds - 1);
         self.active_ds[i] = true;
 
@@ -561,6 +575,7 @@ impl MemCtrl {
         } else {
             span.as_secs()
         };
+        let mut window_bytes_total = 0u64;
         {
             let mut cp = self.cp.lock();
             for i in 0..self.cfg.max_ds {
@@ -580,7 +595,31 @@ impl MemCtrl {
                 cp.evaluate_triggers(ds, now);
                 self.qlat_sum[i] = 0;
                 self.qlat_cnt[i] = 0;
+                window_bytes_total += self.win_bytes[i];
                 self.win_bytes[i] = 0;
+            }
+        }
+        if audit::enabled() {
+            // Windowed-bandwidth ceiling: the bytes served in a window
+            // cannot exceed what the data bus can physically move in its
+            // real span. MXT compression halves bus beats, so delivered
+            // (uncompressed) bytes may reach 2x the wire rate; one extra
+            // max-size DMA chunk of slack absorbs window-edge transfers.
+            let timing = self.cfg.timing;
+            let peak_bps =
+                f64::from(timing.burst_bytes()) / timing.burst_time().as_secs().max(1e-12);
+            let ceiling = (2.0 * peak_bps * secs) as u64 + (128 << 10);
+            if window_bytes_total > ceiling {
+                audit::violation(
+                    audit::AuditKind::Quota,
+                    now,
+                    u16::MAX,
+                    "dram_bandwidth_ceiling",
+                    &[
+                        ("window_bytes", TraceVal::U(window_bytes_total)),
+                        ("ceiling_bytes", TraceVal::U(ceiling)),
+                    ],
+                );
             }
         }
         let window = self.cfg.window;
@@ -600,7 +639,12 @@ impl Component<PardEvent> for MemCtrl {
             PardEvent::Tick(TickKind::Dram) => self.on_tick(ctx),
             PardEvent::Tick(TickKind::CpWindow) => self.on_window(ctx),
             PardEvent::MemResp(_) => {} // loop-back responses are ignorable
-            other => debug_assert!(false, "memctrl received unexpected event {other:?}"),
+            other => audit::unexpected_event(
+                "memctrl",
+                other.kind_label(),
+                ctx.now(),
+                other.ds().map_or(u16::MAX, DsId::raw),
+            ),
         }
     }
 

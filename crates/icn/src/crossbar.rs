@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use pard_sim::{Component, ComponentId, Ctx, Time};
+use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 
 use crate::clock::cpu_cycles;
 use crate::event::PardEvent;
@@ -71,6 +71,17 @@ impl Component<PardEvent> for Crossbar {
     fn handle(&mut self, ev: PardEvent, ctx: &mut Ctx<'_, PardEvent>) {
         match ev {
             PardEvent::MemReq(pkt) => {
+                if audit::enabled() {
+                    // The crossbar is the injection point of the core →
+                    // LLC conservation domain; the LLC retires the entry.
+                    audit::packet_inject(
+                        "xbar",
+                        pkt.reply_to.raw(),
+                        pkt.id.0,
+                        pkt.ds.raw(),
+                        ctx.now(),
+                    );
+                }
                 let latency = self.cfg.latency;
                 let bw = self.cfg.port_bytes_per_ns;
                 let port = self
@@ -81,7 +92,12 @@ impl Component<PardEvent> for Crossbar {
                 self.forwarded += 1;
                 ctx.send_at(self.dst, deliver_at, PardEvent::MemReq(pkt));
             }
-            other => debug_assert!(false, "crossbar received unexpected event {other:?}"),
+            other => audit::unexpected_event(
+                "crossbar",
+                other.kind_label(),
+                ctx.now(),
+                other.ds().map_or(u16::MAX, crate::ds::DsId::raw),
+            ),
         }
     }
 

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use pard_icn::{cpu_cycles, DsId, InterruptPacket, PardEvent};
 use pard_sim::sync::Mutex;
-use pard_sim::{Component, ComponentId, Ctx, Time};
+use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 
 /// Interrupt vector used by IDE completions.
 pub const VEC_IDE: u8 = 14;
@@ -106,16 +106,32 @@ impl Component<PardEvent> for Apic {
     }
 
     fn handle(&mut self, ev: PardEvent, ctx: &mut Ctx<'_, PardEvent>) {
-        let PardEvent::Interrupt(pkt) = ev else {
-            debug_assert!(false, "APIC received a non-interrupt event");
-            return;
+        let pkt = match ev {
+            PardEvent::Interrupt(pkt) => pkt,
+            other => {
+                audit::unexpected_event(
+                    "apic",
+                    other.kind_label(),
+                    ctx.now(),
+                    other.ds().map_or(u16::MAX, DsId::raw),
+                );
+                return;
+            }
         };
         match self.routes.get(pkt.ds) {
             Some(core) => {
+                if audit::enabled() {
+                    audit::irq_settle(pkt.vector, pkt.ds.raw(), ctx.now(), "routed");
+                }
                 self.delivered += 1;
                 ctx.send(core, self.delivery_latency, PardEvent::Interrupt(pkt));
             }
-            None => self.dropped += 1,
+            None => {
+                if audit::enabled() {
+                    audit::irq_settle(pkt.vector, pkt.ds.raw(), ctx.now(), "dropped");
+                }
+                self.dropped += 1;
+            }
         }
     }
 

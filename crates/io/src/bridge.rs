@@ -3,7 +3,7 @@
 use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable};
 use pard_icn::{cpu_cycles, DsId, PardEvent, TickKind};
 use pard_sim::trace::{self, TraceCat, TraceVal};
-use pard_sim::{Component, ComponentId, Ctx, Time};
+use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 
 /// Configuration of the [`IoBridge`].
 #[derive(Debug, Clone)]
@@ -152,9 +152,22 @@ impl Component<PardEvent> for IoBridge {
         match ev {
             PardEvent::DiskReq(req) => {
                 if self.enabled(req.ds) {
+                    if audit::enabled() {
+                        audit::packet_hop(
+                            "disk",
+                            req.reply_to.raw(),
+                            req.id.0,
+                            req.ds.raw(),
+                            ctx.now(),
+                            "bridge",
+                        );
+                    }
                     let hop = self.cfg.hop_latency;
                     ctx.send(self.ide, hop, PardEvent::DiskReq(req));
                 } else {
+                    if audit::enabled() {
+                        audit::packet_drop("disk", req.reply_to.raw(), req.id.0);
+                    }
                     self.dropped += 1;
                 }
             }
@@ -169,6 +182,16 @@ impl Component<PardEvent> for IoBridge {
             PardEvent::MemReq(pkt) => {
                 debug_assert!(pkt.dma, "non-DMA memory traffic through the bridge");
                 if self.enabled(pkt.ds) {
+                    if audit::enabled() {
+                        audit::packet_hop(
+                            "dma",
+                            pkt.reply_to.raw(),
+                            pkt.id.0,
+                            pkt.ds.raw(),
+                            ctx.now(),
+                            "bridge",
+                        );
+                    }
                     self.account(pkt.ds, u64::from(pkt.size));
                     if trace::enabled(TraceCat::Io) {
                         trace::emit(
@@ -182,6 +205,9 @@ impl Component<PardEvent> for IoBridge {
                     let hop = self.cfg.hop_latency;
                     ctx.send(self.mem_ctrl, hop, PardEvent::MemReq(pkt));
                 } else {
+                    if audit::enabled() {
+                        audit::packet_drop("dma", pkt.reply_to.raw(), pkt.id.0);
+                    }
                     self.dropped += 1;
                     if trace::enabled(TraceCat::Io) {
                         trace::emit(
@@ -195,7 +221,12 @@ impl Component<PardEvent> for IoBridge {
                 }
             }
             PardEvent::Tick(TickKind::CpWindow) => self.on_window(ctx),
-            other => debug_assert!(false, "bridge received unexpected event {other:?}"),
+            other => audit::unexpected_event(
+                "bridge",
+                other.kind_label(),
+                ctx.now(),
+                other.ds().map_or(u16::MAX, DsId::raw),
+            ),
         }
     }
 

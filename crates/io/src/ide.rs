@@ -12,7 +12,7 @@ use pard_icn::{
 };
 use pard_sim::stats::WindowedCounter;
 use pard_sim::trace::{self, TraceCat, TraceVal};
-use pard_sim::{Component, ComponentId, Ctx, Time};
+use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 
 use crate::apic::ide_interrupt;
 
@@ -200,6 +200,18 @@ impl IdeCtrl {
     }
 
     fn on_disk_req(&mut self, req: DiskRequest, ctx: &mut Ctx<'_, PardEvent>) {
+        if audit::enabled() {
+            // The controller is the terminal consumer of the core → bridge
+            // → IDE ("disk") conservation domain.
+            audit::packet_retire(
+                "disk",
+                req.reply_to.raw(),
+                req.id.0,
+                req.ds.raw(),
+                ctx.now(),
+                "ide",
+            );
+        }
         // The descriptor write initialises the channel's DMA tag register
         // with the DS-id that rode on the write (§4.1 step 1) …
         let ch = self.channel_of(req.disk);
@@ -259,6 +271,7 @@ impl IdeCtrl {
         }
 
         let quantum_bytes = self.cfg.aggregate_bandwidth * self.cfg.quantum.as_secs();
+        let mut granted_total = 0u64;
         for (i, share_pct) in self.shares(&active) {
             let mut budget = (quantum_bytes * share_pct / 100.0) as u64;
             if trace::enabled(TraceCat::Ide) {
@@ -280,6 +293,7 @@ impl IdeCtrl {
                 let granted = budget.min(head.remaining);
                 head.remaining -= granted;
                 budget -= granted;
+                granted_total += granted;
                 self.win_bytes[i] += granted;
                 self.cum_bytes[i] += granted;
 
@@ -301,6 +315,15 @@ impl IdeCtrl {
                         issued_at: ctx.now(),
                         dma: true,
                     };
+                    if audit::enabled() {
+                        audit::packet_inject(
+                            "dma",
+                            pkt.reply_to.raw(),
+                            pkt.id.0,
+                            pkt.ds.raw(),
+                            ctx.now(),
+                        );
+                    }
                     ctx.send(self.bridge, Time::ZERO, PardEvent::MemReq(pkt));
                     head.next_buf_offset += u64::from(chunk);
                     moved += u64::from(chunk);
@@ -323,6 +346,9 @@ impl IdeCtrl {
                         ds: finished.tag,
                         bytes: finished.req.bytes,
                     };
+                    if audit::enabled() {
+                        audit::irq_inject(crate::apic::VEC_IDE, finished.tag.raw());
+                    }
                     ctx.send(
                         self.apic,
                         Time::ZERO,
@@ -331,6 +357,26 @@ impl IdeCtrl {
                 } else {
                     break; // budget exhausted on the head request
                 }
+            }
+        }
+
+        if audit::enabled() {
+            // Quota soundness: the shares computed for one quantum are
+            // normalised to 100%, so the bytes granted in this tick can
+            // never exceed the controller's aggregate quantum budget
+            // (+1 byte of float-truncation slack).
+            let ceiling = quantum_bytes as u64 + 1;
+            if granted_total > ceiling {
+                audit::violation(
+                    audit::AuditKind::Quota,
+                    ctx.now(),
+                    u16::MAX,
+                    "ide_quantum_overgrant",
+                    &[
+                        ("granted_bytes", TraceVal::U(granted_total)),
+                        ("quantum_bytes", TraceVal::U(ceiling)),
+                    ],
+                );
             }
         }
 
@@ -400,7 +446,12 @@ impl Component<PardEvent> for IdeCtrl {
                 // DMA read data returning from memory; transfer pacing is
                 // bandwidth-driven, so nothing to do.
             }
-            other => debug_assert!(false, "IDE received unexpected event {other:?}"),
+            other => audit::unexpected_event(
+                "ide",
+                other.kind_label(),
+                ctx.now(),
+                other.ds().map_or(u16::MAX, DsId::raw),
+            ),
         }
     }
 

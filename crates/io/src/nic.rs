@@ -7,7 +7,7 @@ use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable};
 use pard_icn::{
     DsId, InterruptPacket, LAddr, MemKind, MemPacket, NetFrame, PacketIdGen, PardEvent, TickKind,
 };
-use pard_sim::{Component, ComponentId, Ctx, Time};
+use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 
 use crate::apic::VEC_NIC;
 
@@ -210,6 +210,9 @@ impl Nic {
             issued_at: ctx.now(),
             dma: true,
         };
+        if audit::enabled() {
+            audit::packet_inject("dma", pkt.reply_to.raw(), pkt.id.0, pkt.ds.raw(), ctx.now());
+        }
         ctx.send(self.bridge, Time::ZERO, PardEvent::MemReq(pkt));
 
         // Tagged receive interrupt through the APIC.
@@ -218,6 +221,9 @@ impl Nic {
             vector: VEC_NIC,
             disk_done: None,
         };
+        if audit::enabled() {
+            audit::irq_inject(VEC_NIC, ds.raw());
+        }
         ctx.send(self.apic, Time::ZERO, PardEvent::Interrupt(irq));
 
         if let Some(obs) = self.observer {
@@ -264,7 +270,12 @@ impl Component<PardEvent> for Nic {
             PardEvent::NetFrame(frame) => self.on_frame(frame, ctx),
             PardEvent::Tick(TickKind::CpWindow) => self.on_window(ctx),
             PardEvent::MemResp(_) => {} // DMA ack; ring pacing not modelled
-            other => debug_assert!(false, "NIC received unexpected event {other:?}"),
+            other => audit::unexpected_event(
+                "nic",
+                other.kind_label(),
+                ctx.now(),
+                other.ds().map_or(u16::MAX, DsId::raw),
+            ),
         }
     }
 

@@ -16,7 +16,8 @@ use std::sync::Arc;
 use pard_cp::CpHandle;
 use pard_icn::DsId;
 use pard_sim::sync::Mutex;
-use pard_sim::Time;
+use pard_sim::trace::TraceVal;
+use pard_sim::{audit, Time};
 
 /// A shareable registry of every control plane on the machine.
 ///
@@ -28,6 +29,10 @@ pub struct MetricsRegistry {
     /// Last firmware time, in [`Time`] units; lets detached holders (the
     /// file-tree hook, the server's exit dump) stamp snapshots.
     clock: Arc<AtomicU64>,
+    /// `taken_at` of the most recent snapshot, in [`Time`] units; only
+    /// consulted when the invariant auditor is on (snapshots of one
+    /// registry must never move backwards in firmware time).
+    last_snapshot: Arc<AtomicU64>,
 }
 
 impl Default for MetricsRegistry {
@@ -42,6 +47,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             planes: Arc::new(Mutex::new(Vec::new())),
             clock: Arc::new(AtomicU64::new(0)),
+            last_snapshot: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -78,6 +84,18 @@ impl MetricsRegistry {
     /// Walks every registered plane's statistics table and returns the
     /// non-zero rows, stamped with `now`.
     pub fn snapshot(&self, now: Time) -> MetricsSnapshot {
+        if audit::enabled() {
+            let prev = self.last_snapshot.swap(now.units(), Ordering::Relaxed);
+            if now.units() < prev {
+                audit::violation(
+                    audit::AuditKind::Clock,
+                    now,
+                    u16::MAX,
+                    "snapshot_regression",
+                    &[("prev_units", TraceVal::U(prev))],
+                );
+            }
+        }
         let planes = self.planes.lock();
         let mut out = Vec::with_capacity(planes.len());
         for (cpa, handle) in planes.iter() {

@@ -1,8 +1,10 @@
 //! The simulation kernel: component registry + event loop.
 
+use crate::audit;
 use crate::component::{Component, ComponentId};
 use crate::event::EventQueue;
 use crate::time::Time;
+use crate::trace::TraceVal;
 
 /// The scheduling context handed to a component while it handles an event.
 ///
@@ -67,6 +69,10 @@ pub struct Simulation<E> {
     /// [`set_event_hook`](Simulation::set_event_hook)). `None` in normal
     /// operation, so the delivery loop pays only a branch.
     event_hook: Option<Box<dyn FnMut(Time, ComponentId, &E)>>,
+    /// `(time, seq)` of the last delivered event; the invariant auditor
+    /// checks lexicographic pop order against it. Only touched when
+    /// auditing is on.
+    audit_last: Option<(Time, u64)>,
 }
 
 /// Pending-event capacity reserved up front by [`Simulation::new`]: large
@@ -84,6 +90,7 @@ impl<E: 'static> Simulation<E> {
             stop_requested: false,
             events_processed: 0,
             event_hook: None,
+            audit_last: None,
         }
     }
 
@@ -156,6 +163,38 @@ impl<E: 'static> Simulation<E> {
             return false;
         };
         debug_assert!(ev.time >= self.now, "event queue produced a past event");
+        if audit::enabled() {
+            // Invariant 6: time never runs backwards, and deliveries come
+            // in exact lexicographic (time, seq) order.
+            if ev.time < self.now {
+                audit::violation(
+                    audit::AuditKind::Clock,
+                    ev.time,
+                    u16::MAX,
+                    "past_event",
+                    &[
+                        ("now_units", TraceVal::U(self.now.units())),
+                        ("seq", TraceVal::U(ev.seq)),
+                    ],
+                );
+            }
+            if let Some((last_time, last_seq)) = self.audit_last {
+                if (ev.time, ev.seq) <= (last_time, last_seq) {
+                    audit::violation(
+                        audit::AuditKind::Clock,
+                        ev.time,
+                        u16::MAX,
+                        "delivery_order",
+                        &[
+                            ("seq", TraceVal::U(ev.seq)),
+                            ("last_seq", TraceVal::U(last_seq)),
+                            ("last_units", TraceVal::U(last_time.units())),
+                        ],
+                    );
+                }
+            }
+            self.audit_last = Some((ev.time, ev.seq));
+        }
         self.now = ev.time;
         self.events_processed += 1;
         if let Some(hook) = &mut self.event_hook {

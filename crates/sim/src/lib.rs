@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod check;
 mod component;
 mod event;

@@ -380,8 +380,9 @@ pub fn emit(cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, Tr
 }
 
 /// Renders a [`Time`] as (possibly fractional) nanoseconds without going
-/// through floating point when the value is whole.
-fn format_ns(t: Time) -> String {
+/// through floating point when the value is whole. Shared with the audit
+/// module so violation lines stamp time identically to trace lines.
+pub(crate) fn format_ns(t: Time) -> String {
     let units = t.units();
     let whole = units / Time::UNITS_PER_NS;
     let frac = units % Time::UNITS_PER_NS;
