@@ -72,6 +72,34 @@ scratch="$(mktemp -d)"
 rm -rf "$scratch"
 echo "ok: fig08.json reproduced byte-identically"
 
+echo "== fig_fault golden: strict-audited default-scale run matches committed JSON =="
+# The resilience figure runs with the audit layer in strict mode: any
+# packet-conservation or firing-soundness violation aborts the binary,
+# proving the fault hooks degrade service without ever un-conserving
+# work. The JSON must also reproduce the committed golden byte-for-byte
+# (the fault schedule and recovery trigger are fully deterministic).
+scratch="$(mktemp -d)"
+(
+    cd "$scratch"
+    PARD_AUDIT=strict "$repo/target/release/fig_fault" >/dev/null
+    cmp fig_fault.json "$repo/fig_fault.json"
+)
+rm -rf "$scratch"
+echo "ok: fig_fault.json reproduced byte-identically under strict audit"
+
+echo "== operations doc gate: every PARD_* env var is documented =="
+# OPERATIONS.md is the single reference for runtime knobs; any PARD_*
+# name referenced in the source tree must have an entry there.
+undocumented=0
+for var in $(grep -rhoE 'PARD_[A-Z][A-Z_0-9]*' crates/ --include='*.rs' | sort -u); do
+    if ! grep -q "$var" OPERATIONS.md; then
+        echo "error: $var is used in crates/ but missing from OPERATIONS.md" >&2
+        undocumented=1
+    fi
+done
+[ "$undocumented" -eq 0 ]
+echo "ok: all PARD_* env vars documented in OPERATIONS.md"
+
 echo "== rustdoc gate: no documentation warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace >/dev/null
 echo "ok: cargo doc clean"

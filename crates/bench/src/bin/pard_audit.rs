@@ -26,7 +26,6 @@ use std::process::ExitCode;
 
 use pard_bench::json::JsonValue;
 use pard_sim::audit::AuditKind;
-use pard_sim::trace::TraceCat;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -142,7 +141,9 @@ fn validate_report(path: &str, summarise: bool) -> ExitCode {
 }
 
 /// Offline re-check of a `PARD_TRACE` JSONL file: schema, global time
-/// monotonicity, and IDE grant/done quota accounting.
+/// monotonicity, and IDE grant/done quota accounting — the shared
+/// [`pard_bench::replay`] implementation, also run by `pard-trace
+/// --replay`.
 fn recheck_trace(path: &str) -> ExitCode {
     let content = match std::fs::read_to_string(path) {
         Ok(c) => c,
@@ -151,92 +152,20 @@ fn recheck_trace(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-
-    let mut granted: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut done: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut last_time = f64::NEG_INFINITY;
-    let mut total = 0u64;
-    let mut failures = 0u64;
-
-    for (lineno, line) in content.lines().enumerate() {
-        if line.is_empty() {
-            continue;
-        }
-        let v = match JsonValue::parse(line) {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("{path}:{}: invalid JSON: {e}", lineno + 1);
-                return ExitCode::FAILURE;
-            }
-        };
-        let Some(time) = v.get("time").and_then(JsonValue::as_f64) else {
-            eprintln!("{path}:{}: missing numeric \"time\"", lineno + 1);
-            return ExitCode::FAILURE;
-        };
-        let Some(ds) = v.get("ds").and_then(JsonValue::as_u64) else {
-            eprintln!("{path}:{}: missing integer \"ds\"", lineno + 1);
-            return ExitCode::FAILURE;
-        };
-        let Some(cat) = v.get("cat").and_then(JsonValue::as_str) else {
-            eprintln!("{path}:{}: missing string \"cat\"", lineno + 1);
-            return ExitCode::FAILURE;
-        };
-        if TraceCat::parse(cat).is_none() {
-            eprintln!("{path}:{}: unknown category {cat:?}", lineno + 1);
-            return ExitCode::FAILURE;
-        }
-        let Some(event) = v.get("event").and_then(JsonValue::as_str) else {
-            eprintln!("{path}:{}: missing string \"event\"", lineno + 1);
-            return ExitCode::FAILURE;
-        };
-        if time < last_time {
-            eprintln!(
-                "{path}:{}: time regression {time} ns after {last_time} ns (clock invariant)",
-                lineno + 1
+    match pard_bench::replay::check_trace_invariants(path, &content) {
+        Ok(report) => {
+            println!(
+                "{path}: re-check OK ({} events, {} IDE DS-ids)",
+                report.total, report.ide_ds
             );
-            failures += 1;
+            ExitCode::SUCCESS
         }
-        last_time = last_time.max(time);
-        if cat == "ide" {
-            match event {
-                "grant" => {
-                    let budget = v.get("budget_bytes").and_then(JsonValue::as_u64);
-                    let Some(budget) = budget else {
-                        eprintln!("{path}:{}: ide grant without budget_bytes", lineno + 1);
-                        return ExitCode::FAILURE;
-                    };
-                    *granted.entry(ds).or_insert(0) += budget;
-                }
-                "done" => {
-                    let bytes = v.get("bytes").and_then(JsonValue::as_u64);
-                    let Some(bytes) = bytes else {
-                        eprintln!("{path}:{}: ide done without bytes", lineno + 1);
-                        return ExitCode::FAILURE;
-                    };
-                    *done.entry(ds).or_insert(0) += bytes;
-                }
-                _ => {}
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("{f}");
             }
-        }
-        total += 1;
-    }
-
-    // Quota invariant: every byte reported complete was granted by the
-    // quota engine first (both counters are cumulative over the file).
-    for (ds, &bytes) in &done {
-        let budget = granted.get(ds).copied().unwrap_or(0);
-        if bytes > budget {
-            eprintln!(
-                "{path}: ds{ds}: {bytes} bytes done but only {budget} granted (quota invariant)"
-            );
-            failures += 1;
+            eprintln!("{path}: {} invariant failures", failures.len());
+            ExitCode::FAILURE
         }
     }
-
-    if failures > 0 {
-        eprintln!("{path}: {failures} invariant failures over {total} events");
-        return ExitCode::FAILURE;
-    }
-    println!("{path}: re-check OK ({total} events, {} IDE DS-ids)", done.len());
-    ExitCode::SUCCESS
 }

@@ -59,6 +59,29 @@ fn main() -> ExitCode {
             eprintln!("replay failed: {e}");
             return ExitCode::FAILURE;
         }
+        // Same invariant re-check as `pard-audit --replay` (shared
+        // implementation): schema, clock monotonicity, IDE quota. This
+        // used to be audit-only, so a quota violation in the freshly
+        // produced trace passed here and failed there.
+        let content = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match pard_bench::replay::check_trace_invariants(&path, &content) {
+            Ok(report) => println!(
+                "{path}: invariants OK ({} events, {} IDE DS-ids)",
+                report.total, report.ide_ds
+            ),
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("{f}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
         return validate(&path, &require, true);
     }
 

@@ -13,8 +13,10 @@
 //! | `fig10` | Fig. 10 (disk-bandwidth isolation) |
 //! | `fig11` | Fig. 11 (memory queueing-delay CDF) |
 //! | `fig12` | Fig. 12 (control-plane FPGA resources) + §7.2 latency |
+//! | `fig_fault` | beyond the paper: fault injection + trigger-driven recovery (§2 resilience claim) |
 //! | `sweeps` | sensitivity sweeps beyond the paper (intensity/partition/poll) |
 //! | `calibrate` | quick calibration probe for the memcached scenario |
+//! | `pard-trace` / `pard-audit` | offline trace validation and invariant replay |
 //!
 //! Durations are scaled down from the paper's (a 30-hour gem5 run per
 //! point is replaced by seconds of event-driven simulation); pass
@@ -22,11 +24,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fault_spec;
 pub mod fig11_scenario;
+pub mod fig_fault_scenario;
 pub mod harness;
 pub mod json;
 pub mod memcached_scenario;
 pub mod output;
+pub mod replay;
 
 pub use memcached_scenario::{
     build_memcached_server, build_memcached_server_no_rule, install_llc_trigger,

@@ -1,0 +1,167 @@
+//! Offline trace-replay invariant checking, shared by `pard-trace
+//! --replay` and `pard-audit --replay`.
+//!
+//! Both binaries used to disagree about what "replay" verified:
+//! `pard-audit` re-derived the clock and IDE-quota invariants from the
+//! trace, while `pard-trace` only schema-checked the file it had just
+//! produced — so a quota violation visible in the trace passed
+//! `pard-trace --replay` and failed `pard-audit --replay` on the same
+//! bytes. [`check_trace_invariants`] is now the single implementation
+//! both call:
+//!
+//! * **schema** — every line is a JSON object with numeric `time`,
+//!   integer `ds`, known `cat`, string `event` (hard error, fail fast);
+//! * **clock invariant** — `time` never regresses (sound for
+//!   single-machine traces; recorded as a failure, keeps scanning);
+//! * **IDE quota invariant** — per DS-id, cumulative bytes reported
+//!   `done` never exceed cumulative `budget_bytes` granted by the quota
+//!   engine. Fault-injected runs keep this sound because a dropped
+//!   request emits a distinct `drop` event (bytes moved so far), never a
+//!   `done`.
+
+use std::collections::BTreeMap;
+
+use pard_sim::trace::TraceCat;
+
+use crate::json::JsonValue;
+
+/// Summary of a clean replay check.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayReport {
+    /// Events scanned.
+    pub total: u64,
+    /// Distinct DS-ids with IDE `done` accounting.
+    pub ide_ds: usize,
+}
+
+/// Re-checks the invariants of a `PARD_TRACE` JSONL file.
+///
+/// `path` is used only to prefix messages. Returns the report on success.
+///
+/// # Errors
+///
+/// Returns every failure message (already `path:line`-prefixed, ready to
+/// print). Schema errors abort the scan; invariant violations are
+/// collected to the end so one bad line reports every consequence.
+pub fn check_trace_invariants(path: &str, content: &str) -> Result<ReplayReport, Vec<String>> {
+    let mut granted: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut done: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_time = f64::NEG_INFINITY;
+    let mut total = 0u64;
+    let mut failures: Vec<String> = Vec::new();
+
+    for (lineno, line) in content.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let v = match JsonValue::parse(line) {
+            Ok(v) => v,
+            Err(e) => return Err(vec![format!("{path}:{lineno}: invalid JSON: {e}")]),
+        };
+        let Some(time) = v.get("time").and_then(JsonValue::as_f64) else {
+            return Err(vec![format!("{path}:{lineno}: missing numeric \"time\"")]);
+        };
+        let Some(ds) = v.get("ds").and_then(JsonValue::as_u64) else {
+            return Err(vec![format!("{path}:{lineno}: missing integer \"ds\"")]);
+        };
+        let Some(cat) = v.get("cat").and_then(JsonValue::as_str) else {
+            return Err(vec![format!("{path}:{lineno}: missing string \"cat\"")]);
+        };
+        if TraceCat::parse(cat).is_none() {
+            return Err(vec![format!("{path}:{lineno}: unknown category {cat:?}")]);
+        }
+        let Some(event) = v.get("event").and_then(JsonValue::as_str) else {
+            return Err(vec![format!("{path}:{lineno}: missing string \"event\"")]);
+        };
+        if time < last_time {
+            failures.push(format!(
+                "{path}:{lineno}: time regression {time} ns after {last_time} ns (clock invariant)"
+            ));
+        }
+        last_time = last_time.max(time);
+        if cat == "ide" {
+            match event {
+                "grant" => {
+                    let Some(budget) = v.get("budget_bytes").and_then(JsonValue::as_u64) else {
+                        return Err(vec![format!(
+                            "{path}:{lineno}: ide grant without budget_bytes"
+                        )]);
+                    };
+                    *granted.entry(ds).or_insert(0) += budget;
+                }
+                "done" => {
+                    let Some(bytes) = v.get("bytes").and_then(JsonValue::as_u64) else {
+                        return Err(vec![format!("{path}:{lineno}: ide done without bytes")]);
+                    };
+                    *done.entry(ds).or_insert(0) += bytes;
+                }
+                _ => {}
+            }
+        }
+        total += 1;
+    }
+
+    // Quota invariant: every byte reported complete was granted by the
+    // quota engine first (both counters are cumulative over the file).
+    for (ds, &bytes) in &done {
+        let budget = granted.get(ds).copied().unwrap_or(0);
+        if bytes > budget {
+            failures.push(format!(
+                "{path}: ds{ds}: {bytes} bytes done but only {budget} granted (quota invariant)"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(ReplayReport {
+            total,
+            ide_ds: done.len(),
+        })
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_invariants_catch_quota_and_clock_violations() {
+        let ok = concat!(
+            r#"{"time": 1.0, "ds": 3, "cat": "ide", "event": "grant", "budget_bytes": 100}"#,
+            "\n",
+            r#"{"time": 2.0, "ds": 3, "cat": "ide", "event": "done", "bytes": 80}"#,
+            "\n",
+        );
+        let report = check_trace_invariants("t", ok).expect("clean trace passes");
+        assert_eq!(report.total, 2);
+        assert_eq!(report.ide_ds, 1);
+
+        // Overdraw: more bytes done than granted.
+        let overdraw = concat!(
+            r#"{"time": 1.0, "ds": 3, "cat": "ide", "event": "grant", "budget_bytes": 10}"#,
+            "\n",
+            r#"{"time": 2.0, "ds": 3, "cat": "ide", "event": "done", "bytes": 80}"#,
+            "\n",
+        );
+        let errs = check_trace_invariants("t", overdraw).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("quota invariant")), "{errs:?}");
+
+        // Clock regression is collected, not fatal.
+        let regress = concat!(
+            r#"{"time": 5.0, "ds": 0, "cat": "kernel", "event": "a"}"#,
+            "\n",
+            r#"{"time": 4.0, "ds": 0, "cat": "kernel", "event": "b"}"#,
+            "\n",
+        );
+        let errs = check_trace_invariants("t", regress).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("clock invariant")), "{errs:?}");
+
+        // Schema failures abort immediately.
+        assert!(check_trace_invariants("t", "not json\n").is_err());
+        let bad_cat = r#"{"time": 1.0, "ds": 0, "cat": "nope", "event": "x"}"#;
+        assert!(check_trace_invariants("t", bad_cat).is_err());
+    }
+}

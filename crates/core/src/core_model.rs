@@ -1,12 +1,13 @@
 //! The CPU core model with its DS-id tag register.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use pard_cache::{CacheGeometry, L1Cache};
 use pard_icn::{
     cpu_cycles, CoreCommand, DiskRequest, DsId, MemKind, MemPacket, PacketId, PacketIdGen,
     PardEvent, TickKind,
 };
+use pard_sim::stats::LatencySample;
 use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 use pard_workloads::{Op, WorkloadEngine};
 
@@ -26,6 +27,12 @@ pub struct CoreConfig {
     /// to the event loop (keeps the event queue responsive; purely a
     /// simulation batching knob).
     pub slice: Time,
+    /// Record the round-trip service latency of every L1 miss (issue to
+    /// [`PardEvent::MemResp`] — an LLC hit and a DRAM round trip alike,
+    /// i.e. the latency the workload actually experiences). Off by
+    /// default; the fault experiments drain the sample per phase via
+    /// [`Core::take_miss_latency`].
+    pub record_miss_latency: bool,
 }
 
 impl Default for CoreConfig {
@@ -36,6 +43,7 @@ impl Default for CoreConfig {
             mlp: 8,
             link_to_llc: cpu_cycles(4),
             slice: Time::from_us(2),
+            record_miss_latency: false,
         }
     }
 }
@@ -91,12 +99,13 @@ pub struct Core {
     ever_started: bool,
     wait: Wait,
     cursor: Time,
-    outstanding: HashSet<u64>,
+    outstanding: HashMap<u64, Time>,
     ids: PacketIdGen,
     stats: CoreStats,
     started_at: Time,
     idle_accum: Time,
     halted_at: Option<Time>,
+    rec_miss: LatencySample,
 }
 
 impl Core {
@@ -120,13 +129,24 @@ impl Core {
             ever_started: false,
             wait: Wait::None,
             cursor: Time::ZERO,
-            outstanding: HashSet::new(),
+            outstanding: HashMap::new(),
             ids: PacketIdGen::new(),
             stats: CoreStats::default(),
             started_at: Time::ZERO,
             idle_accum: Time::ZERO,
             halted_at: None,
+            rec_miss: LatencySample::new(),
         }
+    }
+
+    /// Drains and returns the recorded L1-miss service latencies (empty
+    /// unless [`CoreConfig::record_miss_latency`] is set). The fault
+    /// experiments drain this per phase: it is the latency the workload
+    /// itself experiences, so it recovers when trigger-driven recovery
+    /// stops the high-priority domain's requests from reaching the
+    /// faulted resource at all.
+    pub fn take_miss_latency(&mut self) -> LatencySample {
+        std::mem::take(&mut self.rec_miss)
     }
 
     /// Installs the workload engine (before or after launch).
@@ -263,7 +283,7 @@ impl Core {
                             self.send_llc(ctx, cursor, MemKind::Writeback, wb);
                         }
                         let id = self.send_llc(ctx, cursor, MemKind::Read, addr);
-                        self.outstanding.insert(id.0);
+                        self.outstanding.insert(id.0, cursor);
                         cursor += self.cfg.l1_hit; // miss-detect latency
                         if blocking {
                             self.wait = Wait::Load(id);
@@ -285,7 +305,7 @@ impl Core {
                         }
                         // Write-allocate: fetch ownership of the line.
                         let id = self.send_llc(ctx, cursor, MemKind::Write, addr);
-                        self.outstanding.insert(id.0);
+                        self.outstanding.insert(id.0, cursor);
                     }
                 }
                 Op::IdleUntil(t) => {
@@ -379,7 +399,11 @@ impl Component<PardEvent> for Core {
                 self.running = false;
             }
             PardEvent::MemResp(resp) => {
-                self.outstanding.remove(&resp.id.0);
+                if let Some(issued) = self.outstanding.remove(&resp.id.0) {
+                    if self.cfg.record_miss_latency {
+                        self.rec_miss.record(ctx.now().saturating_sub(issued));
+                    }
+                }
                 match self.wait {
                     Wait::Load(id) if id == resp.id => self.resume(ctx),
                     Wait::Mlp if self.outstanding.len() < self.cfg.mlp => self.resume(ctx),

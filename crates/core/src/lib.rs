@@ -50,7 +50,7 @@ pub use core_model::{Core, CoreConfig, CoreStats};
 pub use server::PardServer;
 
 // The vocabulary types users need, re-exported from the sub-crates.
-pub use pard_cp::{CmpOp, CpHandle, CpType, Trigger};
+pub use pard_cp::{CmpOp, CpHandle, CpType, Trigger, TriggerMode};
 pub use pard_icn::{DsId, LAddr, MAddr, PardEvent};
 pub use pard_prm::{Action, FwHandle, LDomSpec, Priority};
 pub use pard_sim::Time;
@@ -68,7 +68,7 @@ pub mod prelude {
     pub use crate::config::{SystemConfig, SystemConfigBuilder};
     pub use crate::core_model::{Core, CoreConfig, CoreStats};
     pub use crate::server::PardServer;
-    pub use pard_cp::{CmpOp, CpHandle, CpType, Trigger};
+    pub use pard_cp::{CmpOp, CpHandle, CpType, Trigger, TriggerMode};
     pub use pard_icn::{DsId, LAddr, MAddr, PardEvent};
     pub use pard_prm::{Action, FwHandle, LDomSpec, Priority};
     pub use pard_sim::rng::{stream_rng, Rng, Xoshiro256pp};

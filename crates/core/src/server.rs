@@ -54,6 +54,10 @@ impl PardServer {
         trace::init_from_env();
         audit::init_from_env();
         audit::begin_run();
+        // Same fresh-run discipline for the fault layer: reset its
+        // per-thread deterministic state (NIC loss RNG, IDE drop counter)
+        // so a plan installed before construction replays identically.
+        pard_sim::fault::begin_run();
         let mut sim: Simulation<PardEvent> = Simulation::new();
 
         // The kernel event loop is instrumented through the simulation's
@@ -268,6 +272,15 @@ impl PardServer {
         self.cores.len()
     }
 
+    /// Component id of core `core_idx` — the core's crossbar *port*
+    /// identity (the crossbar serialises per requesting component). The
+    /// fault experiments target a specific core's port with injected
+    /// backpressure; construction order is deterministic, so this is
+    /// stable for a given [`SystemConfig`](crate::SystemConfig).
+    pub fn core_component_id(&self, core_idx: usize) -> ComponentId {
+        self.cores[core_idx]
+    }
+
     /// Typed access to core `core_idx`.
     pub fn with_core<R>(&mut self, core_idx: usize, f: impl FnOnce(&mut Core) -> R) -> R {
         let id = self.cores[core_idx];
@@ -317,6 +330,15 @@ impl PardServer {
     pub fn mem_queueing(&mut self) -> QueueingStats {
         self.sim
             .with_component::<MemCtrl, _, _>(self.mem, |m| m.queueing_stats())
+    }
+
+    /// Drains and returns the memory controller's queueing-latency sample
+    /// for one DS-id (requires `record_queueing`). Draining at phase
+    /// boundaries yields per-phase percentiles — the measurement the
+    /// fault-recovery experiment (`fig_fault`) is built on.
+    pub fn take_mem_queueing(&mut self, ds: DsId) -> pard_sim::stats::LatencySample {
+        self.sim
+            .with_component::<MemCtrl, _, _>(self.mem, |m| m.take_ds_queueing(ds))
     }
 
     /// Mean memory queueing delay per priority class `(high, low)` in

@@ -21,6 +21,19 @@
 //! [`generation`](ControlPlane::generation) counter and flush statistics at
 //! window boundaries, mirroring how the RTL hides control-plane work inside
 //! the cache pipeline (§7.2).
+//!
+//! # Paper mapping
+//!
+//! This crate is mechanism ② of the PAPER.md design overview — the
+//! programmable control plane every shared resource embeds — and the
+//! substrate of the paper's "trigger ⇒ action" methodology (§5): trigger
+//! rows raise interrupts that the PRM firmware (crates/prm) turns into
+//! device-file writes back into these same tables. Beyond the paper's
+//! constant-threshold comparators, [`TriggerMode::DegradationPct`]
+//! detects *relative* latency regressions against a self-learned healthy
+//! baseline (smoothed observation, frozen-under-fault baseline, absolute
+//! floor — DESIGN.md §11), which drives the fault-recovery figure
+//! (`fig_fault`, EXPERIMENTS.md).
 
 #![warn(missing_docs)]
 
@@ -39,4 +52,4 @@ pub use plane::{
     shared, ControlPlane, CpHandle, CpInterrupt, CpType, InterruptLine, InterruptSink,
 };
 pub use table::{ColumnDef, DsTable};
-pub use trigger::{CmpOp, Trigger, TriggerTable};
+pub use trigger::{CmpOp, Trigger, TriggerMode, TriggerTable};

@@ -316,6 +316,20 @@ impl ControlPlane {
                 ("skip", &outcome.skipped),
             ] {
                 for &slot in slots {
+                    // The comparison inputs (raw column, smoothed value,
+                    // baseline) make premature or missing degradation
+                    // firings diagnosable from the trace alone.
+                    let (observed, obs_ema, baseline) = self
+                        .triggers
+                        .get(slot)
+                        .map(|t| {
+                            (
+                                row.get(t.stats_column).copied().unwrap_or(0),
+                                t.obs_ema,
+                                t.baseline,
+                            )
+                        })
+                        .unwrap_or((0, 0, 0));
                     trace::emit(
                         trace::TraceCat::Trigger,
                         now,
@@ -324,6 +338,9 @@ impl ControlPlane {
                         &[
                             ("cpa", trace::TraceVal::U(self.cpa_index as u64)),
                             ("slot", trace::TraceVal::U(slot as u64)),
+                            ("observed", trace::TraceVal::U(observed)),
+                            ("smoothed", trace::TraceVal::U(obs_ema)),
+                            ("baseline", trace::TraceVal::U(baseline)),
                         ],
                     );
                 }
@@ -332,11 +349,14 @@ impl ControlPlane {
         if audit::enabled() {
             // Trigger soundness: a slot that fired must have a predicate
             // that re-evaluates true against the very row it fired on —
-            // the latch logic may only suppress refires, never invent one.
+            // the latch logic may only suppress refires, never invent
+            // one. `predicate_holds` is mode-aware (a degradation slot
+            // re-checks percent growth over its frozen baseline, which
+            // the firing pass left untouched).
             for &slot in &outcome.fired {
                 let holds = self.triggers.get(slot).is_some_and(|t| {
                     row.get(t.stats_column)
-                        .is_some_and(|&observed| t.op.eval(observed, t.value))
+                        .is_some_and(|&observed| t.predicate_holds(observed))
                 });
                 if !holds {
                     audit::violation(

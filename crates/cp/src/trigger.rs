@@ -101,6 +101,49 @@ impl CmpOp {
     }
 }
 
+/// How a trigger interprets the monitored statistics column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TriggerMode {
+    /// Compare the column's current value against the threshold directly
+    /// (the original trigger semantics).
+    #[default]
+    Level,
+    /// Latency-degradation comparison: the slot smooths the column with a
+    /// fast EMA (1/2 gain, so a single noisy window of a small integer
+    /// latency column cannot swing it) and tracks a slow healthy baseline
+    /// (1/8-gain EMA updated only while the condition is false, so the
+    /// baseline never chases a degraded value), then compares the percent
+    /// growth of the smoothed value over the baseline against the
+    /// threshold. A threshold of `50` with [`CmpOp::Ge`] reads "fire when
+    /// the column is sustained ≥ 50 % worse than its own recent history"
+    /// — the SLA-breach detector the fault-recovery experiments program
+    /// on `avg_qlat`.
+    DegradationPct,
+}
+
+impl TriggerMode {
+    /// Encodes the mode for table storage / the CPA interface.
+    pub fn encode(self) -> u64 {
+        match self {
+            TriggerMode::Level => 0,
+            TriggerMode::DegradationPct => 1,
+        }
+    }
+
+    /// Decodes a table-stored mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::BadCommand`] for undefined encodings.
+    pub fn decode(raw: u64) -> Result<Self, CpError> {
+        Ok(match raw {
+            0 => TriggerMode::Level,
+            1 => TriggerMode::DegradationPct,
+            other => return Err(CpError::BadCommand(other as u32)),
+        })
+    }
+}
+
 /// One installed trigger: "when `stats[ds][column] ⋄ value`, raise an
 /// interrupt naming this slot".
 ///
@@ -116,16 +159,32 @@ pub struct Trigger {
     pub stats_column: usize,
     /// Comparison operator.
     pub op: CmpOp,
-    /// Comparison threshold.
+    /// Comparison threshold (a raw value in [`TriggerMode::Level`], a
+    /// percentage in [`TriggerMode::DegradationPct`]).
     pub value: u64,
     /// Whether the trigger participates in evaluation.
     pub enabled: bool,
     /// Internal latch; `true` after firing until the condition clears.
     pub latched: bool,
+    /// How the monitored column is interpreted.
+    pub mode: TriggerMode,
+    /// Self-tracked healthy baseline for [`TriggerMode::DegradationPct`];
+    /// `0` until the first non-zero observation seeds it.
+    pub baseline: u64,
+    /// Fast EMA of the observed column for
+    /// [`TriggerMode::DegradationPct`]; `0` until the first non-zero
+    /// observation.
+    pub obs_ema: u64,
+    /// Absolute floor for [`TriggerMode::DegradationPct`]: the smoothed
+    /// observation must also reach this value before the slot may fire.
+    /// Percent growth over a tiny baseline (a column idling at 1–2
+    /// counts) is noise, not degradation; the floor anchors the relative
+    /// comparison to a magnitude that matters. `0` disables the floor.
+    pub floor: u64,
 }
 
 impl Trigger {
-    /// Creates an enabled, unlatched trigger.
+    /// Creates an enabled, unlatched level trigger.
     pub fn new(ds: DsId, stats_column: usize, op: CmpOp, value: u64) -> Self {
         Trigger {
             ds,
@@ -134,6 +193,61 @@ impl Trigger {
             value,
             enabled: true,
             latched: false,
+            mode: TriggerMode::Level,
+            baseline: 0,
+            obs_ema: 0,
+            floor: 0,
+        }
+    }
+
+    /// Creates an enabled, unlatched latency-degradation trigger that
+    /// fires when the column grows at least `pct` percent over its
+    /// self-tracked baseline.
+    pub fn degradation(ds: DsId, stats_column: usize, pct: u64) -> Self {
+        Trigger {
+            ds,
+            stats_column,
+            op: CmpOp::Ge,
+            value: pct,
+            enabled: true,
+            latched: false,
+            mode: TriggerMode::DegradationPct,
+            baseline: 0,
+            obs_ema: 0,
+            floor: 0,
+        }
+    }
+
+    /// Sets the degradation floor (builder style): the smoothed
+    /// observation must reach `floor` before the slot may fire.
+    #[must_use]
+    pub fn with_floor(mut self, floor: u64) -> Self {
+        self.floor = floor;
+        self
+    }
+
+    /// Re-evaluates the predicate against `observed` without touching
+    /// latch, baseline, or smoothing state. Used by the evaluation pass
+    /// and by the audit layer's firing-soundness re-check (which must
+    /// agree with it, mode included). In [`TriggerMode::DegradationPct`]
+    /// the smoothed observation (`obs_ema`) is authoritative, not the raw
+    /// `observed` value — the re-check after an evaluation pass therefore
+    /// reads the same state the pass fired on.
+    pub fn predicate_holds(&self, observed: u64) -> bool {
+        match self.mode {
+            TriggerMode::Level => self.op.eval(observed, self.value),
+            TriggerMode::DegradationPct => {
+                if self.obs_ema == 0 || self.baseline == 0 || self.obs_ema < self.floor {
+                    return false;
+                }
+                let growth_pct = self
+                    .obs_ema
+                    .saturating_mul(100)
+                    .checked_div(self.baseline)
+                    .unwrap_or(0)
+                    .saturating_sub(100);
+                self.op.eval(growth_pct, self.value)
+            }
         }
     }
 }
@@ -227,8 +341,10 @@ impl TriggerTable {
     /// Reads a raw trigger-row field through the CPA programming path.
     ///
     /// Field offsets: `0` = DS-id, `1` = statistics column, `2` = operator
-    /// encoding, `3` = threshold value, `4` = enabled, `5` = latched.
-    /// An empty slot reads as all-zeroes with `enabled = 0`.
+    /// encoding, `3` = threshold value, `4` = enabled, `5` = latched,
+    /// `6` = mode encoding ([`TriggerMode`]), `7` = degradation baseline,
+    /// `8` = degradation floor. An empty slot reads as all-zeroes with
+    /// `enabled = 0`.
     ///
     /// # Errors
     ///
@@ -248,6 +364,10 @@ impl TriggerTable {
                 value: 0,
                 enabled: false,
                 latched: false,
+                mode: TriggerMode::Level,
+                baseline: 0,
+                obs_ema: 0,
+                floor: 0,
             },
         };
         Ok(match field {
@@ -257,6 +377,9 @@ impl TriggerTable {
             3 => t.value,
             4 => u64::from(t.enabled),
             5 => u64::from(t.latched),
+            6 => t.mode.encode(),
+            7 => t.baseline,
+            8 => t.floor,
             other => {
                 return Err(CpError::UnknownColumn {
                     table: "trigger",
@@ -289,6 +412,10 @@ impl TriggerTable {
             value: 0,
             enabled: false,
             latched: false,
+            mode: TriggerMode::Level,
+            baseline: 0,
+            obs_ema: 0,
+            floor: 0,
         });
         match field {
             0 => t.ds = DsId::new(value as u16),
@@ -297,6 +424,15 @@ impl TriggerTable {
             3 => t.value = value,
             4 => t.enabled = value != 0,
             5 => t.latched = value != 0,
+            6 => {
+                t.mode = TriggerMode::decode(value)?;
+                // A reprogrammed interpretation restarts baseline and
+                // smoothing state from the next observation.
+                t.baseline = 0;
+                t.obs_ema = 0;
+            }
+            7 => t.baseline = value,
+            8 => t.floor = value,
             other => {
                 return Err(CpError::UnknownColumn {
                     table: "trigger",
@@ -339,7 +475,41 @@ impl TriggerTable {
                 outcome.skipped.push(slot);
                 continue;
             };
-            let cond = t.op.eval(observed, t.value);
+            let cond = match t.mode {
+                TriggerMode::Level => t.op.eval(observed, t.value),
+                TriggerMode::DegradationPct => {
+                    // Zero observations (idle windows) neither seed nor
+                    // erode the baseline: an idle span must not make the
+                    // next healthy window look like a degradation.
+                    if observed == 0 {
+                        false
+                    } else {
+                        // Fast smoothing first (EMA, 1/2 gain): per-window
+                        // latency columns are small noisy integers, and a
+                        // single outlier window must not fire the slot; a
+                        // sustained shift dominates within a few windows.
+                        t.obs_ema = if t.obs_ema == 0 {
+                            observed
+                        } else {
+                            ((t.obs_ema + observed) / 2).max(1)
+                        };
+                        if t.baseline == 0 {
+                            t.baseline = t.obs_ema;
+                            false
+                        } else {
+                            let cond = t.predicate_holds(observed);
+                            if !cond {
+                                // Track healthy drift only (EMA, 1/8
+                                // gain): the baseline never chases the
+                                // degraded value, so the slot keeps
+                                // firing for the whole episode.
+                                t.baseline = ((t.baseline * 7 + t.obs_ema) / 8).max(1);
+                            }
+                            cond
+                        }
+                    }
+                }
+            };
             if cond && !t.latched {
                 t.latched = true;
                 outcome.fired.push(slot);
@@ -458,6 +628,92 @@ mod tests {
         tt.install(3, Trigger::new(DsId::new(1), 1, CmpOp::Lt, 5))
             .unwrap();
         assert_eq!(tt.evaluate(DsId::new(1), &[20, 1]), vec![0, 3]);
+    }
+
+    #[test]
+    fn degradation_trigger_fires_on_growth_over_baseline() {
+        let mut tt = TriggerTable::new(2);
+        tt.install(0, Trigger::degradation(DsId::new(1), 0, 50))
+            .unwrap();
+        // First non-zero observation seeds smoothing and baseline, no fire.
+        assert!(tt.evaluate(DsId::new(1), &[100]).is_empty());
+        assert_eq!(tt.get(0).unwrap().baseline, 100);
+        assert_eq!(tt.get(0).unwrap().obs_ema, 100);
+        // Healthy drift tracks into the smoothed value and baseline.
+        assert!(tt.evaluate(DsId::new(1), &[108]).is_empty());
+        assert_eq!(tt.get(0).unwrap().obs_ema, 104);
+        // A single elevated window is absorbed by the smoothing.
+        assert!(tt.evaluate(DsId::new(1), &[150]).is_empty());
+        // A sustained jump drives the smoothed value past +50 %: fires,
+        // and the baseline stays frozen at its healthy value for the
+        // whole degraded episode.
+        let healthy = tt.get(0).unwrap().baseline;
+        assert_eq!(tt.evaluate(DsId::new(1), &[300]), vec![0]);
+        assert_eq!(tt.get(0).unwrap().baseline, healthy);
+        // Latched while degraded; the smoothed value needs a couple of
+        // healthy windows to decay back under the threshold, then the
+        // slot re-arms and refires on the next sustained degradation.
+        assert!(tt.evaluate(DsId::new(1), &[300]).is_empty());
+        assert!(tt.evaluate(DsId::new(1), &[100]).is_empty());
+        assert_eq!(
+            tt.evaluate_detailed(DsId::new(1), &[100]).rearmed,
+            vec![0]
+        );
+        assert_eq!(tt.evaluate(DsId::new(1), &[400]), vec![0]);
+    }
+
+    #[test]
+    fn degradation_trigger_rides_out_window_noise() {
+        // Per-window latency columns are small noisy integers; an
+        // alternating 10/60 sequence is steady-state noise, not a
+        // degradation, and must never fire — while a sustained 10×
+        // shift fires immediately.
+        let mut tt = TriggerTable::new(1);
+        tt.install(0, Trigger::degradation(DsId::new(0), 0, 300))
+            .unwrap();
+        for observed in [10, 60, 10, 60, 10, 60] {
+            assert!(
+                tt.evaluate(DsId::new(0), &[observed]).is_empty(),
+                "noise window {observed} must not fire"
+            );
+        }
+        assert_eq!(tt.evaluate(DsId::new(0), &[600]), vec![0]);
+    }
+
+    #[test]
+    fn degradation_trigger_ignores_idle_windows() {
+        let mut tt = TriggerTable::new(1);
+        tt.install(0, Trigger::degradation(DsId::new(0), 0, 50))
+            .unwrap();
+        // Idle windows neither seed nor erode the baseline.
+        assert!(tt.evaluate(DsId::new(0), &[0]).is_empty());
+        assert_eq!(tt.get(0).unwrap().baseline, 0);
+        assert!(tt.evaluate(DsId::new(0), &[40]).is_empty());
+        assert!(tt.evaluate(DsId::new(0), &[0]).is_empty());
+        assert_eq!(tt.get(0).unwrap().baseline, 40);
+    }
+
+    #[test]
+    fn trigger_mode_fields_round_trip_through_cpa_path() {
+        let mut tt = TriggerTable::new(1);
+        tt.install(0, Trigger::new(DsId::new(2), 1, CmpOp::Ge, 50))
+            .unwrap();
+        assert_eq!(tt.get_field(0, 6).unwrap(), 0);
+        tt.set_field(0, 6, TriggerMode::DegradationPct.encode())
+            .unwrap();
+        assert_eq!(tt.get(0).unwrap().mode, TriggerMode::DegradationPct);
+        tt.set_field(0, 7, 123).unwrap();
+        assert_eq!(tt.get_field(0, 7).unwrap(), 123);
+        tt.set_field(0, 8, 40).unwrap();
+        assert_eq!(tt.get_field(0, 8).unwrap(), 40);
+        // Reprogramming the mode restarts baseline tracking; the floor is
+        // configuration, not tracking state, and survives.
+        tt.set_field(0, 6, TriggerMode::Level.encode()).unwrap();
+        assert_eq!(tt.get_field(0, 7).unwrap(), 0);
+        assert_eq!(tt.get_field(0, 8).unwrap(), 40);
+        assert!(TriggerMode::decode(9).is_err());
+        assert!(tt.set_field(0, 9, 0).is_err());
+        assert!(tt.get_field(0, 9).is_err());
     }
 
     #[test]

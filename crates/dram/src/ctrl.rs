@@ -8,6 +8,7 @@ use pard_cp::{shared, CpHandle};
 use pard_icn::{to_mem_cycles, DsId, MemPacket, MemResp, PardEvent, TickKind, MEM_CYCLE};
 use pard_sim::stats::{LatencySample, WindowedCounter};
 use pard_sim::trace::{self, TraceCat, TraceVal};
+use pard_sim::fault::{self, FaultClass};
 use pard_sim::{audit, Component, Ctx, Time};
 
 use crate::bank::{Bank, RankTracker};
@@ -123,6 +124,8 @@ pub struct MemCtrl {
     // Figure 11 recorders.
     rec_high: LatencySample,
     rec_low: LatencySample,
+    // Per-DS-id recorders (fig_fault phase measurements).
+    rec_ds: Vec<LatencySample>,
     served_total: u64,
 }
 
@@ -160,6 +163,7 @@ impl MemCtrl {
             window_clock: WindowedCounter::new(),
             rec_high: LatencySample::new(),
             rec_low: LatencySample::new(),
+            rec_ds: vec![LatencySample::new(); cfg.max_ds],
             served_total: 0,
             cp: cp.clone(),
             cfg,
@@ -215,6 +219,15 @@ impl MemCtrl {
     /// Raw per-class latency samples (for CDF plotting).
     pub fn queueing_samples(&self) -> (&LatencySample, &LatencySample) {
         (&self.rec_high, &self.rec_low)
+    }
+
+    /// Drains and returns the queueing-delay samples recorded for `ds`
+    /// since the last drain (requires [`MemCtrlConfig::record_queueing`]).
+    /// Draining at phase boundaries gives per-phase percentiles — the
+    /// fault experiments drain before/during/after an injection window.
+    pub fn take_ds_queueing(&mut self, ds: DsId) -> LatencySample {
+        let i = ds.index().min(self.cfg.max_ds - 1);
+        std::mem::take(&mut self.rec_ds[i])
     }
 
     fn refresh_params(&mut self) {
@@ -494,7 +507,15 @@ impl MemCtrl {
         } else {
             raw_bursts
         };
-        let transfer = timing.burst_time() * nbursts;
+        let mut transfer = timing.burst_time() * nbursts;
+        if fault::enabled(FaultClass::Dram) {
+            // Injected bank slowdown / transient stall: the extra service
+            // latency rides on the transfer, so it extends data-bus
+            // occupancy (and the bank hold for long bursts) and
+            // backpressures the command queues — no packet is created,
+            // dropped, or reordered.
+            transfer += fault::dram_extra_delay(u32::from(p.loc.bank), now);
+        }
         let mut data_done = service.data_ready + transfer;
         // Data-bus serialisation across banks.
         if self.bus_free_at > service.data_ready {
@@ -541,6 +562,7 @@ impl MemCtrl {
             } else {
                 self.rec_low.record(qdelay);
             }
+            self.rec_ds[i].record(qdelay);
         }
 
         if p.pkt.kind.wants_response() {

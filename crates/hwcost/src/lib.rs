@@ -21,6 +21,16 @@
 //! The model exposes the scaling laws (storage ∝ entries × row bits,
 //! comparator logic ∝ trigger slots), so Figure 12 can be regenerated at
 //! the paper's sweep points and extrapolated beyond them.
+//!
+//! # Paper mapping
+//!
+//! This is the substitution documented in PAPER.md §1 ("OpenSPARC T1 RTL
+//! + Xilinx Vivado synthesis → analytical FPGA-resource model"): no FPGA
+//! is available, so Figure 12 and the §7.2 zero-added-cycles claim are
+//! reproduced by a calibrated model rather than synthesis. Every
+//! calibration anchor above is pinned by this crate's doctests, which is
+//! the CI gate for the fig12 row of the EXPERIMENTS.md cross-reference
+//! table.
 
 #![warn(missing_docs)]
 

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use pard_sim::{audit, Component, ComponentId, Ctx, Time};
+use pard_sim::{audit, fault, Component, ComponentId, Ctx, Time};
 
 use crate::clock::cpu_cycles;
 use crate::event::PardEvent;
@@ -88,7 +88,13 @@ impl Component<PardEvent> for Crossbar {
                     .ports
                     .entry(pkt.reply_to.raw())
                     .or_insert_with(|| Link::new(latency, bw));
-                let deliver_at = port.delivery_time(ctx.now(), pkt.size);
+                let mut deliver_at = port.delivery_time(ctx.now(), pkt.size);
+                if fault::enabled(fault::FaultClass::Xbar) {
+                    // Injected port backpressure: the packet is delivered
+                    // late, never dropped — the xbar conservation domain
+                    // sees the same inject/retire pair.
+                    deliver_at += fault::xbar_extra_delay(pkt.reply_to.raw(), ctx.now());
+                }
                 self.forwarded += 1;
                 ctx.send_at(self.dst, deliver_at, PardEvent::MemReq(pkt));
             }

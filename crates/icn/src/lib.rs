@@ -16,6 +16,16 @@
 //! * clock-domain constants for the paper's Table 2 platform
 //!   ([`CPU_CYCLE`], [`MEM_CYCLE`]),
 //! * a serialising [`Link`] model for bus latency/bandwidth.
+//!
+//! # Paper mapping
+//!
+//! This crate is the "computer is inherently a network" substrate of the
+//! PAPER.md design overview: the paper's §3 mechanism ① (DS-id tagging of
+//! every memory / I/O / DMA / interrupt packet) and the ICN fabric those
+//! tags ride on. The crossbar and link models carry the fault layer's
+//! port-backpressure hook (DESIGN.md §11); packet conservation and DS-id
+//! stability across every hop are the audit layer's core invariants
+//! (DESIGN.md §10).
 
 #![warn(missing_docs)]
 

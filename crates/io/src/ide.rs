@@ -12,6 +12,7 @@ use pard_icn::{
 };
 use pard_sim::stats::WindowedCounter;
 use pard_sim::trace::{self, TraceCat, TraceVal};
+use pard_sim::fault::{self, FaultClass};
 use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 
 use crate::apic::ide_interrupt;
@@ -63,7 +64,9 @@ impl Default for IdeConfig {
 /// Parameters: `bandwidth` — the DS-id's share of controller bandwidth in
 /// percent; `0` means "fair share of whatever explicit quotas leave over"
 /// (the initial state of the Figure 10 experiment). Statistics:
-/// `bandwidth` (MB/s over the last window), `bytes`, `reqs`.
+/// `bandwidth` (MB/s over the last window), `bytes`, `reqs`, and `drops`
+/// (requests aborted by injected quota-engine faults — zero outside
+/// fault experiments).
 pub fn ide_control_plane(max_ds: usize, trigger_slots: usize) -> ControlPlane {
     let params = DsTable::new("parameter", vec![ColumnDef::new("bandwidth")], max_ds);
     let stats = DsTable::new(
@@ -72,6 +75,7 @@ pub fn ide_control_plane(max_ds: usize, trigger_slots: usize) -> ControlPlane {
             ColumnDef::new("bandwidth"),
             ColumnDef::new("bytes"),
             ColumnDef::new("reqs"),
+            ColumnDef::new("drops"),
         ],
         max_ds,
     );
@@ -122,6 +126,7 @@ pub struct IdeCtrl {
     win_bytes: Vec<u64>,
     cum_bytes: Vec<u64>,
     cum_reqs: Vec<u64>,
+    cum_drops: Vec<u64>,
     active_ds: Vec<bool>,
     /// Tracks the real span of each closed statistics window so bandwidth
     /// divides by observed time, not the configured width.
@@ -147,6 +152,7 @@ impl IdeCtrl {
             win_bytes: vec![0; cfg.max_ds],
             cum_bytes: vec![0; cfg.max_ds],
             cum_reqs: vec![0; cfg.max_ds],
+            cum_drops: vec![0; cfg.max_ds],
             active_ds: vec![false; cfg.max_ds],
             window_clock: WindowedCounter::new(),
             cp: cp.clone(),
@@ -259,9 +265,52 @@ impl IdeCtrl {
             .collect()
     }
 
+    /// Injected quota-engine request drops: at each scheduling
+    /// opportunity every queued head request is considered once; a hit
+    /// aborts it. The aborted request completes immediately with the
+    /// bytes moved so far — the issuing engine never hangs, every DMA
+    /// packet already injected still retires normally, and the `disk`
+    /// conservation domain is untouched (its packets retire on arrival).
+    fn apply_fault_drops(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
+        let now = ctx.now();
+        for i in 0..self.cfg.max_ds {
+            if self.queues[i].is_empty() || !fault::ide_should_drop(now) {
+                continue;
+            }
+            let dropped = self.queues[i].pop_front().expect("non-empty queue");
+            self.cum_drops[i] += 1;
+            let moved = dropped.req.bytes - dropped.remaining;
+            if trace::enabled(TraceCat::Ide) {
+                trace::emit(
+                    TraceCat::Ide,
+                    now,
+                    dropped.tag.raw(),
+                    "drop",
+                    &[("bytes_moved", TraceVal::U(moved))],
+                );
+            }
+            let done = DiskDone {
+                id: dropped.req.id,
+                ds: dropped.tag,
+                bytes: moved,
+            };
+            if audit::enabled() {
+                audit::irq_inject(crate::apic::VEC_IDE, dropped.tag.raw());
+            }
+            ctx.send(
+                self.apic,
+                Time::ZERO,
+                PardEvent::Interrupt(ide_interrupt(dropped.tag, done)),
+            );
+        }
+    }
+
     fn on_tick(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
         self.tick_armed = false;
         self.refresh_params();
+        if fault::enabled(FaultClass::Ide) {
+            self.apply_fault_drops(ctx);
+        }
 
         let active: Vec<usize> = (0..self.cfg.max_ds)
             .filter(|&i| !self.queues[i].is_empty())
@@ -270,7 +319,14 @@ impl IdeCtrl {
             return;
         }
 
-        let quantum_bytes = self.cfg.aggregate_bandwidth * self.cfg.quantum.as_secs();
+        let mut quantum_bytes = self.cfg.aggregate_bandwidth * self.cfg.quantum.as_secs();
+        if fault::enabled(FaultClass::Ide) {
+            // Injected quota-engine degradation: the whole quantum
+            // shrinks. The overgrant audit ceiling below derives from the
+            // same (degraded) value, so the quota invariant stays sound
+            // under fault.
+            quantum_bytes *= f64::from(fault::ide_quota_pct(ctx.now())) / 100.0;
+        }
         let mut granted_total = 0u64;
         for (i, share_pct) in self.shares(&active) {
             let mut budget = (quantum_bytes * share_pct / 100.0) as u64;
@@ -405,6 +461,7 @@ impl IdeCtrl {
                 let _ = cp.set_stat(ds, "bandwidth", mbps);
                 let _ = cp.set_stat(ds, "bytes", self.cum_bytes[i]);
                 let _ = cp.set_stat(ds, "reqs", self.cum_reqs[i]);
+                let _ = cp.set_stat(ds, "drops", self.cum_drops[i]);
                 cp.evaluate_triggers(ds, now);
                 self.win_bytes[i] = 0;
             }

@@ -17,6 +17,17 @@
 //! * [`Nic`] — the multi-queue NIC virtualised into v-NICs: an incoming
 //!   frame's destination MAC selects a v-NIC, whose tag register supplies
 //!   the DS-id for the receive DMA and interrupt.
+//!
+//! # Paper mapping
+//!
+//! Implements the I/O half of the PAPER.md design overview: the paper's
+//! §4.1 tagging points (DMA-engine tag registers, per-DS-id interrupt
+//! routing, v-NIC MAC demux) and the IDE/bridge control planes evaluated
+//! in Figure 10 (see EXPERIMENTS.md). The IDE quota engine and the NIC
+//! receive path also host two of the four fault classes (`ide_degrade`,
+//! `nic_flap` — DESIGN.md §11): degradation scales the granted quantum
+//! and drops are routed through the existing accounted-drop counters, so
+//! the conservation auditor stays green under `PARD_AUDIT=strict`.
 
 #![warn(missing_docs)]
 

@@ -7,6 +7,7 @@ use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable};
 use pard_icn::{
     DsId, InterruptPacket, LAddr, MemKind, MemPacket, NetFrame, PacketIdGen, PardEvent, TickKind,
 };
+use pard_sim::fault::{self, FaultClass};
 use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 
 use crate::apic::VEC_NIC;
@@ -187,6 +188,13 @@ impl Nic {
 
     fn on_frame(&mut self, frame: NetFrame, ctx: &mut Ctx<'_, PardEvent>) {
         self.refresh_params();
+        if fault::enabled(FaultClass::Nic) && fault::nic_frame_lost(ctx.now()) {
+            // Injected link flap: the frame is lost before any DMA or
+            // interrupt is generated, so no conservation domain ever
+            // sees it — only the drop counter does.
+            self.dropped += 1;
+            return;
+        }
         let Some(i) = self.vnic_for(frame.dst_mac) else {
             self.dropped += 1;
             return;

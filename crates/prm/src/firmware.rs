@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use pard_cp::{
     CmpOp, CpAddr, CpCommand, CpHandle, CpInterrupt, CpType, CpaRegisterFile, InterruptLine,
-    InterruptSink, TableSel, REG_ADDR, REG_CMD, REG_DATA,
+    InterruptSink, TableSel, TriggerMode, REG_ADDR, REG_CMD, REG_DATA,
 };
 use pard_icn::{CoreCommand, DsId};
 use pard_io::ApicRoutes;
@@ -511,6 +511,37 @@ impl Firmware {
         op: CmpOp,
         value: u64,
     ) -> Result<(), FwError> {
+        self.pardtrigger_with_mode(cpa, ldom, action, stats_column, op, value, TriggerMode::Level, 0)
+    }
+
+    /// Like [`pardtrigger`](Self::pardtrigger), but with an explicit trigger
+    /// mode. [`TriggerMode::DegradationPct`] installs a latency-degradation
+    /// trigger: the condition compares the percent growth of a smoothed
+    /// `stats_column` over a self-maintained healthy baseline (rather than
+    /// the raw value), which is what the resilience path uses to detect
+    /// fault-induced service degradation without hard-coding absolute
+    /// thresholds. `floor` is the degradation mode's absolute minimum for
+    /// the smoothed column before the slot may fire (`0` disables it;
+    /// ignored by [`TriggerMode::Level`]): percent growth over a column
+    /// idling near zero is noise, so SLO rules on latency columns should
+    /// anchor the relative condition with a floor around the magnitude
+    /// where latency starts to matter.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown CPAs, columns, or exhausted trigger slots.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pardtrigger_with_mode(
+        &mut self,
+        cpa: usize,
+        ldom: DsId,
+        action: u64,
+        stats_column: &str,
+        op: CmpOp,
+        value: u64,
+        mode: TriggerMode,
+        floor: u64,
+    ) -> Result<(), FwError> {
         let regfile = self
             .cpas
             .get(cpa)
@@ -530,6 +561,8 @@ impl Firmware {
             (1, column as u64),
             (2, op.encode()),
             (3, value),
+            (6, mode.encode()),
+            (8, floor),
             (4, 1),
         ] {
             let mut rf = regfile.lock();
@@ -547,10 +580,15 @@ impl Firmware {
         if !self.tree.exists(&leaf) {
             self.tree.install(&leaf, Node::Data(String::new()))?;
         }
+        let cond = match mode {
+            TriggerMode::Level => format!("{stats_column} {} {value}", op.mnemonic()),
+            TriggerMode::DegradationPct => {
+                format!("{stats_column} degraded {} {value}% (floor {floor})", op.mnemonic())
+            }
+        };
         self.log(format!(
-            "pardtrigger: cpa{cpa} ldom{} action {action}: {stats_column} {} {value} -> slot {slot}",
+            "pardtrigger: cpa{cpa} ldom{} action {action}: {cond} -> slot {slot}",
             ldom.raw(),
-            op.mnemonic(),
         ));
         Ok(())
     }
@@ -676,6 +714,10 @@ impl Firmware {
 
     fn shell_pardtrigger(&mut self, rest: &str) -> Result<String, FwError> {
         // pardtrigger /dev/cpa0 -ldom=0 -action=0 -stats=miss_rate -cond=gt,30
+        // Degradation form: -cond=degr,50 fires when the watched column has
+        // degraded >= 50% over its healthy baseline; -cond=degr,50,100
+        // additionally requires the smoothed column to reach 100 (the
+        // absolute floor that keeps near-idle columns from firing).
         let mut cpa = None;
         let mut ldom = None;
         let mut action = None;
@@ -697,17 +739,25 @@ impl Firmware {
                 let (op, val) = v
                     .split_once(',')
                     .ok_or_else(|| FwError::BadCommand(tok.to_string()))?;
-                cond = Some((CmpOp::from_mnemonic(op)?, parse_num(val)?));
+                cond = Some(if op == "degr" {
+                    let (pct, floor) = match val.split_once(',') {
+                        Some((pct, floor)) => (parse_num(pct)?, parse_num(floor)?),
+                        None => (parse_num(val)?, 0),
+                    };
+                    (CmpOp::Ge, pct, TriggerMode::DegradationPct, floor)
+                } else {
+                    (CmpOp::from_mnemonic(op)?, parse_num(val)?, TriggerMode::Level, 0)
+                });
             } else {
                 return Err(FwError::BadCommand(tok.to_string()));
             }
         }
-        let (Some(cpa), Some(ldom), Some(action), Some(stats), Some((op, value))) =
+        let (Some(cpa), Some(ldom), Some(action), Some(stats), Some((op, value, mode, floor))) =
             (cpa, ldom, action, stats, cond)
         else {
             return Err(FwError::BadCommand(rest.to_string()));
         };
-        self.pardtrigger(cpa, DsId::new(ldom), action, &stats, op, value)?;
+        self.pardtrigger_with_mode(cpa, DsId::new(ldom), action, &stats, op, value, mode, floor)?;
         Ok(String::new())
     }
 

@@ -31,6 +31,7 @@ mod firmware;
 mod ldom;
 mod metrics;
 mod prm;
+pub mod recovery;
 pub mod script;
 mod tree;
 

@@ -1,0 +1,511 @@
+//! Deterministic fault injection: a seeded schedule of degradation
+//! windows that component models consult on their hot paths.
+//!
+//! PARD's value proposition is differentiated service *preserved under
+//! adversity*: a trigger detects an SLA breach from per-DS-id statistics
+//! and the PRM reprograms resources to protect the high-priority LDom.
+//! Exercising that loop needs faults, and faults in a deterministic
+//! simulator must themselves be deterministic. This module provides the
+//! schedule: a [`FaultPlan`] — a seed plus a list of [`FaultEvent`]
+//! windows — installed process-globally like the trace and audit layers.
+//!
+//! # Fault taxonomy
+//!
+//! Every fault is realized *inside* an existing component model as an
+//! extra latency or an accounted drop decision, never as an un-conserved
+//! packet, so the audit layer stays green under `PARD_AUDIT=strict`:
+//!
+//! * [`FaultKind::DramSlow`] — bank slowdown / transient stall: extra
+//!   service latency on matching banks, which extends data-bus occupancy
+//!   and thereby backpressures the command queues (the memory controller
+//!   adds it to the transfer time).
+//! * [`FaultKind::IdeDegrade`] — quota-engine degradation: the per-tick
+//!   quantum shrinks to `quota_pct` percent, and optionally one in
+//!   `drop_one_in` queued requests is aborted (completed early with the
+//!   bytes moved so far, so the issuing engine never hangs).
+//! * [`FaultKind::NicFlap`] — link flap: arriving frames are lost with
+//!   probability `loss_pct` percent *before* any DMA or interrupt is
+//!   generated, through the NIC's existing drop counter.
+//! * [`FaultKind::XbarBackpressure`] — crossbar port backpressure: extra
+//!   delivery delay on matching ports.
+//!
+//! # Determinism contract
+//!
+//! All injection decisions are pure functions of the installed plan, the
+//! query arguments (simulated time, bank, port) and a per-run decision
+//! state seeded from [`FaultPlan::seed`] via
+//! [`stream_rng`]. The decision state is
+//! thread-local and reset by [`begin_run`] (called when a server is
+//! constructed), so parallel experiment runs under different
+//! `PARD_THREADS` settings replay identical fault decisions: each run
+//! owns one worker thread for its whole lifetime, and its decision
+//! sequence depends only on its own deterministic event order.
+//!
+//! # Cost when disabled
+//!
+//! Same pattern as [`trace`](crate::trace) and [`audit`](crate::audit):
+//! a single relaxed atomic load ([`enabled`]) guards every hot path. No
+//! plan — or an empty plan — publishes a zero mask, and every simulation
+//! byte-identically matches an un-faulted build.
+//!
+//! The JSON spec format for fault plans (the `PARD_FAULT_PLAN`
+//! environment contract) is parsed by `pard-bench::fault_spec`, which
+//! depends on this crate — the simulator core stays dependency-free.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use crate::rng::{stream_rng, Rng, Xoshiro256pp};
+use crate::time::Time;
+
+/// The four injectable fault classes, one bit each in the global guard
+/// mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// DRAM bank slowdowns / transient stalls.
+    Dram,
+    /// IDE quota-engine degradation and request drops.
+    Ide,
+    /// NIC link flaps with frame loss.
+    Nic,
+    /// Crossbar port backpressure.
+    Xbar,
+}
+
+impl FaultClass {
+    /// The class's bit in the guard mask.
+    #[inline]
+    pub fn bit(self) -> u32 {
+        match self {
+            FaultClass::Dram => 1 << 0,
+            FaultClass::Ide => 1 << 1,
+            FaultClass::Nic => 1 << 2,
+            FaultClass::Xbar => 1 << 3,
+        }
+    }
+
+    /// The spec-file name of the class.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Dram => "dram_slow",
+            FaultClass::Ide => "ide_degrade",
+            FaultClass::Nic => "nic_flap",
+            FaultClass::Xbar => "xbar_backpressure",
+        }
+    }
+}
+
+/// What one fault window does while active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Extra service latency on DRAM accesses. `banks = None` slows the
+    /// whole device (a transient stall); `Some(list)` slows only the
+    /// listed banks.
+    DramSlow {
+        /// Flat-indexed banks affected, or `None` for all.
+        banks: Option<Vec<u32>>,
+        /// Extra latency added to each affected access's transfer.
+        extra: Time,
+    },
+    /// IDE quota-engine degradation.
+    IdeDegrade {
+        /// The per-tick quantum is scaled to this percentage (0–100).
+        quota_pct: u32,
+        /// Abort one in this many queued requests per scheduling
+        /// opportunity; `0` disables request drops.
+        drop_one_in: u32,
+    },
+    /// NIC link flap: arriving frames are lost with this probability in
+    /// percent.
+    NicFlap {
+        /// Frame-loss probability in percent (0–100).
+        loss_pct: u32,
+    },
+    /// Crossbar port backpressure: extra delivery delay.
+    XbarBackpressure {
+        /// Source port affected, or `None` for every port.
+        port: Option<u32>,
+        /// Extra delay added to each affected delivery.
+        extra: Time,
+    },
+}
+
+impl FaultKind {
+    /// The fault class this kind belongs to.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            FaultKind::DramSlow { .. } => FaultClass::Dram,
+            FaultKind::IdeDegrade { .. } => FaultClass::Ide,
+            FaultKind::NicFlap { .. } => FaultClass::Nic,
+            FaultKind::XbarBackpressure { .. } => FaultClass::Xbar,
+        }
+    }
+}
+
+/// One scheduled fault window, active over `start..end` of simulated
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// First instant the fault is active.
+    pub start: Time,
+    /// First instant the fault is no longer active (exclusive).
+    pub end: Time,
+    /// What the window does.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Whether the window covers `now`.
+    #[inline]
+    pub fn active_at(&self, now: Time) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// A seeded schedule of fault events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for the plan's randomized decisions (NIC frame loss).
+    pub seed: u64,
+    /// The scheduled fault windows.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (installing it is byte-identical to no
+    /// plan).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds an event and returns the plan (builder style).
+    pub fn with(mut self, start: Time, end: Time, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { start, end, kind });
+        self
+    }
+
+    /// The union of the classes present in the plan, as a guard mask.
+    pub fn class_mask(&self) -> u32 {
+        self.events
+            .iter()
+            .fold(0, |m, e| m | e.kind.class().bit())
+    }
+}
+
+/// Bitmask of fault classes with at least one scheduled event. Zero
+/// (the default) short-circuits every hot-path query to a single
+/// relaxed load.
+static ACTIVE: AtomicU32 = AtomicU32::new(0);
+
+/// The installed plan. Plain `Mutex` (not `OnceLock`) so tests can
+/// install/disable repeatedly.
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+thread_local! {
+    /// Per-run decision state; see the module-level determinism
+    /// contract.
+    static RUN: RefCell<RunState> = const { RefCell::new(RunState { nic_rng: None, ide_considered: 0 }) };
+}
+
+struct RunState {
+    /// Lazily seeded from the installed plan on first use after
+    /// [`begin_run`].
+    nic_rng: Option<Xoshiro256pp>,
+    /// Requests considered by the IDE drop decider this run.
+    ide_considered: u64,
+}
+
+fn lock_plan() -> std::sync::MutexGuard<'static, Option<FaultPlan>> {
+    PLAN.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether any event of `class` is scheduled — one relaxed atomic load,
+/// the only cost fault injection adds to an un-faulted simulation.
+#[inline]
+pub fn enabled(class: FaultClass) -> bool {
+    ACTIVE.load(Ordering::Relaxed) & class.bit() != 0
+}
+
+/// Whether a plan is installed (possibly an empty one).
+pub fn installed() -> bool {
+    lock_plan().is_some()
+}
+
+/// Installs `plan` process-globally and publishes its class mask.
+///
+/// An empty plan publishes a zero mask: every [`enabled`] query stays
+/// false and the simulation is byte-identical to an un-faulted run.
+pub fn install(plan: FaultPlan) {
+    let mask = plan.class_mask();
+    *lock_plan() = Some(plan);
+    ACTIVE.store(mask, Ordering::Release);
+    begin_run();
+}
+
+/// Removes the installed plan and clears the guard mask.
+pub fn disable() {
+    ACTIVE.store(0, Ordering::Release);
+    *lock_plan() = None;
+    begin_run();
+}
+
+/// Resets the calling thread's per-run decision state. Called when a
+/// server is constructed, so every run replays the same decision
+/// sequence regardless of which worker thread hosts it.
+pub fn begin_run() {
+    RUN.with(|r| {
+        let mut r = r.borrow_mut();
+        r.nic_rng = None;
+        r.ide_considered = 0;
+    });
+}
+
+/// Extra DRAM service latency for an access to flat-indexed `bank` at
+/// `now`: the sum over active [`FaultKind::DramSlow`] windows matching
+/// the bank. Call only behind [`enabled`]`(FaultClass::Dram)`.
+pub fn dram_extra_delay(bank: u32, now: Time) -> Time {
+    let plan = lock_plan();
+    let Some(plan) = plan.as_ref() else {
+        return Time::ZERO;
+    };
+    let mut total = Time::ZERO;
+    for e in &plan.events {
+        if let FaultKind::DramSlow { banks, extra } = &e.kind {
+            if e.active_at(now) && banks.as_ref().is_none_or(|b| b.contains(&bank)) {
+                total += *extra;
+            }
+        }
+    }
+    total
+}
+
+/// The IDE quantum scaling in percent at `now` (100 = undegraded): the
+/// minimum `quota_pct` over active [`FaultKind::IdeDegrade`] windows.
+pub fn ide_quota_pct(now: Time) -> u32 {
+    let plan = lock_plan();
+    let Some(plan) = plan.as_ref() else {
+        return 100;
+    };
+    let mut pct = 100;
+    for e in &plan.events {
+        if let FaultKind::IdeDegrade { quota_pct, .. } = e.kind {
+            if e.active_at(now) {
+                pct = pct.min(quota_pct.min(100));
+            }
+        }
+    }
+    pct
+}
+
+/// Whether the IDE quota engine should abort the request it is
+/// currently considering. Deterministic: the run-local consideration
+/// counter advances only while a drop window is active, and every
+/// `drop_one_in`-th consideration drops.
+pub fn ide_should_drop(now: Time) -> bool {
+    let divisor = {
+        let plan = lock_plan();
+        let Some(plan) = plan.as_ref() else {
+            return false;
+        };
+        plan.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::IdeDegrade { drop_one_in, .. }
+                    if e.active_at(now) && drop_one_in > 0 =>
+                {
+                    Some(drop_one_in)
+                }
+                _ => None,
+            })
+            .min()
+    };
+    let Some(divisor) = divisor else {
+        return false;
+    };
+    RUN.with(|r| {
+        let mut r = r.borrow_mut();
+        r.ide_considered += 1;
+        r.ide_considered % u64::from(divisor) == 0
+    })
+}
+
+/// Whether an arriving NIC frame is lost to a link flap at `now`.
+/// Randomized with the plan-seeded `fault.nic` stream; the stream is
+/// consumed only while a flap window is active, so runs without flap
+/// traffic stay byte-identical.
+pub fn nic_frame_lost(now: Time) -> bool {
+    let (seed, loss_pct) = {
+        let plan = lock_plan();
+        let Some(plan) = plan.as_ref() else {
+            return false;
+        };
+        let loss = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::NicFlap { loss_pct } if e.active_at(now) => Some(loss_pct),
+                _ => None,
+            })
+            .max();
+        match loss {
+            Some(l) => (plan.seed, l.min(100)),
+            None => return false,
+        }
+    };
+    RUN.with(|r| {
+        let mut r = r.borrow_mut();
+        let rng = r
+            .nic_rng
+            .get_or_insert_with(|| stream_rng(seed, "fault.nic"));
+        rng.gen_range(0u32..100) < loss_pct
+    })
+}
+
+/// Extra crossbar delivery delay for a packet entering on `port` at
+/// `now`: the sum over active [`FaultKind::XbarBackpressure`] windows
+/// matching the port.
+pub fn xbar_extra_delay(port: u32, now: Time) -> Time {
+    let plan = lock_plan();
+    let Some(plan) = plan.as_ref() else {
+        return Time::ZERO;
+    };
+    let mut total = Time::ZERO;
+    for e in &plan.events {
+        if let FaultKind::XbarBackpressure { port: p, extra } = &e.kind {
+            if e.active_at(now) && p.is_none_or(|p| p == port) {
+                total += *extra;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Process-global state: everything in one test function (same
+    /// discipline as the trace and audit suites) so parallel test
+    /// threads cannot race on the installed plan.
+    #[test]
+    fn fault_global_state_lifecycle() {
+        // Nothing installed: every class disabled, queries inert.
+        assert!(!installed());
+        for c in [
+            FaultClass::Dram,
+            FaultClass::Ide,
+            FaultClass::Nic,
+            FaultClass::Xbar,
+        ] {
+            assert!(!enabled(c));
+        }
+        assert_eq!(dram_extra_delay(0, Time::from_us(5)), Time::ZERO);
+        assert_eq!(ide_quota_pct(Time::from_us(5)), 100);
+        assert!(!ide_should_drop(Time::from_us(5)));
+        assert!(!nic_frame_lost(Time::from_us(5)));
+        assert_eq!(xbar_extra_delay(0, Time::from_us(5)), Time::ZERO);
+
+        // An empty plan publishes a zero mask.
+        install(FaultPlan::new(7));
+        assert!(installed());
+        assert!(!enabled(FaultClass::Dram));
+
+        // A populated plan enables exactly the scheduled classes.
+        let plan = FaultPlan::new(42)
+            .with(
+                Time::from_us(10),
+                Time::from_us(20),
+                FaultKind::DramSlow {
+                    banks: Some(vec![1, 3]),
+                    extra: Time::from_ns(100),
+                },
+            )
+            .with(
+                Time::from_us(10),
+                Time::from_us(20),
+                FaultKind::DramSlow {
+                    banks: None,
+                    extra: Time::from_ns(50),
+                },
+            )
+            .with(
+                Time::from_us(10),
+                Time::from_us(20),
+                FaultKind::IdeDegrade {
+                    quota_pct: 40,
+                    drop_one_in: 2,
+                },
+            )
+            .with(
+                Time::from_us(10),
+                Time::from_us(20),
+                FaultKind::NicFlap { loss_pct: 100 },
+            )
+            .with(
+                Time::from_us(10),
+                Time::from_us(20),
+                FaultKind::XbarBackpressure {
+                    port: Some(9),
+                    extra: Time::from_ns(30),
+                },
+            );
+        install(plan.clone());
+        assert_eq!(ACTIVE.load(Ordering::Relaxed), 0b1111);
+        assert!(enabled(FaultClass::Dram));
+        assert!(enabled(FaultClass::Ide));
+        assert!(enabled(FaultClass::Nic));
+        assert!(enabled(FaultClass::Xbar));
+
+        // Windows: inactive before start and at/after end (half-open).
+        let inside = Time::from_us(15);
+        let outside = Time::from_us(20);
+        assert_eq!(dram_extra_delay(1, outside), Time::ZERO);
+        // Bank 1 matches both the targeted and the all-banks window.
+        assert_eq!(dram_extra_delay(1, inside), Time::from_ns(150));
+        // Bank 2 matches only the all-banks window.
+        assert_eq!(dram_extra_delay(2, inside), Time::from_ns(50));
+
+        assert_eq!(ide_quota_pct(inside), 40);
+        assert_eq!(ide_quota_pct(outside), 100);
+
+        assert_eq!(xbar_extra_delay(9, inside), Time::from_ns(30));
+        assert_eq!(xbar_extra_delay(8, inside), Time::ZERO);
+
+        // Drop decisions: every 2nd consideration inside the window,
+        // none outside, and byte-identical across runs after
+        // begin_run().
+        begin_run();
+        let seq: Vec<bool> = (0..6).map(|_| ide_should_drop(inside)).collect();
+        assert_eq!(seq, vec![false, true, false, true, false, true]);
+        assert!(!ide_should_drop(outside));
+        begin_run();
+        let replay: Vec<bool> = (0..6).map(|_| ide_should_drop(inside)).collect();
+        assert_eq!(seq, replay);
+
+        // 100 % loss drops every in-window frame; out-of-window frames
+        // pass without consuming the stream.
+        begin_run();
+        assert!(!nic_frame_lost(outside));
+        assert!(nic_frame_lost(inside));
+        let a: Vec<bool> = (0..8).map(|_| nic_frame_lost(inside)).collect();
+        begin_run();
+        assert!(nic_frame_lost(inside));
+        let b: Vec<bool> = (0..8).map(|_| nic_frame_lost(inside)).collect();
+        assert_eq!(a, b);
+
+        // Class helpers round-trip.
+        assert_eq!(FaultClass::Dram.name(), "dram_slow");
+        assert_eq!(
+            plan.events[2].kind.class(),
+            FaultClass::Ide
+        );
+
+        disable();
+        assert!(!installed());
+        assert!(!enabled(FaultClass::Nic));
+    }
+}

@@ -45,6 +45,7 @@ pub mod audit;
 pub mod check;
 mod component;
 mod event;
+pub mod fault;
 mod kernel;
 pub mod par;
 pub mod rng;

@@ -26,6 +26,16 @@
 //! * [`TimeShared`] — a round-robin OS-scheduler model that retags the
 //!   core per process, implementing the paper's "process-level DiffServ"
 //!   open problem (§10).
+//!
+//! # Paper mapping
+//!
+//! These engines are the workload substitutions of PAPER.md §1 (gem5 +
+//! real binaries → parameterised state machines): each row of that table
+//! explains why the proxy preserves the behaviour its figure measures,
+//! and DESIGN.md §5 records the one-time calibration. The engines drive
+//! every experiment in EXPERIMENTS.md, including the fault-recovery
+//! figure (`fig_fault`), whose three LDoms run [`Leslie3dProxy`],
+//! [`LbmProxy`], and [`DiskCopy`] concurrently.
 
 #![warn(missing_docs)]
 
