@@ -28,14 +28,20 @@ echo "== parallel-runner determinism under PARD_THREADS=2 =="
 PARD_THREADS=2 cargo test -q --offline -p pard-bench --test determinism
 
 echo "== event-queue / kernel events-per-sec smoke =="
-# Must run to completion and write BENCH_kernel.json (kernel perf record).
+# Must run to completion, write BENCH_kernel.json (kernel perf record),
+# and pass the perf gate: dense-regime ladder speedups >= 1.0x and a
+# recorded stats_record_mops (--check exits non-zero otherwise).
 rm -f BENCH_kernel.json
-cargo bench --offline -p pard-bench --bench event_queue -- --quick
+cargo bench --offline -p pard-bench --bench event_queue -- --quick --check
 if [ ! -s BENCH_kernel.json ]; then
     echo "error: event_queue bench did not write BENCH_kernel.json" >&2
     exit 1
 fi
-echo "ok: BENCH_kernel.json written"
+if ! grep -q '"stats_record_mops"' BENCH_kernel.json; then
+    echo "error: BENCH_kernel.json is missing stats_record_mops" >&2
+    exit 1
+fi
+echo "ok: BENCH_kernel.json written (perf gate passed)"
 
 echo "== trace+audit smoke: strict-audited fig07 emits clean JSONL =="
 # Run in a scratch cwd so the figure's JSON dump cannot clobber the

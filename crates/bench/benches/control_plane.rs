@@ -17,14 +17,18 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| cp.param(black_box(DsId::new(7)), "waymask").unwrap())
     });
 
-    let mut cp = llc_control_plane(256, 64);
+    let cp = llc_control_plane(256, 64);
+    let stats = cp.stats_handle();
+    let key = stats.key("miss_rate").unwrap();
     c.bench_function("cp/stat_write", |b| {
         let mut v = 0u64;
         b.iter(|| {
             v += 1;
-            cp.set_stat(black_box(DsId::new(7)), "miss_rate", v)
-                .unwrap()
+            stats.set(black_box(DsId::new(7)), key, v).unwrap()
         })
+    });
+    c.bench_function("cells/record", |b| {
+        b.iter(|| stats.add(black_box(DsId::new(7)), key, 1).unwrap())
     });
 }
 
@@ -60,7 +64,8 @@ fn bench_trigger_evaluation(c: &mut Criterion) {
         )
         .unwrap();
     }
-    cp.set_stat(DsId::new(3), "miss_rate", 10).unwrap();
+    let key = cp.stats().key("miss_rate").unwrap();
+    cp.stats().set(DsId::new(3), key, 10).unwrap();
     c.bench_function("cp/evaluate_64_triggers", |b| {
         b.iter(|| cp.evaluate_triggers(black_box(DsId::new(3)), pard_sim::Time::ZERO))
     });

@@ -20,6 +20,7 @@ use pard_bench::fig11_scenario;
 use pard_bench::json::JsonValue;
 use pard_bench::output::save_json;
 use pard_bench::{run_memcached_point, MemcachedMode, MemcachedScenario};
+use pard_cache::llc_control_plane;
 use pard_dram::{MemCtrl, MemCtrlConfig};
 use pard_icn::{DsId, LAddr, MemKind, MemPacket, PacketId, PardEvent};
 use pard_sim::rng::{stream_rng, Rng};
@@ -173,6 +174,25 @@ fn kernel_events_per_sec(requests: u64) -> f64 {
     events as f64 / best_secs
 }
 
+/// Throughput of the lock-free statistics record path (`StatsHandle::add`
+/// straight into the sharded cells), in million records per second —
+/// the per-access cost every component model now pays per hit/miss/DMA.
+fn stats_record_mops(records: u64) -> f64 {
+    let cp = llc_control_plane(256, 64);
+    let stats = cp.stats_handle();
+    let hit = stats.key("hit_cnt").unwrap();
+    let mut best_secs = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        for i in 0..records {
+            stats.add(DsId::new((i % 32) as u16), hit, 1).unwrap();
+        }
+        best_secs = best_secs.min(start.elapsed().as_secs_f64());
+    }
+    assert!(stats.get(DsId::new(0), hit).unwrap() > 0);
+    records as f64 / best_secs / 1e6
+}
+
 /// Wall-clock + events/sec of a scaled-down figure workload through the
 /// real kernel (fig11's DDR3 injection pair).
 fn time_fig11(requests: u64) -> (f64, f64) {
@@ -196,6 +216,7 @@ fn time_fig08_point() -> f64 {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let check = std::env::args().any(|a| a == "--check");
     let steps: u64 = if quick { 200_000 } else { 2_000_000 };
 
     println!("event queue microbench ({steps} push+pop steps per pattern)\n");
@@ -217,6 +238,10 @@ fn main() {
                 .field("speedup", ratio),
         );
     }
+
+    let stat_records: u64 = if quick { 2_000_000 } else { 20_000_000 };
+    let stats_mops = stats_record_mops(stat_records);
+    println!("\nstats cells ({stat_records} records): {stats_mops:.1} M records/s");
 
     let memctrl_requests: u64 = if quick { 10_000 } else { 50_000 };
     let kernel_eps = kernel_events_per_sec(memctrl_requests);
@@ -241,6 +266,7 @@ fn main() {
         &JsonValue::object()
             .field("steps_per_pattern", steps)
             .field("event_queue", json_patterns)
+            .field("stats_record_mops", stats_mops)
             .field("kernel_memctrl_events_per_sec", kernel_eps)
             .field(
                 "figure_workloads",
@@ -251,4 +277,30 @@ fn main() {
                     .field("fig08_quick_point_wall_ms", fig08_ms),
             ),
     );
+
+    if check {
+        // CI perf gate: the adaptive ladder must not regress behind the
+        // plain binary heap in the dense regimes (the backlog sizes the
+        // figure workloads actually sustain), and the stats record path
+        // must have produced a sane measurement.
+        let mut failed = false;
+        for p in &patterns {
+            if !matches!(p.name, "short_delay_hold256" | "short_delay_hold4096") {
+                continue;
+            }
+            let ratio = p.ladder_ops_per_sec / p.baseline_ops_per_sec;
+            if ratio < 1.0 {
+                eprintln!("CHECK FAILED: {} ladder/binary-heap = {ratio:.2}x < 1.0", p.name);
+                failed = true;
+            }
+        }
+        if !(stats_mops.is_finite() && stats_mops > 0.0) {
+            eprintln!("CHECK FAILED: stats_record_mops = {stats_mops}");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check passed: dense-regime speedups >= 1.0, stats bench recorded");
+    }
 }

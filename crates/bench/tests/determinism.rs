@@ -65,3 +65,28 @@ fn fig11_json_is_byte_identical_across_thread_counts() {
         "fig11 JSON must not depend on PARD_THREADS"
     );
 }
+
+/// Byte-identity pin for the lock-free statistics path. Every per-access
+/// statistic feeding this figure is now recorded through the sharded
+/// atomic cells (`StatsHandle::add`) instead of under the control-plane
+/// mutex; the rendered summary JSON must still match the committed
+/// golden byte for byte. Regenerate with `PARD_BLESS=1` after an
+/// *intentional* scenario change — never to paper over drift.
+#[test]
+fn fig11_summary_matches_committed_golden() {
+    let (base, pard) = run_pair(RATE, REQUESTS);
+    let json = summary_json(RATE, &base, &pard).to_string_pretty();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/goldens/fig11_summary.json"
+    );
+    if std::env::var_os("PARD_BLESS").is_some() {
+        std::fs::write(path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("committed fig11 golden (PARD_BLESS=1 regenerates it)");
+    assert_eq!(
+        json, golden,
+        "fig11 summary drifted from the committed golden"
+    );
+}

@@ -1,6 +1,6 @@
 //! The LLC control-plane definition (tables per paper Table 3 / Fig. 6).
 
-use pard_cp::{ColumnDef, ControlPlane, CpType, DsTable};
+use pard_cp::{ColumnDef, ControlPlane, CpType, DsTable, StatKey};
 
 /// Parameter-table columns of the LLC control plane.
 ///
@@ -16,15 +16,15 @@ pub const LLC_PARAM_COLUMNS: &[&str] = &["waymask"];
 /// * `hit_cnt` / `miss_cnt` — cumulative counters (Fig. 2).
 pub const LLC_STATS_COLUMNS: &[&str] = &["miss_rate", "capacity", "hit_cnt", "miss_cnt"];
 
-/// Offset of `miss_rate` in the statistics table (trigger conditions use
-/// column offsets).
-pub const STAT_MISS_RATE: usize = 0;
-/// Offset of `capacity`.
-pub const STAT_CAPACITY: usize = 1;
-/// Offset of `hit_cnt`.
-pub const STAT_HIT_CNT: usize = 2;
-/// Offset of `miss_cnt`.
-pub const STAT_MISS_CNT: usize = 3;
+/// Key of `miss_rate` in the statistics table (trigger conditions use the
+/// underlying [`StatKey::offset`]).
+pub const STAT_MISS_RATE: StatKey = StatKey::at(0);
+/// Key of `capacity`.
+pub const STAT_CAPACITY: StatKey = StatKey::at(1);
+/// Key of `hit_cnt`.
+pub const STAT_HIT_CNT: StatKey = StatKey::at(2);
+/// Key of `miss_cnt`.
+pub const STAT_MISS_CNT: StatKey = StatKey::at(3);
 
 /// Builds the LLC control plane with `max_ds` table rows and
 /// `trigger_slots` trigger entries.
@@ -64,10 +64,10 @@ mod tests {
     fn stats_schema_matches_offsets() {
         let cp = llc_control_plane(8, 4);
         let stats = cp.stats();
-        assert_eq!(stats.column_offset("miss_rate").unwrap(), STAT_MISS_RATE);
-        assert_eq!(stats.column_offset("capacity").unwrap(), STAT_CAPACITY);
-        assert_eq!(stats.column_offset("hit_cnt").unwrap(), STAT_HIT_CNT);
-        assert_eq!(stats.column_offset("miss_cnt").unwrap(), STAT_MISS_CNT);
+        assert_eq!(stats.key("miss_rate").unwrap(), STAT_MISS_RATE);
+        assert_eq!(stats.key("capacity").unwrap(), STAT_CAPACITY);
+        assert_eq!(stats.key("hit_cnt").unwrap(), STAT_HIT_CNT);
+        assert_eq!(stats.key("miss_cnt").unwrap(), STAT_MISS_CNT);
     }
 
     #[test]

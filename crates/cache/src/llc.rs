@@ -4,13 +4,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pard_cp::{shared, CpHandle};
+use pard_cp::{shared, CpHandle, StatsHandle};
 use pard_icn::{cpu_cycles, DsId, MemKind, MemPacket, MemResp, PacketIdGen, PardEvent, TickKind};
 use pard_sim::trace::{self, TraceCat, TraceVal};
 use pard_sim::{audit, Component, ComponentId, Ctx, Time};
 
 use crate::array::TagArray;
-use crate::cpdef::llc_control_plane;
+use crate::cpdef::{
+    llc_control_plane, STAT_CAPACITY, STAT_HIT_CNT, STAT_MISS_CNT, STAT_MISS_RATE,
+};
 use crate::geometry::CacheGeometry;
 use crate::mshr::{mshr_waiter, Mshr, MshrKey, MshrOutcome};
 
@@ -80,6 +82,10 @@ pub struct Llc {
     array: TagArray,
     mshr: Mshr,
     cp: CpHandle,
+    /// Lock-free recording path into the control plane's stats cells; the
+    /// `cp` mutex is only taken at window boundaries (trigger evaluation)
+    /// and parameter-generation refreshes.
+    stats: StatsHandle,
     gen_watch: Arc<AtomicU64>,
     cached_gen: u64,
     waymasks: Vec<u64>,
@@ -88,8 +94,6 @@ pub struct Llc {
     outstanding: HashMap<u64, MshrKey>,
     win_hits: Vec<u64>,
     win_misses: Vec<u64>,
-    cum_hits: Vec<u64>,
-    cum_misses: Vec<u64>,
     active_ds: Vec<bool>,
     window_armed: bool,
     /// Total responses sent (observability for tests).
@@ -100,8 +104,12 @@ impl Llc {
     /// Creates an LLC and returns it with a handle to its control plane.
     pub fn new(cfg: LlcConfig) -> (Self, CpHandle) {
         let cp = shared(llc_control_plane(cfg.max_ds, cfg.trigger_slots));
-        let gen_watch = cp.lock().generation_watch();
+        let (gen_watch, stats) = {
+            let guard = cp.lock();
+            (guard.generation_watch(), guard.stats_handle())
+        };
         let llc = Llc {
+            stats,
             array: TagArray::new(cfg.geometry, cfg.max_ds),
             mshr: Mshr::new(cfg.mshr_entries),
             gen_watch,
@@ -112,8 +120,6 @@ impl Llc {
             outstanding: HashMap::new(),
             win_hits: vec![0; cfg.max_ds],
             win_misses: vec![0; cfg.max_ds],
-            cum_hits: vec![0; cfg.max_ds],
-            cum_misses: vec![0; cfg.max_ds],
             active_ds: vec![false; cfg.max_ds],
             window_armed: false,
             responses_sent: 0,
@@ -143,9 +149,12 @@ impl Llc {
         self.responses_sent
     }
 
-    /// Cumulative `(hits, misses)` for `ds`.
+    /// Cumulative `(hits, misses)` for `ds`, read from the stats cells.
     pub fn counts(&self, ds: DsId) -> (u64, u64) {
-        (self.cum_hits[ds.index()], self.cum_misses[ds.index()])
+        (
+            self.stats.get(ds, STAT_HIT_CNT).unwrap_or(0),
+            self.stats.get(ds, STAT_MISS_CNT).unwrap_or(0),
+        )
     }
 
     /// Invalidates every line owned by `ds` (LDom teardown). Dirty lines
@@ -390,12 +399,16 @@ impl Llc {
         if i >= self.cfg.max_ds {
             return;
         }
+        // Cumulative counters accumulate straight into the lock-free
+        // stats cells (the paper's premise: per-access accounting without
+        // serialising the pipeline). The window counters stay local — the
+        // miss-rate divider at rollover needs a private epoch.
         if hit {
             self.win_hits[i] += 1;
-            self.cum_hits[i] += 1;
+            let _ = self.stats.add(ds, STAT_HIT_CNT, 1);
         } else {
             self.win_misses[i] += 1;
-            self.cum_misses[i] += 1;
+            let _ = self.stats.add(ds, STAT_MISS_CNT, 1);
         }
     }
 
@@ -411,11 +424,9 @@ impl Llc {
                 let total = self.win_hits[i] + self.win_misses[i];
                 if total >= self.cfg.window_min_accesses.max(1) {
                     let rate = 100 * self.win_misses[i] / total;
-                    let _ = cp.set_stat(ds, "miss_rate", rate);
+                    let _ = cp.stats().set(ds, STAT_MISS_RATE, rate);
                 }
-                let _ = cp.set_stat(ds, "capacity", self.array.occupancy_bytes(ds));
-                let _ = cp.set_stat(ds, "hit_cnt", self.cum_hits[i]);
-                let _ = cp.set_stat(ds, "miss_cnt", self.cum_misses[i]);
+                let _ = cp.stats().set(ds, STAT_CAPACITY, self.array.occupancy_bytes(ds));
                 if audit::enabled() {
                     // Capacity accounting: the published statistic must read
                     // back as exactly the live tag-array occupancy.
@@ -733,7 +744,12 @@ mod tests {
             let mut cp = r.cp.lock();
             cp.install_trigger(
                 0,
-                pard_cp::Trigger::new(DsId::new(1), crate::STAT_MISS_RATE, pard_cp::CmpOp::Gt, 30),
+                pard_cp::Trigger::new(
+                    DsId::new(1),
+                    crate::STAT_MISS_RATE.offset(),
+                    pard_cp::CmpOp::Gt,
+                    30,
+                ),
             )
             .unwrap();
         }

@@ -68,7 +68,9 @@ pub mod prelude {
     pub use crate::config::{SystemConfig, SystemConfigBuilder};
     pub use crate::core_model::{Core, CoreConfig, CoreStats};
     pub use crate::server::PardServer;
-    pub use pard_cp::{CmpOp, CpHandle, CpType, Trigger, TriggerMode};
+    pub use pard_cp::{
+        CmpOp, CpHandle, CpType, StatKey, StatsCells, StatsHandle, Trigger, TriggerMode,
+    };
     pub use pard_icn::{DsId, LAddr, MAddr, PardEvent};
     pub use pard_prm::{Action, FwHandle, LDomSpec, Priority};
     pub use pard_sim::rng::{stream_rng, Rng, Xoshiro256pp};

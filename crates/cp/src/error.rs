@@ -42,6 +42,18 @@ pub enum CpError {
         /// Number of statistics columns this plane drives.
         width: usize,
     },
+    /// A numeric column offset (the CPA `addr` path or a [`StatKey`])
+    /// beyond the table's schema width.
+    ///
+    /// [`StatKey`]: crate::StatKey
+    BadColumn {
+        /// Table name.
+        table: &'static str,
+        /// The offending column offset.
+        offset: usize,
+        /// Number of columns the table actually has.
+        width: usize,
+    },
     /// Register-file access at an offset that is not a defined register.
     BadRegister(u64),
 }
@@ -64,6 +76,16 @@ impl fmt::Display for CpError {
                 write!(
                     f,
                     "trigger statistics column {column} out of range for a {width}-column table"
+                )
+            }
+            CpError::BadColumn {
+                table,
+                offset,
+                width,
+            } => {
+                write!(
+                    f,
+                    "column offset {offset} out of range for a {width}-column {table} table"
                 )
             }
             CpError::BadRegister(off) => write!(f, "no CPA register at offset {off:#x}"),
@@ -93,6 +115,13 @@ mod tests {
         let e = CpError::TriggerColumnOutOfRange { column: 9, width: 4 };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
+        let e = CpError::BadColumn {
+            table: "statistics",
+            offset: 7,
+            width: 4,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains("statistics"));
     }
 
     #[test]

@@ -265,7 +265,9 @@ impl CpaRegisterFile {
                     .get_by_offset(addr.ds, addr.offset as usize)?;
             }
             (CpCommand::Read, TableSel::Statistics) => {
-                self.data = plane.stats().get_by_offset(addr.ds, addr.offset as usize)?;
+                let stats = plane.stats();
+                let key = stats.key_at(addr.offset as usize)?;
+                self.data = stats.get(addr.ds, key)?;
             }
             (CpCommand::Read, TableSel::Trigger) => {
                 self.data = plane
@@ -273,21 +275,15 @@ impl CpaRegisterFile {
                     .get_field(addr.ds.index(), addr.offset as usize)?;
             }
             (CpCommand::Write, TableSel::Parameter) => {
-                // Route through set_param so the generation counter bumps.
-                let column = plane
-                    .params()
-                    .columns()
-                    .get(addr.offset as usize)
-                    .ok_or(CpError::UnknownColumn {
-                        table: "parameter",
-                        column: format!("offset {}", addr.offset),
-                    })?
-                    .name;
+                // Route through set_param so the generation counter bumps;
+                // name_at owns the offset bounds check (BadColumn).
+                let column = plane.params().name_at(addr.offset as usize)?;
                 plane.set_param(addr.ds, column, self.data)?;
             }
             (CpCommand::Write, TableSel::Statistics) => {
-                let data = self.data;
-                plane.stats_set_by_offset(addr.ds, addr.offset as usize, data)?;
+                let stats = plane.stats();
+                let key = stats.key_at(addr.offset as usize)?;
+                stats.set(addr.ds, key, self.data)?;
             }
             (CpCommand::Write, TableSel::Trigger) => {
                 let data = self.data;
@@ -399,12 +395,36 @@ mod tests {
         let mut cpa = cpa();
         {
             let plane = cpa.plane().clone();
-            plane.lock().set_stat(DsId::new(2), "capacity", 77).unwrap();
+            let guard = plane.lock();
+            let capacity = guard.stats().key("capacity").unwrap();
+            guard.stats().set(DsId::new(2), capacity, 77).unwrap();
         }
         let addr = CpAddr::new(DsId::new(2), 1, TableSel::Statistics);
         assert_eq!(access(&mut cpa, addr, CpCommand::Read, 0), 77);
         access(&mut cpa, addr, CpCommand::Write, 0);
         assert_eq!(access(&mut cpa, addr, CpCommand::Read, 0), 0);
+    }
+
+    #[test]
+    fn statistics_offset_misses_report_bad_column() {
+        let mut cpa = cpa();
+        let addr = CpAddr::new(DsId::new(0), 9, TableSel::Statistics);
+        cpa.write(REG_ADDR, addr.encode().into()).unwrap();
+        let err = cpa
+            .write(REG_CMD, CpCommand::Read.encode().into())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CpError::BadColumn {
+                table: "statistics",
+                offset: 9,
+                width: 2,
+            }
+        ));
+        let err = cpa
+            .write(REG_CMD, CpCommand::Write.encode().into())
+            .unwrap_err();
+        assert!(matches!(err, CpError::BadColumn { offset: 9, .. }));
     }
 
     #[test]

@@ -17,10 +17,14 @@
 //! * an **interrupt line** to the PRM.
 //!
 //! The hot data path of a resource (e.g. the LLC lookup pipeline) does not
-//! lock the control plane per access; resources cache parameters against a
-//! [`generation`](ControlPlane::generation) counter and flush statistics at
-//! window boundaries, mirroring how the RTL hides control-plane work inside
-//! the cache pipeline (§7.2).
+//! lock the control plane per access: resources cache parameters against a
+//! [`generation`](ControlPlane::generation) counter, and statistics live in
+//! lock-free sharded [`StatsCells`] that components record into through a
+//! cheap [`StatsHandle`] clone (typed [`StatKey`] columns, relaxed
+//! increments, acquire snapshot reads — see [`cells`]). The
+//! `CpHandle` mutex remains only for structural mutations: parameter
+//! writes, trigger install/evaluate, and DS row lifecycle. This mirrors how
+//! the RTL hides control-plane work inside the cache pipeline (§7.2).
 //!
 //! # Paper mapping
 //!
@@ -37,12 +41,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cells;
 mod error;
 mod iface;
 mod plane;
 mod table;
 mod trigger;
 
+pub use cells::{StatKey, StatsCells, StatsHandle};
 pub use error::CpError;
 pub use iface::{
     CpAddr, CpCommand, CpaRegisterFile, TableSel, CPA_BYTES, REG_ADDR, REG_CMD, REG_DATA,

@@ -7,6 +7,7 @@ use pard_icn::DsId;
 use pard_sim::sync::{unbounded, Mutex, Receiver, Sender, TryRecvError};
 use pard_sim::{audit, trace, Time};
 
+use crate::cells::{StatsCells, StatsHandle};
 use crate::error::CpError;
 use crate::table::DsTable;
 use crate::trigger::{Trigger, TriggerTable};
@@ -118,7 +119,8 @@ impl InterruptSink {
 /// cp.attach(0, line);
 ///
 /// cp.install_trigger(0, Trigger::new(DsId::new(2), 0, CmpOp::Gt, 30)).unwrap();
-/// cp.set_stat(DsId::new(2), "miss_rate", 45).unwrap();
+/// let miss_rate = cp.stats().key("miss_rate").unwrap();
+/// cp.stats().set(DsId::new(2), miss_rate, 45).unwrap();
 /// cp.evaluate_triggers(DsId::new(2), Time::from_us(100));
 /// let irq = sink.try_recv().unwrap();
 /// assert_eq!(irq.ds, DsId::new(2));
@@ -130,7 +132,7 @@ pub struct ControlPlane {
     cp_type: CpType,
     cpa_index: usize,
     params: DsTable,
-    stats: DsTable,
+    stats: Arc<StatsCells>,
     triggers: TriggerTable,
     generation: Arc<AtomicU64>,
     irq: Option<InterruptLine>,
@@ -138,6 +140,10 @@ pub struct ControlPlane {
 
 impl ControlPlane {
     /// Creates a control plane with the given identity and tables.
+    ///
+    /// The statistics `DsTable` only contributes its schema: storage is
+    /// re-homed into lock-free [`StatsCells`] so the data path can record
+    /// through a [`StatsHandle`] without the `CpHandle` mutex.
     pub fn new(
         ident: impl Into<String>,
         cp_type: CpType,
@@ -145,12 +151,13 @@ impl ControlPlane {
         stats: DsTable,
         trigger_slots: usize,
     ) -> Self {
+        let stats = StatsCells::new(stats.columns().to_vec(), stats.rows());
         ControlPlane {
             ident: ident.into(),
             cp_type,
             cpa_index: usize::MAX,
             params,
-            stats,
+            stats: Arc::new(stats),
             triggers: TriggerTable::new(trigger_slots),
             generation: Arc::new(AtomicU64::new(0)),
             irq: None,
@@ -183,9 +190,19 @@ impl ControlPlane {
         &self.params
     }
 
-    /// The statistics table.
-    pub fn stats(&self) -> &DsTable {
+    /// The statistics cells.
+    ///
+    /// Reads are acquire-loads and writes go straight to the atomics, so
+    /// this is usable through a shared reference; multi-column consumers
+    /// must take one [`StatsCells::snapshot_row`] per evaluation.
+    pub fn stats(&self) -> &StatsCells {
         &self.stats
+    }
+
+    /// A cheap cloneable handle for recording statistics without the
+    /// `CpHandle` mutex (the data-path hot path).
+    pub fn stats_handle(&self) -> StatsHandle {
+        StatsHandle::new(Arc::clone(&self.stats))
     }
 
     /// The trigger table.
@@ -236,13 +253,18 @@ impl ControlPlane {
         Ok(())
     }
 
-    /// Reads a statistics cell.
+    /// Reads a statistics cell by column name (acquire load).
+    ///
+    /// For hot-path reads resolve a [`StatKey`](crate::StatKey) once and
+    /// use [`StatsCells::get`]; this name-based form is for tests and
+    /// firmware paths where the string lookup is off the data path.
     ///
     /// # Errors
     ///
     /// Propagates table range errors.
     pub fn stat(&self, ds: DsId, column: &str) -> Result<u64, CpError> {
-        self.stats.get(ds, column)
+        let key = self.stats.key(column)?;
+        self.stats.get(ds, key)
     }
 
     /// Overwrites a statistics cell (used at window rollover).
@@ -250,8 +272,13 @@ impl ControlPlane {
     /// # Errors
     ///
     /// Propagates table range errors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "resolve a StatKey and write through `stats()` / a StatsHandle"
+    )]
     pub fn set_stat(&mut self, ds: DsId, column: &str, value: u64) -> Result<(), CpError> {
-        self.stats.set(ds, column, value)
+        let key = self.stats.key(column)?;
+        self.stats.set(ds, key, value)
     }
 
     /// Accumulates into a statistics cell.
@@ -259,8 +286,13 @@ impl ControlPlane {
     /// # Errors
     ///
     /// Propagates table range errors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "resolve a StatKey and add through `stats()` / a StatsHandle"
+    )]
     pub fn add_stat(&mut self, ds: DsId, column: &str, delta: u64) -> Result<(), CpError> {
-        self.stats.add(ds, column, delta)
+        let key = self.stats.key(column)?;
+        self.stats.add(ds, key, delta)
     }
 
     /// Overwrites a statistics cell by column offset (the CPA write path).
@@ -268,13 +300,18 @@ impl ControlPlane {
     /// # Errors
     ///
     /// Propagates table range errors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "validate the offset with `stats().key_at` and write through the cells"
+    )]
     pub fn stats_set_by_offset(
         &mut self,
         ds: DsId,
         offset: usize,
         value: u64,
     ) -> Result<(), CpError> {
-        self.stats.set_by_offset(ds, offset, value)
+        let key = self.stats.key_at(offset)?;
+        self.stats.set(ds, key, value)
     }
 
     /// Installs a trigger in `slot`.
@@ -304,10 +341,13 @@ impl ControlPlane {
     /// Fire, re-arm, and skipped-column outcomes are traced under
     /// [`TraceCat::Trigger`](pard_sim::trace::TraceCat::Trigger).
     pub fn evaluate_triggers(&mut self, ds: DsId, now: Time) -> usize {
-        let Ok(row) = self.stats.row(ds) else {
+        // One acquire-consistent snapshot per evaluation: every predicate,
+        // trace record, and audit re-check below sees the same row, so a
+        // concurrent lock-free recorder can never tear a multi-column
+        // comparison (satellite of the cells redesign).
+        let Ok(row) = self.stats.snapshot_row(ds) else {
             return 0;
         };
-        let row = row.to_vec();
         let outcome = self.triggers.evaluate_detailed(ds, &row);
         if trace::enabled(trace::TraceCat::Trigger) {
             for (what, slots) in [
@@ -435,8 +475,10 @@ mod tests {
     fn generation_bumps_only_on_param_writes() {
         let mut cp = plane();
         assert_eq!(cp.generation(), 0);
-        cp.set_stat(DsId::new(0), "miss_rate", 10).unwrap();
-        cp.add_stat(DsId::new(0), "capacity", 5).unwrap();
+        let miss_rate = cp.stats().key("miss_rate").unwrap();
+        let capacity = cp.stats().key("capacity").unwrap();
+        cp.stats().set(DsId::new(0), miss_rate, 10).unwrap();
+        cp.stats().add(DsId::new(0), capacity, 5).unwrap();
         assert_eq!(cp.generation(), 0);
         cp.set_param(DsId::new(0), "waymask", 0x00FF).unwrap();
         assert_eq!(cp.generation(), 1);
@@ -450,7 +492,8 @@ mod tests {
         cp.attach(3, line);
         cp.install_trigger(5, Trigger::new(DsId::new(1), 0, CmpOp::Ge, 30))
             .unwrap();
-        cp.set_stat(DsId::new(1), "miss_rate", 30).unwrap();
+        let miss_rate = cp.stats().key("miss_rate").unwrap();
+        cp.stats().set(DsId::new(1), miss_rate, 30).unwrap();
         let n = cp.evaluate_triggers(DsId::new(1), Time::from_ms(2));
         assert_eq!(n, 1);
         let irq = sink.try_recv().unwrap();
@@ -495,7 +538,8 @@ mod tests {
     fn reset_ds_restores_defaults_and_bumps_generation() {
         let mut cp = plane();
         cp.set_param(DsId::new(2), "waymask", 1).unwrap();
-        cp.set_stat(DsId::new(2), "capacity", 9).unwrap();
+        let capacity = cp.stats().key("capacity").unwrap();
+        cp.stats().set(DsId::new(2), capacity, 9).unwrap();
         let g = cp.generation();
         cp.reset_ds(DsId::new(2)).unwrap();
         assert_eq!(cp.param(DsId::new(2), "waymask").unwrap(), 0xFFFF);
@@ -522,6 +566,32 @@ mod tests {
         assert_eq!(CpType::Memory.code(), 'M');
         assert_eq!(CpType::Bridge.code(), 'B');
         assert_eq!(CpType::Cache.encode(), 0x43);
+    }
+
+    #[test]
+    fn stats_handle_records_without_the_plane_borrow() {
+        let cp = plane();
+        let handle = cp.stats_handle();
+        let miss_rate = handle.key("miss_rate").unwrap();
+        handle.add(DsId::new(1), miss_rate, 4).unwrap();
+        handle.add(DsId::new(1), miss_rate, 3).unwrap();
+        assert_eq!(cp.stat(DsId::new(1), "miss_rate").unwrap(), 7);
+        assert_eq!(handle.get(DsId::new(1), miss_rate).unwrap(), 7);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_reach_the_cells() {
+        let mut cp = plane();
+        cp.set_stat(DsId::new(0), "miss_rate", 10).unwrap();
+        cp.add_stat(DsId::new(0), "miss_rate", 5).unwrap();
+        assert_eq!(cp.stat(DsId::new(0), "miss_rate").unwrap(), 15);
+        cp.stats_set_by_offset(DsId::new(0), 1, 9).unwrap();
+        assert_eq!(cp.stat(DsId::new(0), "capacity").unwrap(), 9);
+        assert!(matches!(
+            cp.stats_set_by_offset(DsId::new(0), 9, 1),
+            Err(CpError::BadColumn { offset: 9, width: 2, .. })
+        ));
     }
 
     #[test]

@@ -108,6 +108,22 @@ impl DsTable {
             })
     }
 
+    /// The column name at `offset` (the CPA `addr` path in reverse).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::BadColumn`] for offsets beyond the schema.
+    pub fn name_at(&self, offset: usize) -> Result<&'static str, CpError> {
+        self.columns
+            .get(offset)
+            .map(|c| c.name)
+            .ok_or(CpError::BadColumn {
+                table: self.name,
+                offset,
+                width: self.columns.len(),
+            })
+    }
+
     fn cell_index(&self, ds: DsId, col: usize) -> Result<usize, CpError> {
         if ds.index() >= self.rows {
             return Err(CpError::DsOutOfRange {
@@ -116,9 +132,10 @@ impl DsTable {
             });
         }
         if col >= self.columns.len() {
-            return Err(CpError::UnknownColumn {
+            return Err(CpError::BadColumn {
                 table: self.name,
-                column: format!("offset {col}"),
+                offset: col,
+                width: self.columns.len(),
             });
         }
         Ok(ds.index() * self.columns.len() + col)
@@ -285,7 +302,16 @@ mod tests {
             t.get(DsId::new(0), "nope"),
             Err(CpError::UnknownColumn { .. })
         ));
-        assert!(t.get_by_offset(DsId::new(0), 99).is_err());
+        assert!(matches!(
+            t.get_by_offset(DsId::new(0), 99),
+            Err(CpError::BadColumn {
+                offset: 99,
+                width: 3,
+                ..
+            })
+        ));
+        assert_eq!(t.name_at(1).unwrap(), "miss_cnt");
+        assert!(matches!(t.name_at(3), Err(CpError::BadColumn { .. })));
         assert!(t.row(DsId::new(9)).is_err());
         assert!(t.reset_row(DsId::new(9)).is_err());
         assert!(t.set(DsId::new(9), "quota", 0).is_err());

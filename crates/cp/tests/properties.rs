@@ -116,3 +116,64 @@ fn triggers_fire_on_rising_edges() {
         }
     });
 }
+
+/// The lock-free statistics cells lose no increments under contention:
+/// `PARD_THREADS` workers (at least two) hammer [`StatsHandle::add`] over
+/// independent random `(ds, column, delta)` streams, and every row must
+/// end up exactly equal to a sequential oracle. Run with different
+/// `PARD_THREADS` values to vary the interleaving pressure.
+///
+/// [`StatsHandle::add`]: pard_cp::StatsHandle::add
+#[test]
+fn stats_cells_concurrent_adds_match_sequential_oracle() {
+    use pard_cp::{shared, ControlPlane, CpType};
+    use pard_sim::par::{par_map_with, thread_count};
+
+    const ROWS: usize = 8;
+    cases("cp.stats_cells_concurrent_adds", 16, |rng| {
+        let params = DsTable::new("parameter", vec![ColumnDef::new("enable")], ROWS);
+        let stats = DsTable::new(
+            "statistics",
+            vec![ColumnDef::new("a"), ColumnDef::new("b"), ColumnDef::new("c")],
+            ROWS,
+        );
+        let cp = shared(ControlPlane::new("TEST_CP", CpType::Cache, params, stats, 8));
+        let handle = cp.lock().stats_handle();
+        let keys = [
+            handle.key("a").unwrap(),
+            handle.key("b").unwrap(),
+            handle.key("c").unwrap(),
+        ];
+        let workers = thread_count().max(2);
+        let streams: Vec<Vec<(u16, usize, u64)>> = (0..workers)
+            .map(|_| {
+                vec_of(rng, 200..400, |r| {
+                    (
+                        r.gen_range(0u16..ROWS as u16),
+                        r.gen_range(0usize..3),
+                        r.gen_range(1u64..1000),
+                    )
+                })
+            })
+            .collect();
+        let mut oracle = [[0u64; 3]; ROWS];
+        for stream in &streams {
+            for &(ds, col, v) in stream {
+                oracle[ds as usize][col] = oracle[ds as usize][col].wrapping_add(v);
+            }
+        }
+        let work: Vec<_> = streams
+            .into_iter()
+            .map(|ops| (handle.clone(), ops))
+            .collect();
+        par_map_with(workers, work, |(h, ops)| {
+            for (ds, col, v) in ops {
+                h.add(DsId::new(ds), keys[col], v).unwrap();
+            }
+        });
+        for ds in 0..ROWS {
+            let row = handle.cells().snapshot_row(DsId::new(ds as u16)).unwrap();
+            assert_eq!(&row[..], &oracle[ds][..], "row {ds}");
+        }
+    });
+}

@@ -1,6 +1,6 @@
 //! The memory control-plane definition (Fig. 5 / Table 3).
 
-use pard_cp::{ColumnDef, ControlPlane, CpType, DsTable};
+use pard_cp::{ColumnDef, ControlPlane, CpType, DsTable, StatKey};
 
 /// Parameter-table columns of the memory control plane.
 ///
@@ -32,16 +32,16 @@ pub const MEM_STATS_COLUMNS: &[&str] = &[
     "comp_saved",
 ];
 
-/// Offset of `avg_qlat` in the statistics table.
-pub const MSTAT_AVG_QLAT: usize = 0;
-/// Offset of `serv_cnt`.
-pub const MSTAT_SERV_CNT: usize = 1;
-/// Offset of `bandwidth`.
-pub const MSTAT_BANDWIDTH: usize = 2;
-/// Offset of `row_hits`.
-pub const MSTAT_ROW_HITS: usize = 3;
-/// Offset of `comp_saved`.
-pub const MSTAT_COMP_SAVED: usize = 4;
+/// Key of `avg_qlat` in the statistics table.
+pub const MSTAT_AVG_QLAT: StatKey = StatKey::at(0);
+/// Key of `serv_cnt`.
+pub const MSTAT_SERV_CNT: StatKey = StatKey::at(1);
+/// Key of `bandwidth`.
+pub const MSTAT_BANDWIDTH: StatKey = StatKey::at(2);
+/// Key of `row_hits`.
+pub const MSTAT_ROW_HITS: StatKey = StatKey::at(3);
+/// Key of `comp_saved`.
+pub const MSTAT_COMP_SAVED: StatKey = StatKey::at(4);
 
 /// Builds the memory control plane.
 ///
@@ -85,10 +85,11 @@ mod tests {
     fn schema_offsets_match_constants() {
         let cp = mem_control_plane(8, 4);
         let stats = cp.stats();
-        assert_eq!(stats.column_offset("avg_qlat").unwrap(), MSTAT_AVG_QLAT);
-        assert_eq!(stats.column_offset("serv_cnt").unwrap(), MSTAT_SERV_CNT);
-        assert_eq!(stats.column_offset("bandwidth").unwrap(), MSTAT_BANDWIDTH);
-        assert_eq!(stats.column_offset("row_hits").unwrap(), MSTAT_ROW_HITS);
+        assert_eq!(stats.key("avg_qlat").unwrap(), MSTAT_AVG_QLAT);
+        assert_eq!(stats.key("serv_cnt").unwrap(), MSTAT_SERV_CNT);
+        assert_eq!(stats.key("bandwidth").unwrap(), MSTAT_BANDWIDTH);
+        assert_eq!(stats.key("row_hits").unwrap(), MSTAT_ROW_HITS);
+        assert_eq!(stats.key("comp_saved").unwrap(), MSTAT_COMP_SAVED);
     }
 
     #[test]

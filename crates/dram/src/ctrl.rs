@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pard_cp::{shared, CpHandle};
+use pard_cp::{shared, CpHandle, StatsHandle};
 use pard_icn::{to_mem_cycles, DsId, MemPacket, MemResp, PardEvent, TickKind, MEM_CYCLE};
 use pard_sim::stats::{LatencySample, WindowedCounter};
 use pard_sim::trace::{self, TraceCat, TraceVal};
@@ -12,7 +12,10 @@ use pard_sim::fault::{self, FaultClass};
 use pard_sim::{audit, Component, Ctx, Time};
 
 use crate::bank::{Bank, RankTracker};
-use crate::cpdef::mem_control_plane;
+use crate::cpdef::{
+    mem_control_plane, MSTAT_AVG_QLAT, MSTAT_BANDWIDTH, MSTAT_COMP_SAVED, MSTAT_ROW_HITS,
+    MSTAT_SERV_CNT,
+};
 use crate::geometry::{BankAddr, DramGeometry};
 use crate::timing::DramTiming;
 
@@ -113,10 +116,11 @@ pub struct MemCtrl {
     qlat_sum: Vec<u64>,
     qlat_cnt: Vec<u64>,
     win_bytes: Vec<u64>,
-    serv_cum: Vec<u64>,
-    rowhit_cum: Vec<u64>,
-    comp_saved_cum: Vec<u64>,
     active_ds: Vec<bool>,
+    /// Lock-free recording path for the cumulative counters
+    /// (`serv_cnt`/`row_hits`/`comp_saved`); the `cp` mutex is only taken
+    /// at window boundaries.
+    stats: StatsHandle,
     /// Measures the real span of each statistics window, so bandwidth
     /// divides by the time actually covered rather than the configured
     /// width (they differ when a window closes irregularly).
@@ -133,7 +137,10 @@ impl MemCtrl {
     /// Creates a controller and returns it with its control-plane handle.
     pub fn new(cfg: MemCtrlConfig) -> (Self, CpHandle) {
         let cp = shared(mem_control_plane(cfg.max_ds, cfg.trigger_slots));
-        let gen_watch = cp.lock().generation_watch();
+        let (gen_watch, stats) = {
+            let guard = cp.lock();
+            (guard.generation_watch(), guard.stats_handle())
+        };
         let nbanks = cfg.geometry.total_banks() as usize;
         let nranks = cfg.geometry.ranks as usize;
         let ctrl = MemCtrl {
@@ -156,10 +163,8 @@ impl MemCtrl {
             qlat_sum: vec![0; cfg.max_ds],
             qlat_cnt: vec![0; cfg.max_ds],
             win_bytes: vec![0; cfg.max_ds],
-            serv_cum: vec![0; cfg.max_ds],
-            rowhit_cum: vec![0; cfg.max_ds],
-            comp_saved_cum: vec![0; cfg.max_ds],
             active_ds: vec![false; cfg.max_ds],
+            stats,
             window_clock: WindowedCounter::new(),
             rec_high: LatencySample::new(),
             rec_low: LatencySample::new(),
@@ -502,7 +507,10 @@ impl MemCtrl {
         let i0 = p.pkt.ds.index().min(self.cfg.max_ds - 1);
         let nbursts = if self.cfg.priorities_enabled && self.compress[i0] {
             let compressed = raw_bursts.div_ceil(2);
-            self.comp_saved_cum[i0] += (raw_bursts - compressed) * u64::from(timing.burst_bytes());
+            let saved = (raw_bursts - compressed) * u64::from(timing.burst_bytes());
+            let _ = self
+                .stats
+                .add(DsId::new(i0 as u16), MSTAT_COMP_SAVED, saved);
             compressed
         } else {
             raw_bursts
@@ -537,9 +545,13 @@ impl MemCtrl {
         self.qlat_sum[i] += qdelay.units();
         self.qlat_cnt[i] += 1;
         self.win_bytes[i] += u64::from(p.pkt.size);
-        self.serv_cum[i] += 1;
+        // Cumulative counters go straight into the lock-free stats cells;
+        // the window-rate columns (avg_qlat, bandwidth) still need the
+        // local epoch accumulators above.
+        let ds_row = DsId::new(i as u16);
+        let _ = self.stats.add(ds_row, MSTAT_SERV_CNT, 1);
         if service.row_hit {
-            self.rowhit_cum[i] += 1;
+            let _ = self.stats.add(ds_row, MSTAT_ROW_HITS, 1);
         }
         self.served_total += 1;
         if trace::enabled(TraceCat::Dram) {
@@ -607,13 +619,10 @@ impl MemCtrl {
                 let ds = DsId::new(i as u16);
                 if let Some(avg_units) = self.qlat_sum[i].checked_div(self.qlat_cnt[i]) {
                     let avg_cycles = avg_units / MEM_CYCLE.units();
-                    let _ = cp.set_stat(ds, "avg_qlat", avg_cycles);
+                    let _ = cp.stats().set(ds, MSTAT_AVG_QLAT, avg_cycles);
                 }
                 let mbps = (self.win_bytes[i] as f64 / secs / 1e6) as u64;
-                let _ = cp.set_stat(ds, "bandwidth", mbps);
-                let _ = cp.set_stat(ds, "serv_cnt", self.serv_cum[i]);
-                let _ = cp.set_stat(ds, "row_hits", self.rowhit_cum[i]);
-                let _ = cp.set_stat(ds, "comp_saved", self.comp_saved_cum[i]);
+                let _ = cp.stats().set(ds, MSTAT_BANDWIDTH, mbps);
                 cp.evaluate_triggers(ds, now);
                 self.qlat_sum[i] = 0;
                 self.qlat_cnt[i] = 0;

@@ -1,6 +1,9 @@
 //! The I/O bridge and its control plane.
 
-use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable, StatKey, StatsHandle};
 use pard_icn::{cpu_cycles, DsId, PardEvent, TickKind};
 use pard_sim::trace::{self, TraceCat, TraceVal};
 use pard_sim::{audit, Component, ComponentId, Ctx, Time};
@@ -28,6 +31,11 @@ impl Default for IoBridgeConfig {
         }
     }
 }
+
+/// Key of `dma_bytes` in the bridge statistics table.
+pub const BSTAT_DMA_BYTES: StatKey = StatKey::at(0);
+/// Key of `reqs`.
+pub const BSTAT_REQS: StatKey = StatKey::at(1);
 
 /// Builds the I/O-bridge control plane (`type` code `B`, Fig. 6).
 ///
@@ -60,10 +68,17 @@ pub fn bridge_control_plane(max_ds: usize, trigger_slots: usize) -> ControlPlane
 pub struct IoBridge {
     cfg: IoBridgeConfig,
     cp: CpHandle,
+    /// Lock-free accounting path into the control plane's stats cells.
+    stats: StatsHandle,
+    gen_watch: Arc<AtomicU64>,
+    cached_gen: u64,
+    /// `enable` parameter cached against the generation counter, so the
+    /// per-packet forward/drop decision takes no lock.
+    enables: Vec<bool>,
     ide: ComponentId,
     mem_ctrl: ComponentId,
-    // Locally accumulated, flushed at window boundaries.
-    win_bytes: Vec<u64>,
+    /// Per-window activity marker: which DS-ids saw DMA this window (the
+    /// rollover only evaluates triggers for rows that moved).
     win_reqs: Vec<u64>,
     dropped: u64,
     window_armed: bool,
@@ -73,10 +88,17 @@ impl IoBridge {
     /// Creates a bridge and returns it with its control-plane handle.
     pub fn new(cfg: IoBridgeConfig) -> (Self, CpHandle) {
         let cp = shared(bridge_control_plane(cfg.max_ds, cfg.trigger_slots));
+        let (gen_watch, stats) = {
+            let guard = cp.lock();
+            (guard.generation_watch(), guard.stats_handle())
+        };
         let bridge = IoBridge {
+            stats,
+            gen_watch,
+            cached_gen: u64::MAX,
+            enables: vec![true; cfg.max_ds],
             ide: ComponentId::UNWIRED,
             mem_ctrl: ComponentId::UNWIRED,
-            win_bytes: vec![0; cfg.max_ds],
             win_reqs: vec![0; cfg.max_ds],
             dropped: 0,
             window_armed: false,
@@ -106,13 +128,26 @@ impl IoBridge {
         self.dropped
     }
 
-    fn enabled(&self, ds: DsId) -> bool {
-        self.cp.lock().param(ds, "enable") != Ok(0)
+    fn enabled(&mut self, ds: DsId) -> bool {
+        let gen = self.gen_watch.load(Ordering::Acquire);
+        if gen != self.cached_gen {
+            let cp = self.cp.lock();
+            for i in 0..self.cfg.max_ds {
+                self.enables[i] = cp.param(DsId::new(i as u16), "enable") != Ok(0);
+            }
+            self.cached_gen = gen;
+        }
+        // Out-of-table DS-ids forward (a failed param read is not 0) —
+        // the pre-cache behaviour.
+        self.enables.get(ds.index()).copied().unwrap_or(true)
     }
 
     fn account(&mut self, ds: DsId, bytes: u64) {
         if ds.index() < self.cfg.max_ds {
-            self.win_bytes[ds.index()] += bytes;
+            // Straight into the lock-free cells; win_reqs only marks the
+            // row active for trigger evaluation at rollover.
+            let _ = self.stats.add(ds, BSTAT_DMA_BYTES, bytes);
+            let _ = self.stats.add(ds, BSTAT_REQS, 1);
             self.win_reqs[ds.index()] += 1;
         }
     }
@@ -125,11 +160,7 @@ impl IoBridge {
                 if self.win_reqs[i] == 0 {
                     continue;
                 }
-                let ds = DsId::new(i as u16);
-                let _ = cp.add_stat(ds, "dma_bytes", self.win_bytes[i]);
-                let _ = cp.add_stat(ds, "reqs", self.win_reqs[i]);
-                cp.evaluate_triggers(ds, now);
-                self.win_bytes[i] = 0;
+                cp.evaluate_triggers(DsId::new(i as u16), now);
                 self.win_reqs[i] = 0;
             }
         }

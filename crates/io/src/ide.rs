@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable};
+use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable, StatKey};
 use pard_icn::DsId;
 use pard_icn::{
     DiskDone, DiskKind, DiskRequest, LAddr, MemKind, MemPacket, PacketIdGen, PardEvent, PioResp,
@@ -58,6 +58,15 @@ impl Default for IdeConfig {
         }
     }
 }
+
+/// Key of `bandwidth` in the IDE statistics table.
+pub const ISTAT_BANDWIDTH: StatKey = StatKey::at(0);
+/// Key of `bytes`.
+pub const ISTAT_BYTES: StatKey = StatKey::at(1);
+/// Key of `reqs`.
+pub const ISTAT_REQS: StatKey = StatKey::at(2);
+/// Key of `drops`.
+pub const ISTAT_DROPS: StatKey = StatKey::at(3);
 
 /// Builds the IDE control plane (`type` code `I`).
 ///
@@ -458,10 +467,13 @@ impl IdeCtrl {
                 }
                 let ds = DsId::new(i as u16);
                 let mbps = (self.win_bytes[i] as f64 / secs / 1e6) as u64;
-                let _ = cp.set_stat(ds, "bandwidth", mbps);
-                let _ = cp.set_stat(ds, "bytes", self.cum_bytes[i]);
-                let _ = cp.set_stat(ds, "reqs", self.cum_reqs[i]);
-                let _ = cp.set_stat(ds, "drops", self.cum_drops[i]);
+                // Published window-latched (not live): fault experiments
+                // sample `bytes`/`drops` at phase boundaries and expect
+                // the value frozen at the last rollover.
+                let _ = cp.stats().set(ds, ISTAT_BANDWIDTH, mbps);
+                let _ = cp.stats().set(ds, ISTAT_BYTES, self.cum_bytes[i]);
+                let _ = cp.stats().set(ds, ISTAT_REQS, self.cum_reqs[i]);
+                let _ = cp.stats().set(ds, ISTAT_DROPS, self.cum_drops[i]);
                 cp.evaluate_triggers(ds, now);
                 self.win_bytes[i] = 0;
             }

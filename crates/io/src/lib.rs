@@ -37,6 +37,12 @@ mod ide;
 mod nic;
 
 pub use apic::{Apic, ApicRoutes, VEC_IDE, VEC_NIC};
-pub use bridge::{bridge_control_plane, IoBridge, IoBridgeConfig};
-pub use ide::{ide_control_plane, DiskProgress, IdeConfig, IdeCtrl};
-pub use nic::{mac_to_u64, nic_control_plane, u64_to_mac, Nic, NicConfig};
+pub use bridge::{bridge_control_plane, IoBridge, IoBridgeConfig, BSTAT_DMA_BYTES, BSTAT_REQS};
+pub use ide::{
+    ide_control_plane, DiskProgress, IdeConfig, IdeCtrl, ISTAT_BANDWIDTH, ISTAT_BYTES,
+    ISTAT_DROPS, ISTAT_REQS,
+};
+pub use nic::{
+    mac_to_u64, nic_control_plane, u64_to_mac, Nic, NicConfig, NSTAT_BYTES, NSTAT_DROPPED,
+    NSTAT_FRAMES,
+};

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable};
+use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable, StatKey};
 use pard_icn::{
     DsId, InterruptPacket, LAddr, MemKind, MemPacket, NetFrame, PacketIdGen, PardEvent, TickKind,
 };
@@ -37,6 +37,13 @@ pub fn u64_to_mac(raw: u64) -> [u8; 6] {
     }
     mac
 }
+
+/// Key of `frames` in the NIC statistics table.
+pub const NSTAT_FRAMES: StatKey = StatKey::at(0);
+/// Key of `bytes`.
+pub const NSTAT_BYTES: StatKey = StatKey::at(1);
+/// Key of `dropped`.
+pub const NSTAT_DROPPED: StatKey = StatKey::at(2);
 
 /// Builds the NIC control plane (`type` code `N`).
 ///
@@ -250,13 +257,16 @@ impl Nic {
                     continue;
                 }
                 let ds = DsId::new(i as u16);
-                let _ = cp.add_stat(ds, "frames", self.win_frames[i]);
-                let _ = cp.add_stat(ds, "bytes", self.win_bytes[i]);
+                // Window-latched on purpose: fault experiments sample
+                // `frames` at phase boundaries and expect the last
+                // rollover's value, not a live counter.
+                let _ = cp.stats().add(ds, NSTAT_FRAMES, self.win_frames[i]);
+                let _ = cp.stats().add(ds, NSTAT_BYTES, self.win_bytes[i]);
                 cp.evaluate_triggers(ds, now);
                 self.win_frames[i] = 0;
                 self.win_bytes[i] = 0;
             }
-            let _ = cp.set_stat(DsId::DEFAULT, "dropped", self.dropped);
+            let _ = cp.stats().set(DsId::DEFAULT, NSTAT_DROPPED, self.dropped);
         }
         let window = self.cfg.window;
         ctx.send(ctx.self_id(), window, PardEvent::Tick(TickKind::CpWindow));

@@ -922,7 +922,8 @@ mod tests {
         let ds = fw
             .create_ldom(LDomSpec::new("t", vec![0], 1 << 20))
             .unwrap();
-        cache.lock().set_stat(ds, "miss_rate", 42).unwrap();
+        let stats = cache.lock().stats_handle();
+        stats.set(ds, stats.key("miss_rate").unwrap(), 42).unwrap();
         assert_eq!(
             fw.read("/sys/cpa/cpa0/ldoms/ldom0/statistics/miss_rate")
                 .unwrap(),
@@ -956,7 +957,8 @@ echo 0xFF00 > /sys/cpa/cpa$CPA/ldoms/ldom$DS/parameters/waymask
         // Simulate the LLC hitting 45% miss rate at a window boundary.
         {
             let mut cp = cache.lock();
-            cp.set_stat(ds, "miss_rate", 45).unwrap();
+            let key = cp.stats().key("miss_rate").unwrap();
+            cp.stats().set(ds, key, 45).unwrap();
             cp.evaluate_triggers(ds, Time::from_ms(5));
         }
         assert_eq!(fw.service_interrupts(), 1);
@@ -989,7 +991,8 @@ echo 0xFF00 > /sys/cpa/cpa$CPA/ldoms/ldom$DS/parameters/waymask
             .unwrap();
         {
             let mut cp = cache.lock();
-            cp.set_stat(ds, "miss_rate", 10).unwrap();
+            let key = cp.stats().key("miss_rate").unwrap();
+            cp.stats().set(ds, key, 10).unwrap();
             cp.evaluate_triggers(ds, Time::ZERO);
         }
         fw.service_interrupts();
@@ -1042,8 +1045,10 @@ echo 0xFF00 > /sys/cpa/cpa$CPA/ldoms/ldom$DS/parameters/waymask
         let ds = fw
             .create_ldom(LDomSpec::new("t", vec![0], 1 << 20))
             .unwrap();
-        cache.lock().set_stat(ds, "miss_rate", 33).unwrap();
-        mem.lock().set_stat(ds, "bandwidth", 1200).unwrap();
+        let cstats = cache.lock().stats_handle();
+        cstats.set(ds, cstats.key("miss_rate").unwrap(), 33).unwrap();
+        let mstats = mem.lock().stats_handle();
+        mstats.set(ds, mstats.key("bandwidth").unwrap(), 1200).unwrap();
         fw.set_now(Time::from_us(7));
 
         let snap = fw.metrics_snapshot();

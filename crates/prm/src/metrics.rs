@@ -2,22 +2,37 @@
 //!
 //! Every control plane registered with the firmware is also registered
 //! here; [`MetricsRegistry::snapshot`] walks each plane's statistics
-//! table and collects the non-zero rows into a [`MetricsSnapshot`] — the
+//! cells and collects the non-zero rows into a [`MetricsSnapshot`] — the
 //! machine-wide per-DS-id observability view the paper's management
 //! interface implies but scatters across `/sys/cpa/cpaN/...` leaves.
 //! The firmware exports the snapshot through the device file tree as
 //! `/sys/stats/snapshot` (a JSON document), and experiment harnesses can
 //! dump it at run end via `PARD_METRICS`.
+//!
+//! Registration caches each plane's immutable metadata (ident, type,
+//! column schema) plus a [`StatsHandle`], so taking a snapshot never
+//! locks a `CpHandle`: every row is one acquire-consistent
+//! [`snapshot_row`](pard_cp::StatsCells::snapshot_row) over the same
+//! lock-free cells the data path records into.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pard_cp::CpHandle;
+use pard_cp::{CpHandle, StatsHandle};
 use pard_icn::DsId;
 use pard_sim::sync::Mutex;
 use pard_sim::trace::TraceVal;
 use pard_sim::{audit, Time};
+
+/// Register-time cache of one plane's snapshot inputs.
+struct RegisteredPlane {
+    cpa: usize,
+    ident: String,
+    cp_type: char,
+    columns: Vec<&'static str>,
+    stats: StatsHandle,
+}
 
 /// A shareable registry of every control plane on the machine.
 ///
@@ -25,7 +40,7 @@ use pard_sim::{audit, Time};
 /// holds one clone and the `/sys/stats/snapshot` file hook another.
 #[derive(Clone)]
 pub struct MetricsRegistry {
-    planes: Arc<Mutex<Vec<(usize, CpHandle)>>>,
+    planes: Arc<Mutex<Vec<RegisteredPlane>>>,
     /// Last firmware time, in [`Time`] units; lets detached holders (the
     /// file-tree hook, the server's exit dump) stamp snapshots.
     clock: Arc<AtomicU64>,
@@ -67,8 +82,21 @@ impl MetricsRegistry {
     }
 
     /// Registers control plane `plane` mounted as CPA index `cpa`.
+    ///
+    /// Takes the plane lock once, here, to cache its identity and grab a
+    /// [`StatsHandle`]; snapshots never lock the plane again.
     pub fn register(&self, cpa: usize, plane: CpHandle) {
-        self.planes.lock().push((cpa, plane));
+        let entry = {
+            let guard = plane.lock();
+            RegisteredPlane {
+                cpa,
+                ident: guard.ident().to_string(),
+                cp_type: guard.cp_type().code(),
+                columns: guard.stats().columns().iter().map(|c| c.name).collect(),
+                stats: guard.stats_handle(),
+            }
+        };
+        self.planes.lock().push(entry);
     }
 
     /// Number of registered planes.
@@ -98,27 +126,27 @@ impl MetricsRegistry {
         }
         let planes = self.planes.lock();
         let mut out = Vec::with_capacity(planes.len());
-        for (cpa, handle) in planes.iter() {
-            let plane = handle.lock();
-            let stats = plane.stats();
-            let columns: Vec<&'static str> = stats.columns().iter().map(|c| c.name).collect();
+        for entry in planes.iter() {
+            let cells = entry.stats.cells();
             let mut rows = Vec::new();
-            for i in 0..stats.rows() {
+            for i in 0..cells.rows() {
                 let ds = DsId::new(i as u16);
-                let Ok(row) = stats.row(ds) else { continue };
+                let Ok(row) = cells.snapshot_row(ds) else {
+                    continue;
+                };
                 if row.iter().all(|&v| v == 0) {
                     continue;
                 }
                 rows.push(DsRow {
                     ds: ds.raw(),
-                    values: row.to_vec(),
+                    values: row,
                 });
             }
             out.push(PlaneMetrics {
-                cpa: *cpa,
-                ident: plane.ident().to_string(),
-                cp_type: plane.cp_type().code(),
-                columns,
+                cpa: entry.cpa,
+                ident: entry.ident.clone(),
+                cp_type: entry.cp_type,
+                columns: entry.columns.clone(),
                 rows,
             });
         }
@@ -243,8 +271,11 @@ mod tests {
         let reg = MetricsRegistry::new();
         let cp = plane();
         reg.register(0, cp.clone());
-        cp.lock().set_stat(DsId::new(1), "hits", 10).unwrap();
-        cp.lock().set_stat(DsId::new(3), "misses", 7).unwrap();
+        let stats = cp.lock().stats_handle();
+        let hits = stats.key("hits").unwrap();
+        let misses = stats.key("misses").unwrap();
+        stats.set(DsId::new(1), hits, 10).unwrap();
+        stats.set(DsId::new(3), misses, 7).unwrap();
 
         let snap = reg.snapshot(Time::from_us(2));
         assert_eq!(snap.planes.len(), 1);
@@ -276,7 +307,10 @@ mod tests {
         let reg = MetricsRegistry::new();
         let cp = plane();
         reg.register(2, cp.clone());
-        cp.lock().set_stat(DsId::new(0), "hits", 1).unwrap();
+        let stats = cp.lock().stats_handle();
+        stats
+            .set(DsId::new(0), stats.key("hits").unwrap(), 1)
+            .unwrap();
 
         let a = reg.snapshot(Time::from_ns(5)).to_json();
         let b = reg.snapshot(Time::from_ns(5)).to_json();

@@ -135,7 +135,8 @@ mod tests {
         // Fire the trigger from the "hardware" side.
         {
             let mut cp = cache.lock();
-            cp.set_stat(ds, "miss_rate", 50).unwrap();
+            let key = cp.stats().key("miss_rate").unwrap();
+            cp.stats().set(ds, key, 50).unwrap();
             cp.evaluate_triggers(ds, Time::from_us(150));
         }
         sim.run_until(Time::from_ms(1));

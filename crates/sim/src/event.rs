@@ -6,12 +6,23 @@
 //! simulators. Instead of a single `BinaryHeap` over the whole pending
 //! set, the queue is a two-tier ladder/calendar structure:
 //!
-//! * a **near-future tier** — a ring of fixed-width time buckets covering
-//!   the next ~microsecond, where the dense short-delay traffic
-//!   (cache/DRAM hops a few ns apart) lands in O(1), with only the
-//!   currently-active bucket kept as a (tiny) heap;
+//! * a **near-future tier** — a ring of time buckets covering the near
+//!   future, where the dense short-delay traffic (cache/DRAM hops a few
+//!   ns apart) lands in O(1), with only the currently-active bucket kept
+//!   as a (tiny) heap;
 //! * an **overflow tier** — a four-ary min-heap for events beyond the
 //!   ring's window (statistics windows, poll timers, request gaps).
+//!
+//! The bucket width is **adaptive**: each queue keeps an exponential
+//! moving average of how far ahead of the window pushes land and, at
+//! bucket-drain boundaries, narrows or widens the buckets so the active
+//! bucket stays a handful of events. Dense traffic (thousands of events
+//! spread over a few hundred time units) would otherwise pile the whole
+//! backlog into one wide active bucket and degenerate to a single heap —
+//! the regime where the fixed-width ladder lost to `BinaryHeap`. Pushes
+//! into the overflow tier are deferred into an unsorted tail and
+//! bulk-heapified on the next read, so far-future timers cost O(1) at
+//! push time.
 //!
 //! Events migrate from the overflow tier into the ring as simulated time
 //! advances, so each event pays at most one small-heap push/pop plus O(1)
@@ -64,18 +75,22 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
-/// Log2 of the bucket width in quarter-nanosecond units: 64 units = 16 ns
-/// per bucket, a few cache/DRAM hops.
-const BUCKET_SHIFT: u32 = 6;
-const BUCKET_WIDTH: u64 = 1 << BUCKET_SHIFT;
-/// Ring size (power of two). 64 buckets x 16 ns ≈ 1 µs of near future.
+/// Log2 of the widest bucket in quarter-nanosecond units: 64 units =
+/// 16 ns per bucket, a few cache/DRAM hops. The adaptive width starts
+/// here and narrows (down to one unit) when observed inter-event deltas
+/// are small.
+const MAX_BUCKET_SHIFT: u32 = 6;
+/// Ring size (power of two). 64 buckets x 16 ns ≈ 1 µs of near future at
+/// the widest setting.
 const NUM_BUCKETS: usize = 64;
 const RING_MASK: usize = NUM_BUCKETS - 1;
-
-#[inline]
-const fn align_down(units: u64) -> u64 {
-    units & !(BUCKET_WIDTH - 1)
-}
+/// EMA seed for the push-distance average; chosen so a fresh queue
+/// starts at `MAX_BUCKET_SHIFT` and only narrows on evidence.
+const EMA_INIT: u64 = 32 << MAX_BUCKET_SHIFT;
+/// Pushes farther ahead than this are timers (statistics windows, poll
+/// intervals), not data-path traffic; they bypass the EMA so one
+/// far-future event can't widen the buckets under dense load.
+const EMA_DIST_CAP: u64 = (NUM_BUCKETS as u64 * 4) << MAX_BUCKET_SHIFT;
 
 /// A four-ary min-heap over `(time, seq)`, used for both the active
 /// bucket and the overflow tier.
@@ -87,28 +102,73 @@ const fn align_down(units: u64) -> u64 {
 #[derive(Debug)]
 struct FourAryHeap<E> {
     items: Vec<ScheduledEvent<E>>,
+    /// Deferred pushes, unsorted. [`FourAryHeap::absorb`] folds them into
+    /// `items` before the next read, amortising bursts of far-future
+    /// pushes into one bulk heapify instead of a sift each.
+    tail: Vec<ScheduledEvent<E>>,
 }
 
 impl<E> FourAryHeap<E> {
     fn with_capacity(cap: usize) -> Self {
         FourAryHeap {
             items: Vec::with_capacity(cap),
+            tail: Vec::new(),
         }
     }
 
     #[inline]
     fn len(&self) -> usize {
-        self.items.len()
+        self.items.len() + self.tail.len()
     }
 
     #[inline]
     fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.items.is_empty() && self.tail.is_empty()
     }
 
+    /// The heap minimum's timestamp. Callers must [`absorb`] any deferred
+    /// tail first (the active-bucket heap never defers).
+    ///
+    /// [`absorb`]: FourAryHeap::absorb
     #[inline]
     fn peek_time(&self) -> Option<Time> {
+        debug_assert!(self.tail.is_empty());
         self.items.first().map(|ev| ev.time)
+    }
+
+    /// Queues `ev` without restoring heap order; O(1).
+    #[inline]
+    fn push_deferred(&mut self, ev: ScheduledEvent<E>) {
+        self.tail.push(ev);
+    }
+
+    /// Folds the deferred tail into the heap: a large tail is appended
+    /// and bulk-heapified (O(n) total, cheaper than n sifts), a small one
+    /// sifted in element by element.
+    fn absorb(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        if self.tail.len() > self.items.len() / 4 {
+            self.items.append(&mut self.tail);
+            self.heapify();
+        } else {
+            let mut tail = std::mem::take(&mut self.tail);
+            for ev in tail.drain(..) {
+                self.push(ev);
+            }
+            // Keep the buffer so steady-state deferral never allocates.
+            self.tail = tail;
+        }
+    }
+
+    fn heapify(&mut self) {
+        if self.items.len() > 1 {
+            let last_parent = (self.items.len() - 2) / 4;
+            for i in (0..=last_parent).rev() {
+                self.sift_down(i);
+            }
+        }
     }
 
     #[inline]
@@ -190,6 +250,7 @@ impl<E> FourAryHeap<E> {
 
     #[inline]
     fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        debug_assert!(self.tail.is_empty());
         if self.items.is_empty() {
             return None;
         }
@@ -214,14 +275,9 @@ impl<E> FourAryHeap<E> {
     /// place. Both vectors keep their buffers, so the ladder's bucket →
     /// active-heap transitions are allocation-free.
     fn refill_from(&mut self, bucket: &mut Vec<ScheduledEvent<E>>) {
-        debug_assert!(self.items.is_empty());
+        debug_assert!(self.is_empty());
         self.items.append(bucket);
-        if self.items.len() > 1 {
-            let last_parent = (self.items.len() - 2) / 4;
-            for i in (0..=last_parent).rev() {
-                self.sift_down(i);
-            }
-        }
+        self.heapify();
     }
 }
 
@@ -246,11 +302,12 @@ impl<E> FourAryHeap<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     /// The active bucket, kept as a heap: every pending event earlier
-    /// than `base + BUCKET_WIDTH` lives here, so its minimum is the
+    /// than `base + (1 << shift)` lives here, so its minimum is the
     /// queue's global minimum whenever the queue is non-empty.
     cur: FourAryHeap<E>,
     /// `ring[(ring_head + d - 1) & RING_MASK]` holds the span
-    /// `[base + d*W, base + (d+1)*W)` for `d` in `1..=NUM_BUCKETS`.
+    /// `[base + d*W, base + (d+1)*W)` for `d` in `1..=NUM_BUCKETS`,
+    /// where `W = 1 << shift`.
     ring: Vec<Vec<ScheduledEvent<E>>>,
     /// Occupancy bitmap: bit `s` is set iff `ring[s]` is non-empty, so
     /// `refill` can jump over empty buckets in one `trailing_zeros`
@@ -262,8 +319,13 @@ pub struct EventQueue<E> {
     near_len: usize,
     /// Events at or beyond `base + (NUM_BUCKETS+1)*W`.
     overflow: FourAryHeap<E>,
-    /// Start of the active bucket's span, a multiple of `BUCKET_WIDTH`.
+    /// Start of the active bucket's span, a multiple of `1 << shift`.
     base: u64,
+    /// Log2 of the current bucket width, in `[0, MAX_BUCKET_SHIFT]`.
+    shift: u32,
+    /// EMA of recent push distances (`time - base`, capped at
+    /// [`EMA_DIST_CAP`]); drives the adaptive `shift`.
+    ema: u64,
     len: usize,
     next_seq: u64,
 }
@@ -285,9 +347,30 @@ impl<E> EventQueue<E> {
             near_len: 0,
             overflow: FourAryHeap::with_capacity(cap / 2),
             base: 0,
+            shift: MAX_BUCKET_SHIFT,
+            ema: EMA_INIT,
             len: 0,
             next_seq: 0,
         }
+    }
+
+    /// Aligns `units` down to the current bucket width.
+    #[inline]
+    fn align(&self, units: u64) -> u64 {
+        units & !((1u64 << self.shift) - 1)
+    }
+
+    /// The narrowest bucket shift whose ring still covers a pending span
+    /// of `NUM_BUCKETS / 2` events at the observed mean push distance —
+    /// i.e. the smallest `s` with `32 << s >= ema`, capped at
+    /// [`MAX_BUCKET_SHIFT`].
+    #[inline]
+    fn shift_for(ema: u64) -> u32 {
+        let mut s = 0;
+        while s < MAX_BUCKET_SHIFT && (32u64 << s) < ema {
+            s += 1;
+        }
+        s
     }
 
     /// Schedules `event` for `dst` at absolute time `time`.
@@ -310,25 +393,31 @@ impl<E> EventQueue<E> {
             event,
         };
         let tu = time.units();
+        let dist = tu.saturating_sub(self.base);
+        if dist <= EMA_DIST_CAP {
+            self.ema = (self.ema * 7 + dist) >> 3;
+        }
         if self.len == 0 {
             // Rebase the ladder on the first event so a queue that idles
-            // and refills never walks the ring to catch up.
-            self.base = align_down(tu);
+            // and refills never walks the ring to catch up; an empty ring
+            // is also the cheapest point to adopt the adaptive width.
+            self.shift = Self::shift_for(self.ema);
+            self.base = self.align(tu);
             self.cur.push(ev);
-        } else if tu < self.base.saturating_add(BUCKET_WIDTH) {
+        } else if tu < self.base.saturating_add(1 << self.shift) {
             // Active span, or a push earlier than everything pending
             // (the kernel never does this, but the public API allows it);
             // either way `cur` keeps the global minimum.
             self.cur.push(ev);
         } else {
-            let d = (tu - self.base) >> BUCKET_SHIFT;
+            let d = (tu - self.base) >> self.shift;
             if d <= NUM_BUCKETS as u64 {
                 let slot = (self.ring_head + d as usize - 1) & RING_MASK;
                 self.ring[slot].push(ev);
                 self.ring_occ |= 1 << slot;
                 self.near_len += 1;
             } else {
-                self.overflow.push(ev);
+                self.overflow.push_deferred(ev);
             }
         }
         self.len += 1;
@@ -349,13 +438,27 @@ impl<E> EventQueue<E> {
     /// jump straight to the overflow tier's minimum.
     fn refill(&mut self) {
         debug_assert!(self.cur.is_empty() && self.len > 0);
+        let desired = Self::shift_for(self.ema);
+        if self.near_len > 0 && (desired as i32 - self.shift as i32).abs() >= 2 {
+            // The observed traffic density no longer matches the bucket
+            // width (hysteresis of one step avoids thrash); redistribute
+            // the ring under the new geometry, then bring back any
+            // overflow events the new coverage reaches — a widened ring
+            // may now cover events deferred under the narrow one, and
+            // the jump below must not skip past them.
+            self.rebucket(desired);
+            self.pull_overflow();
+            if !self.cur.is_empty() {
+                return;
+            }
+        }
         if self.near_len > 0 {
             // Jump the window straight to the next occupied bucket.
             debug_assert!(self.ring_occ != 0);
             let rot = self.ring_occ.rotate_right(self.ring_head as u32);
             let d = rot.trailing_zeros() as usize + 1;
             let slot = (self.ring_head + d - 1) & RING_MASK;
-            self.base += (d as u64) << BUCKET_SHIFT;
+            self.base += (d as u64) << self.shift;
             self.ring_head = (self.ring_head + d) & RING_MASK;
             let mut bucket = std::mem::take(&mut self.ring[slot]);
             self.ring_occ &= !(1u64 << slot);
@@ -372,10 +475,13 @@ impl<E> EventQueue<E> {
             return;
         }
         // Everything pending is in the overflow tier: jump the ladder to
-        // its minimum instead of sliding bucket by bucket.
+        // its minimum instead of sliding bucket by bucket. The ring is
+        // empty, so adopting the adaptive width here is free.
+        self.overflow.absorb();
         debug_assert!(self.overflow.len() == self.len);
+        self.shift = desired;
         let t = self.overflow.peek_time().expect("overflow holds the rest");
-        self.base = align_down(t.units());
+        self.base = self.align(t.units());
         self.pull_overflow();
         if self.cur.is_empty() {
             // Only reachable when the window end saturated at u64::MAX;
@@ -386,12 +492,55 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Redistributes the ring's events under bucket width `1 << new_shift`.
+    ///
+    /// Only called with `cur` empty. Events may land in `cur` (the new,
+    /// narrower active span), back in the ring, or — when the coverage
+    /// shrank — in the overflow tier. `cur` keeps the global minimum
+    /// afterwards: anything left in the overflow tier was at least
+    /// `(NUM_BUCKETS + 1)` old bucket widths past `base`, which the new
+    /// active span (at most `1 << MAX_BUCKET_SHIFT` wide) cannot reach.
+    fn rebucket(&mut self, new_shift: u32) {
+        debug_assert!(self.cur.is_empty());
+        let mut scratch: Vec<ScheduledEvent<E>> = Vec::with_capacity(self.near_len);
+        let mut occ = self.ring_occ;
+        while occ != 0 {
+            let slot = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            scratch.append(&mut self.ring[slot]);
+        }
+        self.ring_occ = 0;
+        self.ring_head = 0;
+        self.near_len = 0;
+        self.shift = new_shift;
+        // Narrowing keeps `base` aligned (old widths are multiples of
+        // new); widening aligns it down, which only grows the span.
+        self.base = self.align(self.base);
+        for ev in scratch {
+            let tu = ev.time.units();
+            if tu < self.base.saturating_add(1 << new_shift) {
+                self.cur.push(ev);
+            } else {
+                let d = (tu - self.base) >> new_shift;
+                if d <= NUM_BUCKETS as u64 {
+                    let slot = (d as usize - 1) & RING_MASK;
+                    self.ring[slot].push(ev);
+                    self.ring_occ |= 1 << slot;
+                    self.near_len += 1;
+                } else {
+                    self.overflow.push_deferred(ev);
+                }
+            }
+        }
+    }
+
     /// Moves overflow events that now fall inside the near window into
     /// the ring (or `cur`, after a jump rebases the ladder onto them).
     fn pull_overflow(&mut self) {
+        self.overflow.absorb();
         let end = self
             .base
-            .saturating_add((NUM_BUCKETS as u64 + 1) << BUCKET_SHIFT);
+            .saturating_add((NUM_BUCKETS as u64 + 1) << self.shift);
         while let Some(t) = self.overflow.peek_time() {
             if t.units() >= end {
                 break;
@@ -399,10 +548,10 @@ impl<E> EventQueue<E> {
             let ev = self.overflow.pop().expect("peeked event exists");
             let tu = ev.time.units();
             debug_assert!(tu >= self.base);
-            if tu < self.base + BUCKET_WIDTH {
+            if tu < self.base + (1 << self.shift) {
                 self.cur.push(ev);
             } else {
-                let d = ((tu - self.base) >> BUCKET_SHIFT) as usize;
+                let d = ((tu - self.base) >> self.shift) as usize;
                 let slot = (self.ring_head + d - 1) & RING_MASK;
                 self.ring[slot].push(ev);
                 self.ring_occ |= 1 << slot;
@@ -538,6 +687,115 @@ mod tests {
             assert_eq!((popped.time.units(), popped.seq), expect);
         }
         assert!(q.pop().is_none());
+    }
+
+    /// Hold-`k` churn against a sort oracle: `steps` pop+push rounds with
+    /// per-step delays from `delay(i)`, verifying exact `(time, seq)`
+    /// order throughout.
+    fn churn_oracle(k: u64, steps: u64, delay: impl Fn(u64) -> u64) -> EventQueue<u64> {
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..k {
+            let t = delay(i);
+            q.push(Time::from_units(t), dst(0), seq);
+            reference.push((t, seq));
+            seq += 1;
+        }
+        for i in 0..steps {
+            let popped = q.pop().unwrap();
+            reference.sort_unstable();
+            let expect = reference.remove(0);
+            assert_eq!((popped.time.units(), popped.seq), expect, "step {i}");
+            let t = popped.time.units() + delay(i);
+            q.push(Time::from_units(t), dst(0), seq);
+            reference.push((t, seq));
+            seq += 1;
+        }
+        reference.sort_unstable();
+        for expect in reference {
+            let popped = q.pop().unwrap();
+            assert_eq!((popped.time.units(), popped.seq), expect);
+        }
+        assert!(q.pop().is_none());
+        q
+    }
+
+    #[test]
+    fn dense_churn_narrows_the_buckets_and_keeps_order() {
+        // 512 pending events spread over <256 units: the fixed-width
+        // ladder would pile most of them into a couple of wide buckets.
+        // A deterministic LCG supplies deltas in 1..=16.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let deltas: Vec<u64> = (0..1024)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 60) + 1
+            })
+            .collect();
+        let q = churn_oracle(512, 4096, |i| deltas[(i % 1024) as usize]);
+        assert!(
+            q.shift < MAX_BUCKET_SHIFT,
+            "dense traffic should have narrowed the buckets (shift {})",
+            q.shift
+        );
+    }
+
+    #[test]
+    fn sparse_after_dense_widens_the_buckets_again() {
+        // Dense phase drags the width down; a sparse phase (deltas ~40x
+        // wider) must widen it back without breaking order.
+        let q = churn_oracle(256, 8192, |i| {
+            if i < 4096 {
+                1 + i % 8
+            } else {
+                300 + i % 200
+            }
+        });
+        assert!(
+            q.shift >= 2,
+            "sparse traffic should have widened the buckets (shift {})",
+            q.shift
+        );
+    }
+
+    #[test]
+    fn widening_rebucket_recovers_deferred_overflow_events() {
+        // Regression: under a narrow width, mid-range events are
+        // deferred to the overflow tier; a later widening rebucket must
+        // bring them back before the window jumps past them. Dense
+        // traffic with mid-range timers sprinkled in, then a sparse
+        // phase to force the widening.
+        churn_oracle(256, 12_288, |i| {
+            if i < 8192 {
+                if i % 16 == 0 {
+                    300 + (i % 7) * 100
+                } else {
+                    1 + i % 8
+                }
+            } else {
+                400 + i % 300
+            }
+        });
+    }
+
+    #[test]
+    fn deferred_overflow_pushes_pop_in_order() {
+        // A burst of far-future timers lands in the overflow tail
+        // unsorted; draining must absorb and order them exactly.
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(1), dst(0), 0u64);
+        let times = [900u64, 300, 700, 300, 500, 100, 800];
+        for (i, &us) in times.iter().enumerate() {
+            q.push(Time::from_us(us), dst(0), i as u64 + 1);
+        }
+        assert_eq!(q.len(), times.len() + 1);
+        let mut order: Vec<u64> = Vec::new();
+        while let Some(ev) = q.pop() {
+            order.push(ev.event);
+        }
+        // Sorted by (time, seq): the tie at 300 µs keeps insertion order.
+        assert_eq!(order, vec![0, 6, 2, 4, 5, 3, 7, 1]);
     }
 
     #[test]

@@ -201,7 +201,8 @@ fn triggers_latch_and_rearm_when_the_condition_clears() {
     for (rate, expected_total) in [(80u64, 1usize), (90, 1), (10, 1), (80, 2)] {
         {
             let mut plane = cp.lock();
-            plane.set_stat(ds, "miss_rate", rate).unwrap();
+            let key = plane.stats().key("miss_rate").unwrap();
+            plane.stats().set(ds, key, rate).unwrap();
             plane.evaluate_triggers(ds, server.now());
         }
         server.run_for(Time::from_ms(1));
@@ -242,7 +243,8 @@ echo 1 > /sys/cpa/cpa1/ldoms/ldom$DS/parameters/rowbuf
     {
         let cp = server.mem_cp().clone();
         let mut plane = cp.lock();
-        plane.set_stat(ds, "avg_qlat", 40).unwrap();
+        let key = plane.stats().key("avg_qlat").unwrap();
+        plane.stats().set(ds, key, 40).unwrap();
         plane.evaluate_triggers(ds, Time::ZERO);
     }
     server.run_for(Time::from_ms(1));
@@ -353,7 +355,8 @@ fn unbound_trigger_interrupts_are_logged_not_fatal() {
     {
         let cp = server.llc_cp().clone();
         let mut plane = cp.lock();
-        plane.set_stat(ds, "miss_rate", 99).unwrap();
+        let key = plane.stats().key("miss_rate").unwrap();
+        plane.stats().set(ds, key, 99).unwrap();
         plane.evaluate_triggers(ds, Time::ZERO);
     }
     server.run_for(Time::from_ms(1));
