@@ -5,87 +5,18 @@
 //! three STREAM LDoms start, the miss rate shoots above 30 %, the
 //! installed trigger fires, the firmware grows memcached's partition to
 //! half the LLC, and the miss rate falls back to ~10 %.
+//!
+//! The timeline runs on the partitioned kernel (see
+//! [`pard_bench::fig09_scenario`]); the emitted `fig09.json` is
+//! byte-identical at every `PARD_THREADS` setting.
 
-use pard::{DsId, Time};
+use pard_bench::fig09_scenario::run_timeline;
 use pard_bench::json::JsonValue;
 use pard_bench::output::{print_series, save_json};
-use pard_bench::{duration_scale, install_llc_trigger, install_llc_trigger_scenario};
-use pard_sim::par::par_map;
-
-struct Fig09Run {
-    total: Time,
-    stream_start: Time,
-    series: Vec<(f64, f64)>,
-    fired_at: Option<f64>,
-}
-
-/// One end-to-end timeline. Unlike the sweep figures this is a single
-/// simulation with mid-run operator actions (each sample depends on the
-/// last), so there is nothing to fan out — the one-element `par_map`
-/// keeps the experiment-runner idiom uniform and runs inline.
-fn run_timeline(scale: f64) -> Fig09Run {
-    let total = Time::from_ms((160.0 * scale).max(80.0) as u64);
-    let sample = Time::from_ms(2);
-
-    let (mut server, mc) = install_llc_trigger_scenario(20_000.0);
-    // Launch memcached alone first; STREAM joins at a third of the run.
-    // The trigger rule is installed once memcached has warmed, as the
-    // paper's operator does before the interfering LDoms arrive.
-    let stream_start = total / 3;
-    let rule_at = stream_start * 9 / 10;
-    let mut series: Vec<(f64, f64)> = Vec::new();
-    let mut ewma: Option<f64> = None;
-    let mut rule_installed = false;
-    let mut streams_started = false;
-    let mut fired_at: Option<f64> = None;
-
-    while server.now() < total {
-        server.run_for(sample);
-        if !rule_installed && server.now() >= rule_at {
-            install_llc_trigger(&mut server, mc);
-            rule_installed = true;
-        }
-        if !streams_started && server.now() >= stream_start {
-            for ds in 1..=3u16 {
-                server.launch(DsId::new(ds)).expect("launch stream");
-            }
-            streams_started = true;
-        }
-        let raw = server
-            .llc_cp()
-            .lock()
-            .stat(mc, "miss_rate")
-            .unwrap_or_default() as f64;
-        let smoothed = match ewma {
-            Some(prev) => prev * 0.6 + raw * 0.4,
-            None => raw,
-        };
-        ewma = Some(smoothed);
-        series.push((server.now().as_ms(), smoothed));
-        if fired_at.is_none() {
-            let mask = server
-                .llc_cp()
-                .lock()
-                .param(mc, "waymask")
-                .unwrap_or(0xFFFF);
-            if mask == 0xFF00 {
-                fired_at = Some(server.now().as_ms());
-            }
-        }
-    }
-
-    Fig09Run {
-        total,
-        stream_start,
-        series,
-        fired_at,
-    }
-}
+use pard_bench::duration_scale;
 
 fn main() {
-    let run = par_map(vec![duration_scale()], run_timeline)
-        .pop()
-        .expect("one timeline");
+    let run = run_timeline(duration_scale());
     let (total, stream_start, series, fired_at) =
         (run.total, run.stream_start, run.series, run.fired_at);
 

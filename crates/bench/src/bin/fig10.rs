@@ -4,78 +4,19 @@
 //! Initially they share the IDE controller equally; mid-run the operator
 //! runs `echo 80 > /sys/cpa/cpa3/ldoms/ldom0/parameters/bandwidth`, and
 //! LDom0's share rises to 80 %.
+//!
+//! The timeline runs on the partitioned kernel (see
+//! [`pard_bench::fig10_scenario`]); the emitted `fig10.json` is
+//! byte-identical at every `PARD_THREADS` setting.
 
-use pard::{DsId, LDomSpec, PardServer, SystemConfig, Time};
-use pard_bench::duration_scale;
+use pard_bench::fig10_scenario::run_timeline;
 use pard_bench::json::JsonValue;
 use pard_bench::output::{print_series, save_json};
-use pard_sim::par::par_map;
-use pard_workloads::{DiskCopy, DiskCopyConfig};
-
-/// One end-to-end timeline. A single simulation with a mid-run operator
-/// `echo` (each sample depends on the last), so there is nothing to fan
-/// out — the one-element `par_map` keeps the experiment-runner idiom
-/// uniform and runs inline.
-fn run_timeline(scale: f64) -> (Time, Time, Vec<Vec<(f64, f64)>>) {
-    // Scaled from the paper's 512 MB per LDom so the default run spans
-    // ~800 ms of simulated time like the figure's x-axis.
-    let block = (8.0 * scale) as u64 * 1024 * 1024;
-    let total = Time::from_ms(800);
-    let echo_at = Time::from_ms(400);
-    let sample = Time::from_ms(10);
-
-    let mut server = PardServer::new(SystemConfig::asplos15());
-    for (i, name) in ["dd0", "dd1"].iter().enumerate() {
-        server
-            .create_ldom(LDomSpec::new(*name, vec![i], 1 << 30))
-            .expect("ldom");
-        server.install_engine(
-            i,
-            Box::new(DiskCopy::new(DiskCopyConfig {
-                disk: i as u8,
-                block_bytes: block.max(1 << 20),
-                count: 64,
-                ..DiskCopyConfig::default()
-            })),
-        );
-        server.launch(DsId::new(i as u16)).expect("launch");
-    }
-
-    let mut shares: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 2];
-    let mut echoed = false;
-    while server.now() < total {
-        server.run_for(sample);
-        if !echoed && server.now() >= echo_at {
-            server
-                .shell("echo 80 > /sys/cpa/cpa3/ldoms/ldom0/parameters/bandwidth")
-                .expect("echo quota");
-            echoed = true;
-            eprintln!(
-                "  t={:.0} ms: echo 80 > .../ldom0/parameters/bandwidth",
-                server.now().as_ms()
-            );
-        }
-        let bw: Vec<f64> = (0..2u16)
-            .map(|ds| {
-                server
-                    .ide_cp()
-                    .lock()
-                    .stat(DsId::new(ds), "bandwidth")
-                    .unwrap_or_default() as f64
-            })
-            .collect();
-        let sum = (bw[0] + bw[1]).max(1.0);
-        for i in 0..2 {
-            shares[i].push((server.now().as_ms(), bw[i] / sum * 100.0));
-        }
-    }
-    (total, echo_at, shares)
-}
+use pard_bench::duration_scale;
 
 fn main() {
-    let (total, echo_at, shares) = par_map(vec![duration_scale()], run_timeline)
-        .pop()
-        .expect("one timeline");
+    let run = run_timeline(duration_scale());
+    let (total, echo_at, shares) = (run.total, run.echo_at, run.shares);
 
     println!("Figure 10: Disk I/O performance isolation\n");
     println!("quota change (echo 80) at {:.0} ms\n", echo_at.as_ms());

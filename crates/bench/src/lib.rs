@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 
 pub mod fault_spec;
+pub mod fig09_scenario;
+pub mod fig10_scenario;
 pub mod fig11_scenario;
 pub mod fig_fault_scenario;
 pub mod harness;

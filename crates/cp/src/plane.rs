@@ -267,53 +267,6 @@ impl ControlPlane {
         self.stats.get(ds, key)
     }
 
-    /// Overwrites a statistics cell (used at window rollover).
-    ///
-    /// # Errors
-    ///
-    /// Propagates table range errors.
-    #[deprecated(
-        since = "0.6.0",
-        note = "resolve a StatKey and write through `stats()` / a StatsHandle"
-    )]
-    pub fn set_stat(&mut self, ds: DsId, column: &str, value: u64) -> Result<(), CpError> {
-        let key = self.stats.key(column)?;
-        self.stats.set(ds, key, value)
-    }
-
-    /// Accumulates into a statistics cell.
-    ///
-    /// # Errors
-    ///
-    /// Propagates table range errors.
-    #[deprecated(
-        since = "0.6.0",
-        note = "resolve a StatKey and add through `stats()` / a StatsHandle"
-    )]
-    pub fn add_stat(&mut self, ds: DsId, column: &str, delta: u64) -> Result<(), CpError> {
-        let key = self.stats.key(column)?;
-        self.stats.add(ds, key, delta)
-    }
-
-    /// Overwrites a statistics cell by column offset (the CPA write path).
-    ///
-    /// # Errors
-    ///
-    /// Propagates table range errors.
-    #[deprecated(
-        since = "0.6.0",
-        note = "validate the offset with `stats().key_at` and write through the cells"
-    )]
-    pub fn stats_set_by_offset(
-        &mut self,
-        ds: DsId,
-        offset: usize,
-        value: u64,
-    ) -> Result<(), CpError> {
-        let key = self.stats.key_at(offset)?;
-        self.stats.set(ds, key, value)
-    }
-
     /// Installs a trigger in `slot`.
     ///
     /// # Errors
@@ -580,16 +533,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_reach_the_cells() {
-        let mut cp = plane();
-        cp.set_stat(DsId::new(0), "miss_rate", 10).unwrap();
-        cp.add_stat(DsId::new(0), "miss_rate", 5).unwrap();
+    fn stat_keys_cover_name_and_offset_writes() {
+        let cp = plane();
+        let miss_rate = cp.stats().key("miss_rate").unwrap();
+        cp.stats().set(DsId::new(0), miss_rate, 10).unwrap();
+        cp.stats().add(DsId::new(0), miss_rate, 5).unwrap();
         assert_eq!(cp.stat(DsId::new(0), "miss_rate").unwrap(), 15);
-        cp.stats_set_by_offset(DsId::new(0), 1, 9).unwrap();
+        // The CPA write path resolves raw offsets through `key_at`.
+        let by_offset = cp.stats().key_at(1).unwrap();
+        cp.stats().set(DsId::new(0), by_offset, 9).unwrap();
         assert_eq!(cp.stat(DsId::new(0), "capacity").unwrap(), 9);
         assert!(matches!(
-            cp.stats_set_by_offset(DsId::new(0), 9, 1),
+            cp.stats().key_at(9),
             Err(CpError::BadColumn { offset: 9, width: 2, .. })
         ));
     }

@@ -1,0 +1,212 @@
+//! Static domain planning for the partitioned kernel.
+//!
+//! The conservative parallel kernel
+//! ([`PartitionedSimulation`](pard_sim::PartitionedSimulation)) needs three
+//! facts about the machine, all derivable from the ICN topology at build
+//! time:
+//!
+//! 1. a **domain map** — which domain owns each component,
+//! 2. an optional **serial domain** — the one (the PRM) that must run with
+//!    exclusive access to the machine because its triggers read statistics
+//!    owned by other domains,
+//! 3. the **lookahead** — the minimum latency of any link that crosses a
+//!    domain boundary, which bounds how far domains can run apart.
+//!
+//! [`DomainPlan`] is the builder for those facts. The system model assigns
+//! components as it wires them and declares every cross-domain [`Link`]'s
+//! latency; the plan min-combines declared latencies per directed domain
+//! pair and derives the global lookahead. Components connected by
+//! zero-latency edges (same-cycle coupling, e.g. LLC → memory controller
+//! fills) must share a domain — the plan rejects a zero-latency
+//! cross-domain declaration because a zero lookahead admits no
+//! parallelism.
+//!
+//! [`Link`]: crate::Link
+
+use std::collections::HashMap;
+
+use pard_sim::{ComponentId, Time};
+
+/// A static partition of the component graph into kernel domains.
+///
+/// # Example
+///
+/// ```
+/// use pard_icn::DomainPlan;
+/// use pard_sim::{ComponentId, Time};
+///
+/// let mut plan = DomainPlan::new();
+/// plan.assign(ComponentId::from_raw(0), 0); // memory controller
+/// plan.assign(ComponentId::from_raw(1), 1); // core
+/// plan.declare_link(1, 0, Time::from_ns(2)); // core → mem request path
+/// plan.declare_link(0, 1, Time::from_ns(2)); // fill path back
+/// assert_eq!(plan.lookahead(), Time::from_ns(2));
+/// let (domain_of, serial, lookahead) = plan.into_parts();
+/// assert_eq!(domain_of, vec![0, 1]);
+/// assert_eq!(serial, None);
+/// assert_eq!(lookahead, Time::from_ns(2));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DomainPlan {
+    /// Owning domain per component raw id; `u32::MAX` marks unassigned.
+    domain_of: Vec<u32>,
+    serial: Option<u32>,
+    /// Minimum declared latency per directed cross-domain pair.
+    min_latency: HashMap<(u32, u32), Time>,
+}
+
+/// Placeholder for components the plan has not been told about.
+const UNASSIGNED: u32 = u32::MAX;
+
+impl DomainPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        DomainPlan::default()
+    }
+
+    /// Assigns component `id` to `domain`. Components may be assigned in
+    /// any order; gaps are tolerated until [`into_parts`](Self::into_parts).
+    pub fn assign(&mut self, id: ComponentId, domain: u32) {
+        assert!(domain != UNASSIGNED, "domain index {domain} is reserved");
+        let idx = id.raw() as usize;
+        if idx >= self.domain_of.len() {
+            self.domain_of.resize(idx + 1, UNASSIGNED);
+        }
+        self.domain_of[idx] = domain;
+    }
+
+    /// Marks `domain` as the barrier-serialized domain (the PRM's).
+    pub fn set_serial(&mut self, domain: u32) {
+        self.serial = Some(domain);
+    }
+
+    /// Declares a communication edge whose endpoints live in `from` and
+    /// `to`, with the given link `latency`. Same-domain declarations are
+    /// ignored (intra-domain latency does not constrain the epoch width);
+    /// repeated declarations min-combine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-latency cross-domain edge: such components are
+    /// same-cycle coupled and must share a domain.
+    pub fn declare_link(&mut self, from: u32, to: u32, latency: Time) {
+        if from == to {
+            return;
+        }
+        assert!(
+            latency > Time::ZERO,
+            "zero-latency edge between domains {from} and {to}: \
+             same-cycle coupled components must share a domain"
+        );
+        self.min_latency
+            .entry((from, to))
+            .and_modify(|l| *l = (*l).min(latency))
+            .or_insert(latency);
+    }
+
+    /// The minimum declared latency from `from` to `to`, if any edge was
+    /// declared for that directed pair.
+    pub fn min_latency(&self, from: u32, to: u32) -> Option<Time> {
+        self.min_latency.get(&(from, to)).copied()
+    }
+
+    /// The global lookahead: the minimum latency over every declared
+    /// cross-domain edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cross-domain edge was declared — a plan with more than
+    /// one domain must declare how they talk.
+    pub fn lookahead(&self) -> Time {
+        self.min_latency
+            .values()
+            .copied()
+            .min()
+            .expect("no cross-domain link declared; the plan has no lookahead")
+    }
+
+    /// Number of distinct domains assigned so far.
+    pub fn domain_count(&self) -> usize {
+        let mut seen: Vec<u32> = self
+            .domain_of
+            .iter()
+            .copied()
+            .filter(|&d| d != UNASSIGNED)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// The owning domain of component `id`, if assigned.
+    pub fn domain_of(&self, id: ComponentId) -> Option<u32> {
+        self.domain_of
+            .get(id.raw() as usize)
+            .copied()
+            .filter(|&d| d != UNASSIGNED)
+    }
+
+    /// Finishes the plan, returning the raw parts
+    /// `(domain map, serial domain, lookahead)` that
+    /// [`PartitionedSimulation::new`](pard_sim::PartitionedSimulation::new)
+    /// takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component in the map's range is unassigned, or if no
+    /// cross-domain link was declared.
+    pub fn into_parts(self) -> (Vec<u32>, Option<u32>, Time) {
+        let lookahead = self.lookahead();
+        for (idx, &d) in self.domain_of.iter().enumerate() {
+            assert!(
+                d != UNASSIGNED,
+                "component {idx} has no domain assignment"
+            );
+        }
+        (self.domain_of, self.serial, lookahead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_min_combines_and_derives_lookahead() {
+        let mut plan = DomainPlan::new();
+        plan.assign(ComponentId::from_raw(0), 0);
+        plan.assign(ComponentId::from_raw(2), 1);
+        plan.assign(ComponentId::from_raw(1), 0);
+        plan.set_serial(0);
+        plan.declare_link(0, 1, Time::from_ns(4));
+        plan.declare_link(0, 1, Time::from_ns(2)); // min-combines
+        plan.declare_link(1, 0, Time::from_ns(3));
+        plan.declare_link(1, 1, Time::ZERO); // same-domain: ignored
+        assert_eq!(plan.min_latency(0, 1), Some(Time::from_ns(2)));
+        assert_eq!(plan.min_latency(1, 0), Some(Time::from_ns(3)));
+        assert_eq!(plan.min_latency(1, 2), None);
+        assert_eq!(plan.lookahead(), Time::from_ns(2));
+        assert_eq!(plan.domain_count(), 2);
+        assert_eq!(plan.domain_of(ComponentId::from_raw(2)), Some(1));
+        let (map, serial, lookahead) = plan.into_parts();
+        assert_eq!(map, vec![0, 0, 1]);
+        assert_eq!(serial, Some(0));
+        assert_eq!(lookahead, Time::from_ns(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must share a domain")]
+    fn zero_latency_cross_domain_edge_rejected() {
+        let mut plan = DomainPlan::new();
+        plan.declare_link(0, 1, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no domain assignment")]
+    fn unassigned_component_rejected() {
+        let mut plan = DomainPlan::new();
+        plan.assign(ComponentId::from_raw(1), 0);
+        plan.declare_link(0, 1, Time::from_ns(1));
+        let _ = plan.into_parts();
+    }
+}

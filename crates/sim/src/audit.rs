@@ -40,16 +40,22 @@
 //! violations this ledger *does* flag are duplicate injections, DS-id
 //! mutations observed at any hop, and unmatched interrupt retirements.
 //!
-//! The ledger is thread-local (one live simulation per thread, the
-//! worker-pool contract of `par_map`); callers owning a simulation must
-//! call [`begin_run`] before it starts so a reused worker thread cannot
-//! leak a previous run's in-flight entries into the next.
+//! The ledger is thread-local by default (one live simulation per thread,
+//! the worker-pool contract of `par_map`); callers owning a simulation
+//! must call [`begin_run`] before it starts so a reused worker thread
+//! cannot leak a previous run's in-flight entries into the next. The
+//! partitioned kernel ([`crate::PartitionedSimulation`]) instead flips the
+//! ledger into a process-global **shared** mode via [`set_shared_ledger`]:
+//! one simulation's conservation flows then span several worker threads
+//! (a packet injected by one domain retires in another), so every ledger
+//! operation routes through one mutex-guarded map. Shared mode implies
+//! one live partitioned simulation per process while auditing.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 
 use crate::time::Time;
@@ -188,6 +194,61 @@ thread_local! {
     static RUN: RefCell<RunState> = RefCell::new(RunState::default());
 }
 
+/// When set, ledger operations route to [`SHARED`] instead of the
+/// thread-local [`RUN`] — the partitioned kernel's mode, where one
+/// simulation's conservation flows span several worker threads.
+static SHARED_MODE: AtomicBool = AtomicBool::new(false);
+static SHARED: Mutex<Option<RunState>> = Mutex::new(None);
+
+impl RunState {
+    /// Folds `other` into `self` (used when migrating between the
+    /// thread-local and shared ledgers). Packet keys are disjoint between
+    /// the two by construction; interrupt multisets add.
+    fn absorb(&mut self, other: RunState) {
+        self.ledger.extend(other.ledger);
+        for (key, count) in other.irq {
+            *self.irq.entry(key).or_insert(0) += count;
+        }
+    }
+}
+
+/// Runs `f` against the active conservation ledger: the shared one in
+/// shared mode, the calling thread's otherwise.
+fn with_run<R>(f: impl FnOnce(&mut RunState) -> R) -> R {
+    if SHARED_MODE.load(Ordering::Acquire) {
+        let mut guard = SHARED.lock().unwrap_or_else(|e| e.into_inner());
+        f(guard.get_or_insert_with(RunState::default))
+    } else {
+        RUN.with(|r| f(&mut r.borrow_mut()))
+    }
+}
+
+/// Switches the conservation ledger between thread-local and shared mode.
+///
+/// The partitioned kernel enables shared mode when it takes over an
+/// audited simulation (domains run on worker threads, so a packet can be
+/// injected on one thread and retired on another) and disables it again
+/// when dropped. Entries in flight at the switch migrate with it, in both
+/// directions, so a sequential warm-up before partitioning stays conserved.
+pub fn set_shared_ledger(on: bool) {
+    if on {
+        let local = RUN.with(|r| std::mem::take(&mut *r.borrow_mut()));
+        let mut guard = SHARED.lock().unwrap_or_else(|e| e.into_inner());
+        guard.get_or_insert_with(RunState::default).absorb(local);
+        drop(guard);
+        SHARED_MODE.store(true, Ordering::Release);
+    } else {
+        SHARED_MODE.store(false, Ordering::Release);
+        let taken = SHARED
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(shared) = taken {
+            RUN.with(|r| r.borrow_mut().absorb(shared));
+        }
+    }
+}
+
 /// True when auditing is on. This is the hot-path guard: a single relaxed
 /// atomic load, so instrumented components pay nothing measurable when
 /// auditing is off.
@@ -279,6 +340,8 @@ pub fn disable() {
     }
     *guard = None;
     RUN.with(|r| *r.borrow_mut() = RunState::default());
+    SHARED_MODE.store(false, Ordering::Release);
+    *SHARED.lock().unwrap_or_else(|e| e.into_inner()) = None;
 }
 
 /// Flushes the JSONL sink (if any) without disabling auditing.
@@ -302,6 +365,9 @@ pub fn begin_run() {
         return;
     }
     RUN.with(|r| *r.borrow_mut() = RunState::default());
+    if SHARED_MODE.load(Ordering::Acquire) {
+        *SHARED.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
 }
 
 /// Reports one invariant violation.
@@ -368,21 +434,20 @@ pub fn packet_inject(domain: &'static str, src: u32, id: u64, ds: u16, time: Tim
     if !enabled() {
         return;
     }
-    RUN.with(|r| {
-        if r.borrow_mut().ledger.insert((domain, src, id), ds).is_some() {
-            violation(
-                AuditKind::Conservation,
-                time,
-                ds,
-                "duplicate_inject",
-                &[
-                    ("domain", TraceVal::S(domain)),
-                    ("src", TraceVal::U(src as u64)),
-                    ("id", TraceVal::U(id)),
-                ],
-            );
-        }
-    });
+    let duplicate = with_run(|r| r.ledger.insert((domain, src, id), ds).is_some());
+    if duplicate {
+        violation(
+            AuditKind::Conservation,
+            time,
+            ds,
+            "duplicate_inject",
+            &[
+                ("domain", TraceVal::S(domain)),
+                ("src", TraceVal::U(src as u64)),
+                ("id", TraceVal::U(id)),
+            ],
+        );
+    }
 }
 
 /// Checks a packet passing an intermediate hop: its DS-id must match the
@@ -392,25 +457,27 @@ pub fn packet_hop(domain: &'static str, src: u32, id: u64, ds: u16, time: Time, 
     if !enabled() {
         return;
     }
-    RUN.with(|r| {
-        if let Some(&tagged) = r.borrow().ledger.get(&(domain, src, id)) {
-            if tagged != ds {
-                violation(
-                    AuditKind::DsPreservation,
-                    time,
-                    ds,
-                    "ds_changed",
-                    &[
-                        ("domain", TraceVal::S(domain)),
-                        ("stage", TraceVal::S(stage)),
-                        ("src", TraceVal::U(src as u64)),
-                        ("id", TraceVal::U(id)),
-                        ("tagged", TraceVal::U(tagged as u64)),
-                    ],
-                );
-            }
-        }
+    let mismatch = with_run(|r| {
+        r.ledger
+            .get(&(domain, src, id))
+            .copied()
+            .filter(|&tagged| tagged != ds)
     });
+    if let Some(tagged) = mismatch {
+        violation(
+            AuditKind::DsPreservation,
+            time,
+            ds,
+            "ds_changed",
+            &[
+                ("domain", TraceVal::S(domain)),
+                ("stage", TraceVal::S(stage)),
+                ("src", TraceVal::U(src as u64)),
+                ("id", TraceVal::U(id)),
+                ("tagged", TraceVal::U(tagged as u64)),
+            ],
+        );
+    }
 }
 
 /// Retires a packet at its terminal consumer, checking DS-id preservation
@@ -428,25 +495,26 @@ pub fn packet_retire(
     if !enabled() {
         return;
     }
-    RUN.with(|r| {
-        if let Some(tagged) = r.borrow_mut().ledger.remove(&(domain, src, id)) {
-            if tagged != ds {
-                violation(
-                    AuditKind::DsPreservation,
-                    time,
-                    ds,
-                    "ds_changed",
-                    &[
-                        ("domain", TraceVal::S(domain)),
-                        ("stage", TraceVal::S(stage)),
-                        ("src", TraceVal::U(src as u64)),
-                        ("id", TraceVal::U(id)),
-                        ("tagged", TraceVal::U(tagged as u64)),
-                    ],
-                );
-            }
-        }
+    let mismatch = with_run(|r| {
+        r.ledger
+            .remove(&(domain, src, id))
+            .filter(|&tagged| tagged != ds)
     });
+    if let Some(tagged) = mismatch {
+        violation(
+            AuditKind::DsPreservation,
+            time,
+            ds,
+            "ds_changed",
+            &[
+                ("domain", TraceVal::S(domain)),
+                ("stage", TraceVal::S(stage)),
+                ("src", TraceVal::U(src as u64)),
+                ("id", TraceVal::U(id)),
+                ("tagged", TraceVal::U(tagged as u64)),
+            ],
+        );
+    }
 }
 
 /// Removes a packet from the ledger for an *accounted* drop (a policy
@@ -456,8 +524,8 @@ pub fn packet_drop(domain: &'static str, src: u32, id: u64) {
     if !enabled() {
         return;
     }
-    RUN.with(|r| {
-        r.borrow_mut().ledger.remove(&(domain, src, id));
+    with_run(|r| {
+        r.ledger.remove(&(domain, src, id));
     });
 }
 
@@ -467,8 +535,8 @@ pub fn irq_inject(vector: u8, ds: u16) {
     if !enabled() {
         return;
     }
-    RUN.with(|r| {
-        *r.borrow_mut().irq.entry((vector, ds)).or_insert(0) += 1;
+    with_run(|r| {
+        *r.irq.entry((vector, ds)).or_insert(0) += 1;
     });
 }
 
@@ -479,25 +547,28 @@ pub fn irq_settle(vector: u8, ds: u16, time: Time, stage: &'static str) {
     if !enabled() {
         return;
     }
-    RUN.with(|r| {
-        let mut run = r.borrow_mut();
-        let count = run.irq.entry((vector, ds)).or_insert(0);
+    let unmatched = with_run(|r| {
+        let count = r.irq.entry((vector, ds)).or_insert(0);
         *count -= 1;
         if *count < 0 {
             *count = 0;
-            drop(run);
-            violation(
-                AuditKind::Conservation,
-                time,
-                ds,
-                "interrupt_unmatched",
-                &[
-                    ("vector", TraceVal::U(vector as u64)),
-                    ("stage", TraceVal::S(stage)),
-                ],
-            );
+            true
+        } else {
+            false
         }
     });
+    if unmatched {
+        violation(
+            AuditKind::Conservation,
+            time,
+            ds,
+            "interrupt_unmatched",
+            &[
+                ("vector", TraceVal::U(vector as u64)),
+                ("stage", TraceVal::S(stage)),
+            ],
+        );
+    }
 }
 
 /// Reports an event arriving at a component that has no protocol arm for
@@ -542,12 +613,12 @@ pub fn unexpected_events() -> u64 {
     UNEXPECTED.load(Ordering::Relaxed)
 }
 
-/// Packets (and outstanding interrupts) currently in flight on this
-/// thread's ledger. After a full drain this is zero; at a mid-flight run
-/// deadline it may not be, by design.
+/// Packets (and outstanding interrupts) currently in flight on the active
+/// ledger (this thread's, or the shared one in shared mode). After a full
+/// drain this is zero; at a mid-flight run deadline it may not be, by
+/// design.
 pub fn in_flight() -> usize {
-    RUN.with(|r| {
-        let run = r.borrow();
+    with_run(|run| {
         let irqs: i64 = run.irq.values().copied().filter(|&c| c > 0).sum();
         run.ledger.len() + irqs as usize
     })
@@ -699,6 +770,20 @@ mod tests {
             violations_total(),
             "re-injecting after begin_run must not flag a duplicate"
         );
+
+        // Shared-ledger mode: in-flight entries migrate on enable, any
+        // thread settles against the same ledger, and leftovers migrate
+        // back on disable.
+        let local_before = in_flight();
+        packet_inject("xbar", 1, 20, 3, Time::ZERO);
+        set_shared_ledger(true);
+        assert_eq!(in_flight(), local_before + 1, "local entries migrate in");
+        std::thread::spawn(|| packet_retire("xbar", 1, 20, 3, Time::from_ns(1), "llc"))
+            .join()
+            .unwrap();
+        assert_eq!(in_flight(), local_before, "another thread retires shared entries");
+        set_shared_ledger(false);
+        assert_eq!(in_flight(), local_before, "leftovers migrate back out");
 
         // Strict mode panics on the first violation, after recording it.
         install(AuditConfig::strict()).unwrap();

@@ -69,10 +69,15 @@ impl fmt::Display for ComponentId {
 /// [`Component::handle`] once per delivered event; the component may mutate
 /// its own state and schedule further events through the [`Ctx`].
 ///
+/// `Send` is a supertrait because the partitioned kernel
+/// ([`crate::PartitionedSimulation`]) may run a component's domain on a
+/// worker thread. Only one thread ever touches a component at a time — the
+/// bound is about *moving* domains to workers, not sharing.
+///
 /// Implementors must also provide [`Component::as_any_mut`] /
 /// [`Component::as_any`] so tests and wiring code can downcast; the
 /// [`impl_as_any!`](crate::impl_as_any) macro writes those two methods.
-pub trait Component<E>: Any {
+pub trait Component<E>: Any + Send {
     /// A short human-readable name used in diagnostics.
     fn name(&self) -> &str;
 

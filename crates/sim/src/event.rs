@@ -380,12 +380,54 @@ impl<E> EventQueue<E> {
     /// Panics if `dst` is [`ComponentId::UNWIRED`] — that means wiring code
     /// forgot to connect a port.
     pub fn push(&mut self, time: Time, dst: ComponentId, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_with_seq(time, seq, dst, event);
+    }
+
+    /// Allocates the next sequence number without scheduling anything.
+    ///
+    /// The partitioned kernel uses this for cross-domain sends: the seq is
+    /// drawn from the *sending* domain's counter at send time and carried
+    /// with the event, so the `(time, seq)` merge order at the destination
+    /// is fixed by the schedule itself, not by when the remote batch is
+    /// ingested.
+    #[inline]
+    pub fn allocate_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Rebases the insertion-sequence counter (e.g. to
+    /// `domain_index << 48`, giving each domain queue a disjoint seq
+    /// space so carried cross-domain seqs can never collide with local
+    /// ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` would run the counter backwards.
+    pub fn set_seq_base(&mut self, base: u64) {
+        assert!(
+            base >= self.next_seq,
+            "seq base must not move the counter backwards"
+        );
+        self.next_seq = base;
+    }
+
+    /// Schedules `event` for `dst` at `time` with a caller-supplied
+    /// sequence number (a remote arrival carrying its sender-allocated
+    /// seq). Pops still come in exact lexicographic `(time, seq)` order;
+    /// the caller is responsible for seq-space disjointness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is [`ComponentId::UNWIRED`].
+    pub fn push_with_seq(&mut self, time: Time, seq: u64, dst: ComponentId, event: E) {
         assert!(
             !dst.is_unwired(),
             "event scheduled for an unwired component port"
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
         let ev = ScheduledEvent {
             time,
             seq,

@@ -56,5 +56,5 @@ pub mod trace;
 
 pub use component::{Component, ComponentId};
 pub use event::{EventQueue, ScheduledEvent};
-pub use kernel::{Ctx, Simulation};
+pub use kernel::{Ctx, PartitionedSimulation, Simulation};
 pub use time::Time;

@@ -179,6 +179,115 @@ struct TraceState {
 static MASK: AtomicU32 = AtomicU32::new(0);
 static STATE: Mutex<Option<TraceState>> = Mutex::new(None);
 
+std::thread_local! {
+    /// The per-domain trace buffer of the partitioned-kernel domain this
+    /// thread is currently executing, if any (see [`enter_domain`]).
+    static BUFFER: std::cell::RefCell<Option<DomainBuffer>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// A per-domain trace staging buffer for the partitioned kernel.
+///
+/// Each domain of a [`PartitionedSimulation`](crate::PartitionedSimulation)
+/// owns one. While a domain window executes (on whichever thread), its
+/// buffer is parked in thread-local storage via [`enter_domain`]; `emit`
+/// then filters and samples against the buffer's *snapshot* of the tracer
+/// config, using per-domain sampling counters, and stages the rendered
+/// line locally instead of taking the global lock. At each epoch barrier
+/// the coordinator drains every domain's lines, merges them by
+/// `(time, domain)`, and appends them to the global ring/sink in one pass
+/// — so trace output is deterministic regardless of how many worker
+/// threads served the domains.
+///
+/// The snapshot is taken when the partitioned simulation is built;
+/// install the tracer first (the system model does).
+#[derive(Default)]
+pub struct DomainBuffer {
+    /// Whether a tracer was installed at snapshot time. An inert buffer
+    /// drops events — mixing late-installed global state into some
+    /// domains but not others would be nondeterministic.
+    active: bool,
+    ds_filter: [Option<Vec<u16>>; CATS],
+    sample_div: [u32; CATS],
+    sample_ctr: [u32; CATS],
+    lines: Vec<(u64, String)>,
+}
+
+impl DomainBuffer {
+    /// Captures the currently-installed tracer's filter/sampling config
+    /// (inert if no tracer is installed).
+    pub fn snapshot() -> DomainBuffer {
+        let guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(s) => DomainBuffer {
+                active: true,
+                ds_filter: s.ds_filter.clone(),
+                sample_div: s.sample_div,
+                sample_ctr: [0; CATS],
+                lines: Vec::new(),
+            },
+            None => DomainBuffer::default(),
+        }
+    }
+
+    /// Takes the staged `(time-units, line)` pairs, in emission order.
+    pub fn drain_lines(&mut self) -> Vec<(u64, String)> {
+        std::mem::take(&mut self.lines)
+    }
+
+    fn emit(&mut self, cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, TraceVal)]) {
+        if !self.active {
+            return;
+        }
+        let ci = cat as usize;
+        if let Some(allow) = &self.ds_filter[ci] {
+            if !allow.contains(&ds) {
+                return;
+            }
+        }
+        let div = self.sample_div[ci];
+        if div > 1 {
+            let c = self.sample_ctr[ci];
+            self.sample_ctr[ci] = (c + 1) % div;
+            if c != 0 {
+                return;
+            }
+        }
+        self.lines.push((time.units(), render_line(cat, time, ds, event, fields)));
+    }
+}
+
+/// Parks `buf` in thread-local storage: until [`exit_domain`], every
+/// `emit` on this thread stages into it instead of the global tracer.
+pub fn enter_domain(buf: DomainBuffer) {
+    BUFFER.with(|b| *b.borrow_mut() = Some(buf));
+}
+
+/// Removes and returns the thread's domain buffer (inert if none was
+/// entered).
+pub fn exit_domain() -> DomainBuffer {
+    BUFFER.with(|b| b.borrow_mut().take()).unwrap_or_default()
+}
+
+/// Appends already-rendered, already-filtered lines (a merged epoch drain
+/// from the partitioned kernel) to the global ring and sink.
+pub fn sink_lines(lines: impl IntoIterator<Item = String>) {
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(state) = guard.as_mut() else {
+        return;
+    };
+    for line in lines {
+        if let Some(sink) = state.sink.as_mut() {
+            let _ = writeln!(sink, "{line}");
+        }
+        if state.ring.len() == state.ring_capacity {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(line);
+        state.emitted += 1;
+    }
+}
+
 /// True when `cat` is being traced. This is the hot-path guard: a single
 /// relaxed atomic load, so instrumented components pay nothing measurable
 /// when tracing is off.
@@ -322,6 +431,20 @@ pub fn emit(cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, Tr
     if !enabled(cat) {
         return;
     }
+    // Partitioned-kernel path: if this thread is executing a domain
+    // window, stage into the domain's buffer (its own snapshot, its own
+    // sampling counters — no global lock, deterministic per domain).
+    let buffered = BUFFER.with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            buf.emit(cat, time, ds, event, fields);
+            true
+        } else {
+            false
+        }
+    });
+    if buffered {
+        return;
+    }
     let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     let Some(state) = guard.as_mut() else {
         return;
@@ -341,6 +464,20 @@ pub fn emit(cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, Tr
         }
     }
 
+    let line = render_line(cat, time, ds, event, fields);
+    if let Some(sink) = state.sink.as_mut() {
+        let _ = writeln!(sink, "{line}");
+    }
+    if state.ring.len() == state.ring_capacity {
+        state.ring.pop_front();
+    }
+    state.ring.push_back(line);
+    state.emitted += 1;
+}
+
+/// Renders one trace event as its JSONL line (shared by the global and
+/// per-domain paths so both produce identical bytes).
+fn render_line(cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, TraceVal)]) -> String {
     let mut line = String::with_capacity(96);
     use std::fmt::Write as _;
     let _ = write!(
@@ -368,15 +505,7 @@ pub fn emit(cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, Tr
         }
     }
     line.push('}');
-
-    if let Some(sink) = state.sink.as_mut() {
-        let _ = writeln!(sink, "{line}");
-    }
-    if state.ring.len() == state.ring_capacity {
-        state.ring.pop_front();
-    }
-    state.ring.push_back(line);
-    state.emitted += 1;
+    line
 }
 
 /// Renders a [`Time`] as (possibly fractional) nanoseconds without going
@@ -490,6 +619,36 @@ mod tests {
         }
         assert_eq!(recent_lines().len(), 2);
         assert!(recent_lines()[0].contains("\"time\":3"));
+
+        // Per-domain buffers (partitioned kernel): a parked buffer takes
+        // the emits with its own snapshot/counters; the drained lines
+        // merge through sink_lines byte-identically to the global path.
+        install(TraceConfig {
+            path: None,
+            filter: vec![(TraceCat::Llc, None)],
+            sample: vec![(TraceCat::Llc, 1)],
+            ring_capacity: 8,
+        })
+        .unwrap();
+        enter_domain(DomainBuffer::snapshot());
+        emit(TraceCat::Llc, Time::from_ns(7), 4, "hit", &[]);
+        emit(TraceCat::Dram, Time::from_ns(7), 4, "issue", &[]); // category off
+        assert_eq!(lines_emitted(), 0, "buffered lines must not hit the ring yet");
+        let mut buf = exit_domain();
+        let lines = buf.drain_lines();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].0, Time::from_ns(7).units());
+        sink_lines(lines.into_iter().map(|(_, l)| l));
+        assert_eq!(lines_emitted(), 1);
+        assert_eq!(
+            recent_lines()[0],
+            "{\"time\":7,\"ds\":4,\"cat\":\"llc\",\"event\":\"hit\"}"
+        );
+        // An inert buffer (no tracer at snapshot time) drops deterministically.
+        let inert = DomainBuffer::default();
+        enter_domain(inert);
+        emit(TraceCat::Llc, Time::from_ns(8), 4, "hit", &[]);
+        assert!(exit_domain().drain_lines().is_empty());
 
         disable();
         assert!(!enabled(TraceCat::Io));

@@ -1,0 +1,211 @@
+//! Cross-domain ordering properties of [`PartitionedSimulation`].
+//!
+//! The partitioned kernel's contract has two layers, and the suite tests
+//! them separately:
+//!
+//! * **Worker-count determinism (exact):** the delivered order is a pure
+//!   function of the schedule — the inline epoch driver and the threaded
+//!   driver produce byte-identical per-component delivery logs.
+//! * **Sequential equivalence (tie-robust):** against the sequential
+//!   kernel the partitioned run delivers the same events at the same
+//!   times to the same components. Equal-time ties *across different
+//!   sender domains* may resolve in a different (still deterministic)
+//!   order: composite seqs sort by `(domain, counter)` where the
+//!   sequential kernel sorts by global post order. The oracle
+//!   comparisons therefore canonicalize within each timestamp.
+
+use pard_sim::check::cases;
+use pard_sim::rng::Rng;
+use pard_sim::{Component, ComponentId, Ctx, PartitionedSimulation, Simulation, Time};
+
+/// Lookahead used throughout: every cross-domain send in these tests
+/// travels exactly one or more multiples of this, so remote arrivals land
+/// *exactly on* epoch horizons — the boundary the conservative protocol
+/// must treat as "next epoch, not this one".
+const LA: u64 = 64;
+
+/// A node that logs every delivery and forwards a decremented payload to
+/// a peer chosen by the payload itself. Behavior is a pure function of
+/// the received event, so sequential and partitioned runs generate the
+/// identical schedule.
+struct Node {
+    fanout: u32,
+    log: Vec<(u64, u64)>, // (delivery time in units, payload)
+}
+
+impl Component<u64> for Node {
+    fn name(&self) -> &str {
+        "node"
+    }
+    fn handle(&mut self, ev: u64, ctx: &mut Ctx<'_, u64>) {
+        self.log.push((ctx.now().units(), ev));
+        if ev == 0 {
+            return;
+        }
+        // Hop distance and delay derive from the payload; the delay is
+        // always a whole number of lookaheads, so the send is legal for
+        // any component-to-domain assignment.
+        let dst = (ctx.self_id().raw() as u64 + ev) % self.fanout as u64;
+        let hops = 1 + ev % 3;
+        ctx.send(
+            ComponentId::from_raw(dst as u32),
+            Time::from_units(LA * hops),
+            ev - 1,
+        );
+    }
+    pard_sim::impl_as_any!();
+}
+
+/// Builds `n` nodes and posts the seed schedule into a fresh kernel.
+fn build(n: u32, seeds: &[(u32, u64, u64)]) -> Simulation<u64> {
+    let mut sim: Simulation<u64> = Simulation::new();
+    for _ in 0..n {
+        sim.add_component(Box::new(Node {
+            fanout: n,
+            log: Vec::new(),
+        }));
+    }
+    for &(dst, at, payload) in seeds {
+        sim.post(ComponentId::from_raw(dst), Time::from_units(at), payload);
+    }
+    sim
+}
+
+/// Per-component delivery logs after running `sim` sequentially.
+fn run_sequential(n: u32, seeds: &[(u32, u64, u64)], until: Time) -> (Vec<Vec<(u64, u64)>>, u64) {
+    let mut sim = build(n, seeds);
+    sim.run_until(until);
+    let logs = (0..n)
+        .map(|c| sim.with_component::<Node, _, _>(ComponentId::from_raw(c), |x| x.log.clone()))
+        .collect();
+    (logs, sim.events_processed())
+}
+
+/// Per-component delivery logs after running the same schedule
+/// partitioned by `domain_of`, with the worker count pinned.
+fn run_partitioned(
+    n: u32,
+    seeds: &[(u32, u64, u64)],
+    domain_of: Vec<u32>,
+    workers: usize,
+    until: Time,
+) -> (Vec<Vec<(u64, u64)>>, u64) {
+    let sim = build(n, seeds);
+    let mut part = PartitionedSimulation::new(sim, domain_of, None, Time::from_units(LA));
+    part.set_workers(Some(workers));
+    part.run_until(until);
+    let logs = (0..n)
+        .map(|c| part.with_component::<Node, _, _>(ComponentId::from_raw(c), |x| x.log.clone()))
+        .collect();
+    (logs, part.events_processed())
+}
+
+/// Canonicalizes a delivery log for comparison against a kernel with a
+/// different tie-ordering rule: entries at the same timestamp are sorted
+/// by payload. Ordering *across* timestamps is untouched.
+fn tie_sorted(log: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out = log.to_vec();
+    out.sort_by_key(|&(t, p)| (t, p));
+    // A stable per-timestamp sort must not have reordered distinct times.
+    for w in out.windows(2) {
+        assert!(w[0].0 <= w[1].0);
+    }
+    out
+}
+
+/// Every component shares the same seed timestamps — all exact multiples
+/// of the lookahead — and every forward lands on an epoch horizon too, so
+/// each epoch boundary carries a pile of equal-time ties from different
+/// domains. The threaded and inline drivers must agree exactly; the
+/// sequential oracle must agree up to tie order.
+#[test]
+fn equal_time_ties_at_epoch_boundaries() {
+    let n = 4u32;
+    let mut seeds = Vec::new();
+    for c in 0..n {
+        for k in 1..6u64 {
+            seeds.push((c, k * LA, 3 + (c as u64 + k) % 4));
+        }
+    }
+    let until = Time::from_units(10_000 * LA);
+    let per_domain: Vec<u32> = (0..n).collect();
+
+    let (seq_logs, seq_events) = run_sequential(n, &seeds, until);
+    let (inline_logs, inline_events) = run_partitioned(n, &seeds, per_domain.clone(), 1, until);
+    let (threaded_logs, threaded_events) = run_partitioned(n, &seeds, per_domain, 2, until);
+
+    assert_eq!(inline_logs, threaded_logs, "inline vs threaded must be exact");
+    assert_eq!(inline_events, threaded_events);
+    assert_eq!(seq_events, inline_events);
+    for c in 0..n as usize {
+        assert!(!seq_logs[c].is_empty(), "test must exercise component {c}");
+        assert_eq!(tie_sorted(&seq_logs[c]), tie_sorted(&inline_logs[c]));
+    }
+}
+
+/// Two nodes in two domains ping-pong with a delay of exactly one
+/// lookahead: every remote arrival lands precisely on the next epoch's
+/// horizon, the tightest arrival the conservative protocol admits. The
+/// alternating schedule has no ties, so all three runs must be exact.
+#[test]
+fn remote_arrivals_exactly_at_lookahead_horizon() {
+    let n = 2u32;
+    // Payload 40 with hops = 1 + ev % 3: pin payloads to ev % 3 == 0 so
+    // every hop is exactly one lookahead.
+    let seeds = [(0u32, LA, 39u64)];
+    let until = Time::from_units(1_000_000);
+
+    let (seq_logs, seq_events) = run_sequential(n, &seeds, until);
+    let (inline_logs, inline_events) = run_partitioned(n, &seeds, vec![0, 1], 1, until);
+    let (threaded_logs, threaded_events) = run_partitioned(n, &seeds, vec![0, 1], 2, until);
+
+    assert_eq!(seq_logs, inline_logs, "tie-free schedule must match exactly");
+    assert_eq!(inline_logs, threaded_logs);
+    assert_eq!(seq_events, inline_events);
+    assert_eq!(inline_events, threaded_events);
+    // 40 deliveries happened, alternating between the two nodes.
+    assert_eq!(seq_events, 40);
+    let times: Vec<u64> = inline_logs[0]
+        .iter()
+        .chain(&inline_logs[1])
+        .map(|&(t, _)| t)
+        .collect();
+    assert!(times.iter().all(|t| t % LA == 0), "every arrival sits on a horizon");
+}
+
+/// Randomized closure: a seeded schedule over a random node count is run
+/// under a *random* component-to-domain assignment (including lopsided
+/// maps and domains holding zero or all components) and must reproduce
+/// the sequential kernel's deliveries — exactly when inline and threaded
+/// are compared, tie-canonically against the oracle.
+#[test]
+fn seeded_random_assignment_matches_sequential_oracle() {
+    cases("partitioned.random_assignment", 48, |rng| {
+        let n = rng.gen_range(2u32..9);
+        let domains = rng.gen_range(1u32..5);
+        let domain_of: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domains)).collect();
+        let seeds: Vec<(u32, u64, u64)> = (0..rng.gen_range(1usize..12))
+            .map(|_| {
+                (
+                    rng.gen_range(0..n),
+                    rng.gen_range(1u64..40) * LA,
+                    rng.gen_range(0u64..12),
+                )
+            })
+            .collect();
+        let until = Time::from_units(100_000 * LA);
+        let workers = rng.gen_range(1usize..4);
+
+        let (seq_logs, seq_events) = run_sequential(n, &seeds, until);
+        let (part_logs, part_events) =
+            run_partitioned(n, &seeds, domain_of.clone(), 1, until);
+        let (thr_logs, thr_events) = run_partitioned(n, &seeds, domain_of, workers, until);
+
+        assert_eq!(part_logs, thr_logs, "worker count must not change delivery");
+        assert_eq!(part_events, thr_events);
+        assert_eq!(seq_events, part_events);
+        for c in 0..n as usize {
+            assert_eq!(tie_sorted(&seq_logs[c]), tie_sorted(&part_logs[c]));
+        }
+    });
+}

@@ -56,7 +56,11 @@ pub enum Op {
 /// engine observes the *completion* time of its previous blocking op as
 /// the `now` of the following `next_op` call — which is how the memcached
 /// engine measures response times without extra plumbing.
-pub trait WorkloadEngine: 'static {
+///
+/// `Send` is required because the core hosting an engine may be moved to a
+/// partitioned-kernel worker thread; only one thread drives an engine at a
+/// time.
+pub trait WorkloadEngine: Send + 'static {
     /// Engine name for diagnostics.
     fn name(&self) -> &str;
 
