@@ -29,10 +29,21 @@ PARD_THREADS=2 cargo test -q --offline -p pard-bench --test determinism
 
 echo "== event-queue / kernel events-per-sec smoke =="
 # Must run to completion, write BENCH_kernel.json (kernel perf record),
-# and pass the perf gate: dense-regime ladder speedups >= 1.0x and a
-# recorded stats_record_mops (--check exits non-zero otherwise).
+# and pass the perf gate: dense-regime ladder speedups >= 1.0x, a
+# recorded stats_record_mops, and — via PARD_BENCH_BASELINE — the fresh
+# kernel-through-MemCtrl rate within 5% of the committed record, so the
+# policy layer on the serve path cannot silently tax the kernel
+# (--check exits non-zero otherwise). The committed record is snapshotted
+# aside first because the bench rewrites BENCH_kernel.json in place.
+baseline="$(mktemp)"
+if [ -s BENCH_kernel.json ]; then
+    cp BENCH_kernel.json "$baseline"
+    export PARD_BENCH_BASELINE="$baseline"
+fi
 rm -f BENCH_kernel.json
 cargo bench --offline -p pard-bench --bench event_queue -- --quick --check
+unset PARD_BENCH_BASELINE
+rm -f "$baseline"
 if [ ! -s BENCH_kernel.json ]; then
     echo "error: event_queue bench did not write BENCH_kernel.json" >&2
     exit 1
@@ -109,6 +120,23 @@ scratch="$(mktemp -d)"
 )
 rm -rf "$scratch"
 echo "ok: fig09.json and fig10.json reproduced byte-identically under strict audit"
+
+echo "== policy-demo goldens: fig_wfq/fig_slo match committed JSON at PARD_THREADS=4 =="
+# Both demos run entirely through the programmable policy layer: fig_wfq
+# installs the WFQ rank program on the memory controller, fig_slo loads a
+# token-bucket admission program onto the I/O bridge mid-run via
+# `pardpolicy`. Strict audit + byte identity pins the compiled-program
+# data path the same way the built-in figures pin the default path.
+scratch="$(mktemp -d)"
+(
+    cd "$scratch"
+    PARD_THREADS=4 PARD_AUDIT=strict "$repo/target/release/fig_wfq" >/dev/null
+    PARD_THREADS=4 PARD_AUDIT=strict "$repo/target/release/fig_slo" >/dev/null
+    cmp fig_wfq.json "$repo/fig_wfq.json"
+    cmp fig_slo.json "$repo/fig_slo.json"
+)
+rm -rf "$scratch"
+echo "ok: fig_wfq.json and fig_slo.json reproduced byte-identically under strict audit"
 
 echo "== operations doc gate: every PARD_* env var is documented =="
 # OPERATIONS.md is the single reference for runtime knobs; any PARD_*

@@ -436,6 +436,48 @@ fn main() {
             );
             failed = true;
         }
+        // Policy hot-path regression gate: when CI exports
+        // `PARD_BENCH_BASELINE` (the previously committed
+        // BENCH_kernel.json, snapshotted aside before this run rewrites
+        // it), the fresh kernel-through-MemCtrl rate must stay within 5 %
+        // of the recorded one — the match-action layer on the memory
+        // scheduler's serve path is not allowed to tax the kernel.
+        match std::env::var("PARD_BENCH_BASELINE") {
+            Ok(path) => {
+                let recorded = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|text| JsonValue::parse(&text).ok())
+                    .and_then(|v| v.get("kernel_memctrl_events_per_sec")?.as_f64());
+                match recorded {
+                    Some(baseline) if baseline > 0.0 => {
+                        let floor = baseline * 0.95;
+                        if kernel_eps < floor {
+                            eprintln!(
+                                "CHECK FAILED: kernel_memctrl_events_per_sec \
+                                 {kernel_eps:.0} < 95% of baseline {baseline:.0}"
+                            );
+                            failed = true;
+                        } else {
+                            println!(
+                                "baseline gate: kernel {kernel_eps:.0} events/s vs \
+                                 recorded {baseline:.0} ({:+.1}%)",
+                                (kernel_eps / baseline - 1.0) * 100.0
+                            );
+                        }
+                    }
+                    _ => {
+                        eprintln!(
+                            "CHECK FAILED: PARD_BENCH_BASELINE={path} has no \
+                             kernel_memctrl_events_per_sec record"
+                        );
+                        failed = true;
+                    }
+                }
+            }
+            Err(_) => println!(
+                "(PARD_BENCH_BASELINE unset: skipping the 5% kernel-rate gate)"
+            ),
+        }
         if failed {
             std::process::exit(1);
         }

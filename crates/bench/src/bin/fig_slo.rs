@@ -1,0 +1,61 @@
+//! SLO-admission policy demo — token-bucket DMA admission on the I/O
+//! bridge, loaded mid-run through the firmware shell.
+//!
+//! Two `dd`-style tenants share the IDE path. At the midpoint the
+//! operator runs `pardpolicy /dev/cpa2 install ...`, capping the batch
+//! tenant's admitted DMA bandwidth at its contracted rate while the
+//! victim is untouched. See [`pard_bench::fig_slo_scenario`]; the
+//! emitted `fig_slo.json` is byte-identical at every `PARD_THREADS`
+//! setting.
+
+use pard_bench::duration_scale;
+use pard_bench::fig_slo_scenario::{run_timeline, slo_policy, SLO_RATE_BYTES_PER_SEC};
+use pard_bench::json::JsonValue;
+use pard_bench::output::{print_series, save_json};
+
+fn main() {
+    let run = run_timeline(duration_scale());
+    let (total, policy_at, admitted) = (run.total, run.policy_at, run.admitted);
+
+    println!("SLO admission policy demo: token-bucket DMA gating on the I/O bridge\n");
+    println!("policy install at {:.0} ms:", policy_at.as_ms());
+    println!("  pardpolicy /dev/cpa2 install {}\n", slo_policy());
+    for (i, s) in admitted.iter().enumerate() {
+        print_series(&format!("ldom{i}.admitted_dma_mb_per_s"), s);
+    }
+
+    let mean_in = |s: &Vec<(f64, f64)>, lo: f64, hi: f64| {
+        let v: Vec<f64> = s
+            .iter()
+            .filter(|&&(t, _)| t >= lo && t < hi)
+            .map(|&(_, v)| v)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let before = mean_in(&admitted[1], 100.0, policy_at.as_ms());
+    let after = mean_in(&admitted[1], policy_at.as_ms() + 50.0, total.as_ms());
+    let victim_before = mean_in(&admitted[0], 100.0, policy_at.as_ms());
+    let victim_after = mean_in(&admitted[0], policy_at.as_ms() + 50.0, total.as_ms());
+    println!();
+    println!(
+        "batch tenant admitted DMA: {before:.1} MB/s before the install, \
+         {after:.1} MB/s after (contract: {} MB/s)",
+        SLO_RATE_BYTES_PER_SEC / 1_000_000
+    );
+    println!(
+        "victim tenant admitted DMA: {victim_before:.1} MB/s before, \
+         {victim_after:.1} MB/s after"
+    );
+
+    save_json(
+        "fig_slo.json",
+        &JsonValue::object()
+            .field("policy_at_ms", policy_at.as_ms())
+            .field("policy", slo_policy())
+            .field("admitted_mb_per_s", admitted)
+            .field("batch_before_mbps", before)
+            .field("batch_after_mbps", after)
+            .field("victim_before_mbps", victim_before)
+            .field("victim_after_mbps", victim_after),
+    );
+}

@@ -15,7 +15,7 @@
 //!
 //! [`PardServer::partition`]: pard::PardServer::partition
 
-use pard::{DsId, Time};
+use pard::{DsId, PardServer, Time};
 
 use crate::{install_llc_trigger, install_llc_trigger_scenario};
 
@@ -40,10 +40,18 @@ pub fn run_timeline(scale: f64) -> Fig09Run {
 
 /// Runs one timeline over an explicit span (tests shrink it).
 pub fn run_span(total: Time) -> Fig09Run {
+    run_span_with(total, |_| {})
+}
+
+/// As [`run_span`], with a setup hook called on the partitioned server
+/// before the timeline starts (the policy equivalence suite installs the
+/// built-in programs explicitly through it).
+pub fn run_span_with(total: Time, setup: impl FnOnce(&mut PardServer)) -> Fig09Run {
     let sample = Time::from_ms(2);
 
     let (mut server, mc) = install_llc_trigger_scenario(20_000.0);
     server.partition();
+    setup(&mut server);
     // Launch memcached alone first; STREAM joins at a third of the run.
     // The trigger rule is installed once memcached has warmed, as the
     // paper's operator does before the interfering LDoms arrive.
@@ -83,7 +91,7 @@ pub fn run_span(total: Time) -> Fig09Run {
                 .llc_cp()
                 .lock()
                 .param(mc, "waymask")
-                .unwrap_or(0xFFFF);
+                .expect("memcached DS-id is within the LLC parameter table");
             if mask == 0xFF00 {
                 fired_at = Some(server.now().as_ms());
             }

@@ -40,6 +40,19 @@ pub fn run_timeline(scale: f64) -> Fig10Run {
 /// Runs one timeline with an explicit per-op block size, span, and quota
 /// change time (tests shrink all three).
 pub fn run_span(block: u64, total: Time, echo_at: Time) -> Fig10Run {
+    run_span_with(block, total, echo_at, |_| {})
+}
+
+/// As [`run_span`], with a setup hook called on the partitioned server
+/// before the timeline starts. The policy equivalence suite uses it to
+/// install the built-in programs explicitly and prove the figure bytes
+/// do not move.
+pub fn run_span_with(
+    block: u64,
+    total: Time,
+    echo_at: Time,
+    setup: impl FnOnce(&mut PardServer),
+) -> Fig10Run {
     let sample = Time::from_ms(10);
 
     let mut server = PardServer::new(SystemConfig::asplos15());
@@ -59,6 +72,7 @@ pub fn run_span(block: u64, total: Time, echo_at: Time) -> Fig10Run {
         server.launch(DsId::new(i as u16)).expect("launch");
     }
     server.partition();
+    setup(&mut server);
 
     let mut shares: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 2];
     let mut echoed = false;

@@ -130,6 +130,18 @@ pub fn summary_json(inject_rate: f64, base: &RunResult, pard: &RunResult) -> Jso
 /// delays. `inject_rate` is the fraction of peak request bandwidth
 /// (one 64 B burst per 5 ns = 200 M requests/s at 1.0).
 pub fn run(inject_rate: f64, priorities: bool, requests: u64) -> RunResult {
+    run_with(inject_rate, priorities, requests, |_| {})
+}
+
+/// As [`run`], with a setup hook called on the controller's plane before
+/// injection starts (the policy equivalence suite installs the built-in
+/// program explicitly through it).
+pub fn run_with(
+    inject_rate: f64,
+    priorities: bool,
+    requests: u64,
+    setup: impl FnOnce(&mut pard_cp::ControlPlane),
+) -> RunResult {
     // Each run is an independent machine on a reused worker thread, and
     // its packet ids restart at 0 — open a fresh audit conservation scope
     // so back-to-back runs cannot alias each other's in-flight packets.
@@ -149,6 +161,7 @@ pub fn run(inject_rate: f64, priorities: bool, requests: u64) -> RunResult {
         cp.set_param(DsId::new(DS_HIGH), "priority", 1).unwrap();
         cp.set_param(DsId::new(DS_HIGH), "rowbuf", 1).unwrap();
     }
+    setup(&mut cp.lock());
     let rate = inject_rate * 200e6;
     let injector = sim.add_component(Box::new(Injector {
         ctrl,

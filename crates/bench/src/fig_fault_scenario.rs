@@ -169,6 +169,17 @@ fn drain(server: &mut PardServer, core: usize) -> PhaseStats {
 /// monitor. The caller owns fault-plan installation (the scenario never
 /// touches the global plan, so harnesses can run it fault-free too).
 pub fn run(recovery_enabled: bool, tl: Timeline) -> RunOutput {
+    run_with(recovery_enabled, tl, |_| {})
+}
+
+/// As [`run`], with a setup hook called on the launched server before the
+/// warm-up phase (the policy equivalence suite installs the built-in
+/// programs explicitly through it).
+pub fn run_with(
+    recovery_enabled: bool,
+    tl: Timeline,
+    setup: impl FnOnce(&mut PardServer),
+) -> RunOutput {
     let mut cfg = SystemConfig::asplos15();
     cfg.core.record_miss_latency = true;
     let mut server = PardServer::new(cfg);
@@ -237,6 +248,7 @@ pub fn run(recovery_enabled: bool, tl: Timeline) -> RunOutput {
     for ds in [DS_HI, DS_LO, DS_IO] {
         server.launch(DsId::new(ds)).expect("launch");
     }
+    setup(&mut server);
 
     // Warm-up: run and discard the cold-start latency samples.
     server.run_for(tl.warmup);
@@ -320,12 +332,12 @@ pub fn run(recovery_enabled: bool, tl: Timeline) -> RunOutput {
         .mem_cp()
         .lock()
         .param(DsId::new(DS_HI), "priority")
-        .unwrap_or(0);
+        .expect("hi DS-id is within the memory parameter table");
     let hi_waymask_after = server
         .llc_cp()
         .lock()
         .param(DsId::new(DS_HI), "waymask")
-        .unwrap_or(0);
+        .expect("hi DS-id is within the LLC parameter table");
 
     RunOutput {
         hi: [pre[0], fault[0], recovered[0]],

@@ -14,6 +14,8 @@
 //! | `fig11` | Fig. 11 (memory queueing-delay CDF) |
 //! | `fig12` | Fig. 12 (control-plane FPGA resources) + §7.2 latency |
 //! | `fig_fault` | beyond the paper: fault injection + trigger-driven recovery (§2 resilience claim) |
+//! | `fig_wfq` | beyond the paper: WFQ memory scheduling programmed as policy data (§3 programmability claim) |
+//! | `fig_slo` | beyond the paper: SLO token-bucket DMA admission installed mid-run via `pardpolicy` |
 //! | `sweeps` | sensitivity sweeps beyond the paper (intensity/partition/poll) |
 //! | `calibrate` | quick calibration probe for the memcached scenario |
 //! | `pard-trace` / `pard-audit` | offline trace validation and invariant replay |
@@ -29,6 +31,8 @@ pub mod fig09_scenario;
 pub mod fig10_scenario;
 pub mod fig11_scenario;
 pub mod fig_fault_scenario;
+pub mod fig_slo_scenario;
+pub mod fig_wfq_scenario;
 pub mod harness;
 pub mod json;
 pub mod memcached_scenario;

@@ -261,7 +261,8 @@ fn summarize(server: &mut PardServer, mc: DsId, s: &MemcachedScenario) -> Memcac
         let cp = server.llc_cp().lock();
         (
             cp.stat(mc, "miss_rate").unwrap_or_default(),
-            cp.param(mc, "waymask").unwrap_or_default(),
+            cp.param(mc, "waymask")
+                .expect("memcached DS-id is within the LLC parameter table"),
         )
     };
     MemcachedPoint {

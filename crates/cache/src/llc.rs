@@ -174,7 +174,7 @@ impl Llc {
         for ds in 0..self.cfg.max_ds {
             self.waymasks[ds] = cp
                 .param(DsId::new(ds as u16), "waymask")
-                .unwrap_or(u64::MAX);
+                .expect("LLC parameter table always has a waymask column sized to max_ds");
         }
         self.cached_gen = gen;
     }

@@ -56,6 +56,19 @@ pub enum CpError {
     },
     /// Register-file access at an offset that is not a defined register.
     BadRegister(u64),
+    /// A policy program failed to compile or validate at install time.
+    ///
+    /// Carries the source line and the offending token so shell and
+    /// device-tree callers can point at exactly what was wrong — a policy
+    /// must never install partially or fall back to defaults silently.
+    Policy {
+        /// 1-based source line of the offending token.
+        line: usize,
+        /// The offending token (empty when the rule ended prematurely).
+        token: String,
+        /// What the compiler expected or rejected.
+        message: String,
+    },
 }
 
 impl fmt::Display for CpError {
@@ -89,6 +102,17 @@ impl fmt::Display for CpError {
                 )
             }
             CpError::BadRegister(off) => write!(f, "no CPA register at offset {off:#x}"),
+            CpError::Policy {
+                line,
+                token,
+                message,
+            } => {
+                if token.is_empty() {
+                    write!(f, "policy line {line}: {message}")
+                } else {
+                    write!(f, "policy line {line}: {message} (at {token:?})")
+                }
+            }
         }
     }
 }
@@ -122,6 +146,13 @@ mod tests {
         };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains("statistics"));
+        let e = CpError::Policy {
+            line: 3,
+            token: "prioritty".into(),
+            message: "unknown parameter column".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("prioritty"));
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod cells;
 mod error;
 mod iface;
 mod plane;
+pub mod policy;
 mod table;
 mod trigger;
 
@@ -56,6 +57,9 @@ pub use iface::{
 };
 pub use plane::{
     shared, ControlPlane, CpHandle, CpInterrupt, CpType, InterruptLine, InterruptSink,
+};
+pub use policy::{
+    Decision, MicroOp, OnFail, Pifo, PolicyEngine, PolicyReq, Program, ProgramBuilder, ReqClass,
 };
 pub use table::{ColumnDef, DsTable};
 pub use trigger::{CmpOp, Trigger, TriggerMode, TriggerTable};

@@ -9,6 +9,7 @@ use pard_sim::{audit, trace, Time};
 
 use crate::cells::{StatsCells, StatsHandle};
 use crate::error::CpError;
+use crate::policy::Program;
 use crate::table::DsTable;
 use crate::trigger::{Trigger, TriggerTable};
 
@@ -136,6 +137,9 @@ pub struct ControlPlane {
     triggers: TriggerTable,
     generation: Arc<AtomicU64>,
     irq: Option<InterruptLine>,
+    policy: Option<Arc<Program>>,
+    default_policy: Option<Arc<Program>>,
+    policy_epochs: u64,
 }
 
 impl ControlPlane {
@@ -161,6 +165,9 @@ impl ControlPlane {
             triggers: TriggerTable::new(trigger_slots),
             generation: Arc::new(AtomicU64::new(0)),
             irq: None,
+            policy: None,
+            default_policy: None,
+            policy_epochs: 0,
         }
     }
 
@@ -379,6 +386,83 @@ impl ControlPlane {
         n
     }
 
+    /// Compiles policy `source` against this plane's schemas without
+    /// installing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError::Policy`] naming the source line and offending
+    /// token on any syntax error or unknown column reference.
+    pub fn compile_policy(&self, source: &str) -> Result<Program, CpError> {
+        Program::parse(source, &self.params, &self.stats)
+    }
+
+    /// Compiles and installs `source` as this plane's active policy,
+    /// stamping a fresh epoch and bumping the generation so data-path
+    /// caches refresh their engines.
+    ///
+    /// Installation is atomic: on a compile error the previously active
+    /// program stays in force.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`compile_policy`](Self::compile_policy) errors.
+    pub fn install_policy(&mut self, source: &str) -> Result<(), CpError> {
+        let prog = self.compile_policy(source)?;
+        self.policy_epochs += 1;
+        self.policy = Some(Arc::new(prog.with_epoch(self.policy_epochs)));
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Removes any installed policy, reverting to the built-in default
+    /// program, and bumps the generation.
+    pub fn clear_policy(&mut self) {
+        if self.policy.take().is_some() {
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Sets the built-in default program — the resource's previously
+    /// hardcoded behavior re-expressed as policy text. Called once by the
+    /// owning component at construction (so the default path dogfoods the
+    /// same compiler as operator-installed programs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`compile_policy`](Self::compile_policy) errors.
+    pub fn set_default_policy(&mut self, source: &str) -> Result<(), CpError> {
+        let prog = self.compile_policy(source)?;
+        self.policy_epochs += 1;
+        self.default_policy = Some(Arc::new(prog.with_epoch(self.policy_epochs)));
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// The program the data path should run: the installed policy if any,
+    /// else the built-in default.
+    pub fn active_policy(&self) -> Option<Arc<Program>> {
+        self.policy
+            .as_ref()
+            .or(self.default_policy.as_ref())
+            .map(Arc::clone)
+    }
+
+    /// Whether an operator-installed program (not the default) is active.
+    pub fn policy_installed(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// The active program's source text (empty when this plane has no
+    /// policy at all) — what `/sys/policy/cpa<N>/program` renders.
+    pub fn policy_source(&self) -> &str {
+        self.policy
+            .as_ref()
+            .or(self.default_policy.as_ref())
+            .map(|p| p.source())
+            .unwrap_or("")
+    }
+
     /// Resets both data tables' rows for a departing LDom.
     ///
     /// # Errors
@@ -547,6 +631,36 @@ mod tests {
             cp.stats().key_at(9),
             Err(CpError::BadColumn { offset: 9, width: 2, .. })
         ));
+    }
+
+    #[test]
+    fn policy_install_clear_and_default_manage_epochs_and_generation() {
+        let mut cp = plane();
+        assert!(cp.active_policy().is_none());
+        assert_eq!(cp.policy_source(), "");
+
+        let g = cp.generation();
+        cp.set_default_policy("when all do waymask param.waymask")
+            .unwrap();
+        assert!(cp.generation() > g);
+        assert!(!cp.policy_installed());
+        let default = cp.active_policy().unwrap();
+        assert_eq!(cp.policy_source(), "when all do waymask param.waymask");
+
+        cp.install_policy("when ds == 1 do waymask 0xFF00\nwhen all do waymask param.waymask")
+            .unwrap();
+        assert!(cp.policy_installed());
+        let installed = cp.active_policy().unwrap();
+        assert!(installed.epoch() > default.epoch());
+
+        // A bad install leaves the active program untouched.
+        let err = cp.install_policy("when all do waymask param.nope").unwrap_err();
+        assert!(matches!(err, CpError::Policy { ref token, .. } if token == "nope"));
+        assert_eq!(cp.active_policy().unwrap().epoch(), installed.epoch());
+
+        cp.clear_policy();
+        assert!(!cp.policy_installed());
+        assert_eq!(cp.active_policy().unwrap().epoch(), default.epoch());
     }
 
     #[test]

@@ -108,6 +108,24 @@ impl DsTable {
             })
     }
 
+    /// Like [`column_offset`](Self::column_offset), but panics on unknown
+    /// names.
+    ///
+    /// For component config caches resolving their own schema's columns at
+    /// construction: a missing column there is a wiring bug, and a panic
+    /// beats the old `unwrap_or(0)` reads that silently degraded a tenant
+    /// to priority 0 / disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the table and column name if `name` is not in the schema.
+    pub fn must_offset(&self, name: &str) -> usize {
+        match self.column_offset(name) {
+            Ok(off) => off,
+            Err(e) => panic!("{} table is missing required column {name:?}: {e}", self.name),
+        }
+    }
+
     /// The column name at `offset` (the CPA `addr` path in reverse).
     ///
     /// # Errors

@@ -12,9 +12,30 @@ use pard_cp::{ColumnDef, ControlPlane, CpType, DsTable, StatKey};
 /// * `compress` — 1 enables the MXT-style compression engine for this
 ///   DS-id's transfers (the paper's §8 functionality extension: an IBM
 ///   MXT-like engine programmed to compress packets for designated DS-id
-///   sets only).
-pub const MEM_PARAM_COLUMNS: &[&str] =
-    &["addr_base", "addr_limit", "priority", "rowbuf", "compress"];
+///   sets only),
+/// * `wfq_weight` — fair-queueing weight read by `wfq(param.wfq_weight)`
+///   rank expressions in installed policy programs (default 1; unused by
+///   the built-in strict-priority program).
+pub const MEM_PARAM_COLUMNS: &[&str] = &[
+    "addr_base",
+    "addr_limit",
+    "priority",
+    "rowbuf",
+    "compress",
+    "wfq_weight",
+];
+
+/// The built-in memory policy: the paper's §4.2 strict two-class
+/// arbitration re-expressed as a match-action program. Rank 0 (urgent) is
+/// the old high-priority queue, rank 1 the low queue; the PIFO serves the
+/// lowest present rank FIFO-within-rank, which is exactly
+/// "high-priority first, FR-FCFS within the class".
+pub const MEM_DEFAULT_POLICY: &str =
+    "when param.priority != 0 do rank 0, urgent\nwhen all do rank 1";
+
+/// The baseline (no-control-plane) program of Figure 11's "w/o PARD"
+/// controller: a single class, in-order service.
+pub const MEM_BASELINE_POLICY: &str = "when all do rank 0";
 
 /// Statistics-table columns of the memory control plane.
 ///
@@ -62,6 +83,7 @@ pub fn mem_control_plane(max_ds: usize, trigger_slots: usize) -> ControlPlane {
             ColumnDef::new("priority"),
             ColumnDef::new("rowbuf"),
             ColumnDef::new("compress"),
+            ColumnDef::with_default("wfq_weight", 1),
         ],
         max_ds,
     );
@@ -98,5 +120,13 @@ mod tests {
         assert_eq!(cp.param(DsId::new(3), "addr_base").unwrap(), 0);
         assert_eq!(cp.param(DsId::new(3), "addr_limit").unwrap(), u64::MAX);
         assert_eq!(cp.param(DsId::new(3), "rowbuf").unwrap(), 0);
+        assert_eq!(cp.param(DsId::new(3), "wfq_weight").unwrap(), 1);
+    }
+
+    #[test]
+    fn builtin_policies_compile_against_the_schema() {
+        let cp = mem_control_plane(8, 4);
+        assert!(cp.compile_policy(MEM_DEFAULT_POLICY).is_ok());
+        assert!(cp.compile_policy(MEM_BASELINE_POLICY).is_ok());
     }
 }

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use pard_cp::policy::{Decision, Pifo, PolicyEngine, PolicyReq, Program, ReqClass};
 use pard_cp::{shared, CpHandle, StatsHandle};
 use pard_icn::{to_mem_cycles, DsId, MemPacket, MemResp, PardEvent, TickKind, MEM_CYCLE};
 use pard_sim::stats::{LatencySample, WindowedCounter};
@@ -13,8 +14,8 @@ use pard_sim::{audit, Component, Ctx, Time};
 
 use crate::bank::{Bank, RankTracker};
 use crate::cpdef::{
-    mem_control_plane, MSTAT_AVG_QLAT, MSTAT_BANDWIDTH, MSTAT_COMP_SAVED, MSTAT_ROW_HITS,
-    MSTAT_SERV_CNT,
+    mem_control_plane, MEM_BASELINE_POLICY, MEM_DEFAULT_POLICY, MSTAT_AVG_QLAT, MSTAT_BANDWIDTH,
+    MSTAT_COMP_SAVED, MSTAT_ROW_HITS, MSTAT_SERV_CNT,
 };
 use crate::geometry::{BankAddr, DramGeometry};
 use crate::timing::DramTiming;
@@ -86,29 +87,44 @@ struct Pending {
 ///
 /// Request flow (Fig. 5):
 ///
-/// 1. The DS-id selects address mapping, priority, and row-buffer mask from
-///    the parameter table.
+/// 1. The DS-id selects address mapping and scheduling treatment: the
+///    plane's active match-action [`Program`] assigns each request a PIFO
+///    rank (the built-in program re-expresses the paper's two priority
+///    classes as ranks 0/1).
 /// 2. The LDom-physical address is translated to a DRAM physical address.
-/// 3. The request enters the queue of its priority class.
-/// 4. The arbiter picks *high-priority first*, FR-FCFS within a class,
-///    among requests whose banks are ready.
+/// 3. The request enters the [`Pifo`] at its assigned rank.
+/// 4. The arbiter serves the lowest present rank, FR-FCFS within it, among
+///    requests whose banks are ready — with the built-in program this is
+///    exactly *high-priority first, FR-FCFS within a class*.
 /// 5. Statistics update and trigger checks happen at window boundaries.
 pub struct MemCtrl {
     cfg: MemCtrlConfig,
     cp: CpHandle,
     gen_watch: Arc<AtomicU64>,
     cached_gen: u64,
-    bases: Vec<u64>,
-    limits: Vec<u64>,
-    prios: Vec<bool>,
-    rowbufs: Vec<bool>,
-    compress: Vec<bool>,
+    /// Flat per-DS parameter rows in schema order (stride `pstride`),
+    /// refreshed on generation change. Offsets below are resolved once at
+    /// construction against the plane's schema — a missing column is a
+    /// loud wiring bug, never a silent zero.
+    prows: Vec<u64>,
+    pstride: usize,
+    base_off: usize,
+    limit_off: usize,
+    rowbuf_off: usize,
+    compress_off: usize,
+    engine: PolicyEngine,
+    /// Per-DS decisions memoized at refresh time when the active program
+    /// is [`Program::per_ds_pure`] (both built-in memory programs are):
+    /// the per-request path then reduces to one indexed copy. Empty when
+    /// the program must be interpreted per request.
+    dec_cache: Vec<Decision>,
+    baseline: Arc<Program>,
     banks: Vec<Bank>,
     ranks: Vec<RankTracker>,
     bus_free_at: Time,
-    high_q: VecDeque<Pending>,
-    low_q: VecDeque<Pending>,
+    queue: Pifo<Pending>,
     wb_q: VecDeque<Pending>,
+    policy_dropped: u64,
     tick_armed: bool,
     next_tick_at: Time,
     window_armed: bool,
@@ -137,26 +153,57 @@ impl MemCtrl {
     /// Creates a controller and returns it with its control-plane handle.
     pub fn new(cfg: MemCtrlConfig) -> (Self, CpHandle) {
         let cp = shared(mem_control_plane(cfg.max_ds, cfg.trigger_slots));
-        let (gen_watch, stats) = {
-            let guard = cp.lock();
-            (guard.generation_watch(), guard.stats_handle())
+        let (gen_watch, stats, pstride, base_off, limit_off, rowbuf_off, compress_off) = {
+            let mut guard = cp.lock();
+            // The previously hardcoded two-class arbitration, as data: the
+            // default program compiles through the same pipeline as
+            // operator-installed policies.
+            guard
+                .set_default_policy(MEM_DEFAULT_POLICY)
+                .expect("built-in memory policy compiles");
+            let p = guard.params();
+            (
+                guard.generation_watch(),
+                guard.stats_handle(),
+                p.columns().len(),
+                p.must_offset("addr_base"),
+                p.must_offset("addr_limit"),
+                p.must_offset("rowbuf"),
+                p.must_offset("compress"),
+            )
+        };
+        let baseline = Arc::new(
+            cp.lock()
+                .compile_policy(MEM_BASELINE_POLICY)
+                .expect("baseline memory policy compiles"),
+        );
+        let initial = if cfg.priorities_enabled {
+            cp.lock()
+                .active_policy()
+                .expect("default policy installed above")
+        } else {
+            Arc::clone(&baseline)
         };
         let nbanks = cfg.geometry.total_banks() as usize;
         let nranks = cfg.geometry.ranks as usize;
         let ctrl = MemCtrl {
             gen_watch,
             cached_gen: u64::MAX,
-            bases: vec![0; cfg.max_ds],
-            limits: vec![u64::MAX; cfg.max_ds],
-            prios: vec![false; cfg.max_ds],
-            rowbufs: vec![false; cfg.max_ds],
-            compress: vec![false; cfg.max_ds],
+            prows: vec![0; cfg.max_ds * pstride],
+            pstride,
+            base_off,
+            limit_off,
+            rowbuf_off,
+            compress_off,
+            engine: PolicyEngine::new(initial, cfg.max_ds),
+            dec_cache: Vec::new(),
+            baseline,
             banks: vec![Bank::default(); nbanks],
             ranks: vec![RankTracker::default(); nranks],
             bus_free_at: Time::ZERO,
-            high_q: VecDeque::new(),
-            low_q: VecDeque::new(),
+            queue: Pifo::new(),
             wb_q: VecDeque::new(),
+            policy_dropped: 0,
             tick_armed: false,
             next_tick_at: Time::MAX,
             window_armed: false,
@@ -186,9 +233,17 @@ impl MemCtrl {
         self.served_total
     }
 
-    /// Current queue depths `(high, low)`.
+    /// Current queue depths `(urgent, rest)` — with the built-in program
+    /// these are the paper's high and low priority classes.
     pub fn queue_depths(&self) -> (usize, usize) {
-        (self.high_q.len(), self.low_q.len())
+        let urgent = self.queue.urgent_len();
+        (urgent, self.queue.len() - urgent)
+    }
+
+    /// Requests denied by a `drop` micro-op of the active policy (the
+    /// built-in programs never drop).
+    pub fn policy_dropped(&self) -> u64 {
+        self.policy_dropped
     }
 
     /// Current write-buffer depth.
@@ -242,12 +297,35 @@ impl MemCtrl {
         }
         let cp = self.cp.lock();
         for i in 0..self.cfg.max_ds {
-            let ds = DsId::new(i as u16);
-            self.bases[i] = cp.param(ds, "addr_base").unwrap_or(0);
-            self.limits[i] = cp.param(ds, "addr_limit").unwrap_or(u64::MAX);
-            self.prios[i] = cp.param(ds, "priority").unwrap_or(0) != 0;
-            self.rowbufs[i] = cp.param(ds, "rowbuf").unwrap_or(0) != 0;
-            self.compress[i] = cp.param(ds, "compress").unwrap_or(0) != 0;
+            let row = cp
+                .params()
+                .row(DsId::new(i as u16))
+                .expect("parameter table sized to max_ds rows");
+            self.prows[i * self.pstride..(i + 1) * self.pstride].copy_from_slice(row);
+        }
+        // Baseline mode models the stock controller of Figure 11: no
+        // control plane, so installed policies are ignored too.
+        let prog = if self.cfg.priorities_enabled {
+            cp.active_policy()
+                .expect("memctrl sets a default policy at construction")
+        } else {
+            Arc::clone(&self.baseline)
+        };
+        self.engine.refresh(prog);
+        self.dec_cache.clear();
+        if self.engine.program().per_ds_pure() {
+            // The request fields below are never read by a per-DS-pure
+            // program; `decide` is a function of the parameter row alone.
+            for i in 0..self.cfg.max_ds {
+                let req = PolicyReq {
+                    ds: DsId::new(i as u16),
+                    class: ReqClass::Read,
+                    size: 0,
+                };
+                let prow = &self.prows[i * self.pstride..(i + 1) * self.pstride];
+                self.dec_cache
+                    .push(self.engine.decide(&req, prow, &[], Time::ZERO));
+            }
         }
         self.cached_gen = gen;
     }
@@ -273,13 +351,76 @@ impl MemCtrl {
         let i = pkt.ds.index().min(self.cfg.max_ds - 1);
         self.active_ds[i] = true;
 
+        let row = i * self.pstride;
         // LDom-physical -> machine-physical translation (parameter table).
-        let limit = self.limits[i].max(1);
-        let maddr = pard_icn::MAddr::new(self.bases[i].wrapping_add(pkt.addr.raw() % limit));
+        let limit = self.prows[row + self.limit_off].max(1);
+        let base = self.prows[row + self.base_off];
+        let maddr = pard_icn::MAddr::new(base.wrapping_add(pkt.addr.raw() % limit));
         let loc = self.cfg.geometry.decompose(maddr);
 
-        let high = self.cfg.priorities_enabled && self.prios[i];
-        let use_hp_buffer = self.cfg.priorities_enabled && self.rowbufs[i];
+        // The active match-action program assigns the scheduling
+        // treatment: rank + urgency with the built-in two-class program,
+        // WFQ tags / drops / token-bucket charges with installed ones.
+        // Per-DS-pure programs were evaluated once at refresh time.
+        let decision = if let Some(cached) = self.dec_cache.get(i) {
+            *cached
+        } else {
+            let class = if pkt.kind == pard_icn::MemKind::Writeback {
+                ReqClass::Writeback
+            } else if pkt.dma {
+                ReqClass::Dma
+            } else if pkt.kind == pard_icn::MemKind::Write {
+                ReqClass::Write
+            } else {
+                ReqClass::Read
+            };
+            let req = PolicyReq {
+                ds: DsId::new(i as u16),
+                class,
+                size: u64::from(pkt.size),
+            };
+            let srow = if self.engine.program().uses_stats() {
+                self.stats
+                    .cells()
+                    .snapshot_row(req.ds)
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            let prow = &self.prows[row..row + self.pstride];
+            self.engine.decide(&req, prow, &srow, ctx.now())
+        };
+        if let Some(key) = decision.bump {
+            let _ = self.stats.add(DsId::new(i as u16), key, 1);
+        }
+        if !decision.admit {
+            // A policy drop is a terminal denial: the packet was already
+            // retired on arrival above, and requesters waiting on a
+            // response get an immediate one so they never hang.
+            self.policy_dropped += 1;
+            if trace::enabled(TraceCat::Dram) {
+                trace::emit(
+                    TraceCat::Dram,
+                    ctx.now(),
+                    pkt.ds.raw(),
+                    "drop",
+                    &[("bytes", TraceVal::U(u64::from(pkt.size)))],
+                );
+            }
+            if pkt.kind.wants_response() {
+                let resp = MemResp {
+                    id: pkt.id,
+                    ds: pkt.ds,
+                    addr: pkt.addr,
+                    llc_hit: false,
+                };
+                ctx.send_at(pkt.reply_to, ctx.now(), PardEvent::MemResp(resp));
+            }
+            return;
+        }
+
+        let high = decision.urgent;
+        let use_hp_buffer = self.cfg.priorities_enabled && self.prows[row + self.rowbuf_off] != 0;
         let pending = Pending {
             pkt,
             loc,
@@ -292,10 +433,8 @@ impl MemCtrl {
         // them.
         if pkt.kind == pard_icn::MemKind::Writeback {
             self.wb_q.push_back(pending);
-        } else if high {
-            self.high_q.push_back(pending);
         } else {
-            self.low_q.push_back(pending);
+            self.queue.push(decision.rank, high, pending);
         }
         if trace::enabled(TraceCat::Dram) {
             trace::emit(
@@ -341,12 +480,13 @@ impl MemCtrl {
         // slot is not hopelessly behind the bus schedule — otherwise the
         // command queue stalls, which is where bus-bound queueing delay
         // comes from on real controllers. With the control plane enabled,
-        // high-priority commands bypass the gate: the controller reserves
-        // data slots for the high class (the data-path half of DiffServ).
-        let gated = if self.cfg.priorities_enabled && !self.high_q.is_empty() {
+        // urgent entries (the built-in program's high class) bypass the
+        // gate: the controller reserves data slots for them (the
+        // data-path half of DiffServ).
+        let gated = if self.cfg.priorities_enabled && self.queue.urgent_len() > 0 {
             false
         } else {
-            !self.low_q.is_empty() || !self.high_q.is_empty() || !self.wb_q.is_empty()
+            !self.queue.is_empty() || !self.wb_q.is_empty()
         };
         if gated && self.bus_free_at > now + self.cfg.timing.tcl {
             let resume = (self.bus_free_at - self.cfg.timing.tcl).align_up(MEM_CYCLE);
@@ -358,19 +498,41 @@ impl MemCtrl {
             return;
         }
 
-        // With the control plane: the per-class hardware queues are FIFOs
-        // and the arbiter is strictly "high-priority first" (§4.2): while
-        // any high-priority request is pending, the low queue does not
-        // issue — which is what buys the 5.6x for high priority at the
-        // cost of the paper's +33.6% for low priority. Baseline: strict
-        // in-order service from the single queue, like the stock
-        // controller.
-        let head_ready = |q: &VecDeque<Pending>, banks: &[Bank]| {
-            q.front()
-                .is_some_and(|h| banks[h.loc.bank as usize].ready_at(now))
-        };
+        // The arbiter serves the PIFO's lowest present rank, FR-FCFS
+        // within it. With the built-in program that is §4.2 verbatim:
+        // urgent entries rank 0, the rest rank 1, so while any
+        // high-priority request is pending the low class does not issue —
+        // which is what buys the 5.6x for high priority at the cost of
+        // the paper's +33.6% for low priority. The baseline program ranks
+        // everything 0: strict in-order service from one queue, like the
+        // stock controller.
+        //
         // FR-FCFS over a bounded reorder window: prefer a ready row-hit
-        // among the first `window` entries, else the oldest ready entry.
+        // among the first `window` entries of the front rank bucket, else
+        // the oldest ready entry. Only the front bucket is inspected — a
+        // lower rank must fully stall before the next rank gets a turn.
+        fn pifo_pick(
+            q: &mut Pifo<Pending>,
+            banks: &[Bank],
+            now: Time,
+            window: usize,
+        ) -> Option<(u64, Pending)> {
+            let mut pick = None;
+            for (i, p) in q.front_iter().enumerate().take(window) {
+                let bank = &banks[p.loc.bank as usize];
+                if !bank.ready_at(now) {
+                    continue;
+                }
+                if bank.would_hit(p.loc.row, p.high) {
+                    pick = Some(i);
+                    break;
+                }
+                if pick.is_none() {
+                    pick = Some(i);
+                }
+            }
+            pick.and_then(|i| q.remove_front(i))
+        }
         fn fr_fcfs_pick(
             q: &mut VecDeque<Pending>,
             banks: &[Bank],
@@ -404,29 +566,32 @@ impl MemCtrl {
             None
         };
         if chosen.is_none() {
-            chosen = if self.cfg.priorities_enabled {
-                // §4.2: high-priority first, FR-FCFS within the class.
-                if !self.high_q.is_empty() {
-                    fr_fcfs_pick(&mut self.high_q, &self.banks, now, CLASS_WINDOW)
-                } else {
-                    fr_fcfs_pick(&mut self.low_q, &self.banks, now, CLASS_WINDOW)
-                }
+            let window = if self.cfg.priorities_enabled {
+                CLASS_WINDOW
             } else {
-                // Baseline: single-queue FR-FCFS over the configured window.
-                fr_fcfs_pick(&mut self.low_q, &self.banks, now, self.cfg.baseline_window)
+                self.cfg.baseline_window
             };
+            if let Some((rank, p)) = pifo_pick(&mut self.queue, &self.banks, now, window) {
+                // WFQ-ranked programs advance their virtual clock on
+                // service. Per-DS-pure programs (decision cache active)
+                // cannot contain `wfq`, so their virtual clock is dead
+                // state — skip the bookkeeping on that hot path.
+                if self.dec_cache.is_empty() {
+                    self.engine.note_serve(rank);
+                }
+                chosen = Some(p);
+            }
         }
         // Otherwise the write buffer drains when no read can issue.
         if chosen.is_none() {
             chosen = fr_fcfs_pick(&mut self.wb_q, &self.banks, now, CLASS_WINDOW);
         }
-        let _ = head_ready;
 
         if let Some(p) = chosen {
             self.serve(p, now, ctx);
         }
 
-        if !self.high_q.is_empty() || !self.low_q.is_empty() || !self.wb_q.is_empty() {
+        if !self.queue.is_empty() || !self.wb_q.is_empty() {
             let next = self.next_interesting_time(now);
             if !self.tick_armed || next < self.next_tick_at || self.next_tick_at <= now {
                 self.tick_armed = true;
@@ -444,9 +609,9 @@ impl MemCtrl {
         let _n = crate::ctrl::prof::Scope::new(1);
         // Earliest time a schedulable request's bank frees, but no sooner
         // than the next memory cycle. Only requests the arbiter could
-        // actually pick next matter: the reorder window of the high queue
-        // while it is non-empty (strict priority), else of the low queue,
-        // plus the write buffer when it could drain.
+        // actually pick next matter: the reorder window of the PIFO's
+        // front rank bucket (lower ranks fully shadow higher ones), plus
+        // the write buffer when it could drain.
         let floor = (now + MEM_CYCLE).align_up(MEM_CYCLE);
         let mut earliest = Time::MAX;
         let mut consider = |p: &Pending| {
@@ -459,15 +624,13 @@ impl MemCtrl {
             earliest = earliest.min(t);
         };
         const WINDOW: usize = 16;
-        if self.cfg.priorities_enabled && !self.high_q.is_empty() {
-            self.high_q.iter().take(WINDOW).for_each(&mut consider);
-        } else if !self.low_q.is_empty() {
+        if !self.queue.is_empty() {
             let window = if self.cfg.priorities_enabled {
                 WINDOW
             } else {
                 self.cfg.baseline_window
             };
-            self.low_q.iter().take(window).for_each(&mut consider);
+            self.queue.front_iter().take(window).for_each(&mut consider);
         }
         let _ = &mut consider;
         if earliest == Time::MAX || self.wb_q.len() > 64 {
@@ -505,7 +668,8 @@ impl MemCtrl {
         // differentiated like every other PARD service.
         let raw_bursts = timing.bursts_for(p.pkt.size);
         let i0 = p.pkt.ds.index().min(self.cfg.max_ds - 1);
-        let nbursts = if self.cfg.priorities_enabled && self.compress[i0] {
+        let compress_on = self.prows[i0 * self.pstride + self.compress_off] != 0;
+        let nbursts = if self.cfg.priorities_enabled && compress_on {
             let compressed = raw_bursts.div_ceil(2);
             let saved = (raw_bursts - compressed) * u64::from(timing.burst_bytes());
             let _ = self
@@ -933,6 +1097,77 @@ mod tests {
         r.sim.run_until(Time::from_ms(1));
         assert_eq!(r.cp.lock().stat(DsId::new(2), "comp_saved").unwrap(), 2048);
         assert_eq!(r.cp.lock().stat(DsId::new(1), "comp_saved").unwrap(), 0);
+    }
+
+    #[test]
+    fn installed_wfq_policy_favors_the_heavier_flow() {
+        let cfg = MemCtrlConfig {
+            record_queueing: true,
+            ..MemCtrlConfig::default()
+        };
+        let mut r = rig(cfg);
+        {
+            let mut cp = r.cp.lock();
+            cp.set_param(DsId::new(1), "wfq_weight", 1).unwrap();
+            cp.set_param(DsId::new(2), "wfq_weight", 8).unwrap();
+            cp.install_policy("when all do rank wfq(param.wfq_weight)")
+                .unwrap();
+        }
+        // An interleaved backlog from both DS-ids arrives at once; the
+        // weight-8 flow's start tags advance 8x slower, so its requests
+        // consistently outrank (and outrun) the weight-1 flow's.
+        for i in 0..40u64 {
+            r.sim.post(r.ctrl, Time::from_ns(i), read(&r, i, 1, i * 64));
+            r.sim
+                .post(r.ctrl, Time::from_ns(i), read(&r, 100 + i, 2, (1 << 20) | (i * 64)));
+        }
+        r.sim.run_until(Time::from_us(50));
+        r.sim.with_component::<MemCtrl, _, _>(r.ctrl, |m| {
+            let light = m.take_ds_queueing(DsId::new(1)).mean();
+            let heavy = m.take_ds_queueing(DsId::new(2)).mean();
+            assert!(
+                heavy < light,
+                "weight-8 mean queueing {heavy:?} !< weight-1 mean {light:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn installed_drop_policy_denies_with_immediate_response() {
+        let mut r = rig(MemCtrlConfig::default());
+        r.cp.lock()
+            .install_policy("when ds == 5 do drop\nwhen all do rank 0")
+            .unwrap();
+        r.sim.post(r.ctrl, Time::ZERO, read(&r, 1, 5, 0));
+        r.sim.post(r.ctrl, Time::ZERO, read(&r, 2, 1, 64));
+        r.sim.run_until(Time::from_us(1));
+        r.sim.with_component::<Collector, _, _>(r.collector, |c| {
+            // Both requesters got responses: the denial immediately, the
+            // admitted one after DRAM service.
+            assert_eq!(c.responses.len(), 2);
+            assert_eq!(c.responses[0], (PacketId(1), Time::ZERO));
+        });
+        r.sim.with_component::<MemCtrl, _, _>(r.ctrl, |m| {
+            assert_eq!(m.policy_dropped(), 1);
+            assert_eq!(m.served_total(), 1);
+        });
+    }
+
+    #[test]
+    fn clearing_an_installed_policy_reverts_to_the_builtin() {
+        let mut r = rig(MemCtrlConfig::default());
+        r.cp.lock()
+            .install_policy("when all do drop")
+            .unwrap();
+        r.sim.post(r.ctrl, Time::ZERO, read(&r, 1, 1, 0));
+        r.sim.run_until(Time::from_us(1));
+        r.cp.lock().clear_policy();
+        r.sim.post(r.ctrl, Time::from_us(1), read(&r, 2, 1, 64));
+        r.sim.run_until(Time::from_us(2));
+        r.sim.with_component::<MemCtrl, _, _>(r.ctrl, |m| {
+            assert_eq!(m.policy_dropped(), 1);
+            assert_eq!(m.served_total(), 1);
+        });
     }
 
     #[test]

@@ -29,8 +29,9 @@ mod timing;
 
 pub use bank::{Bank, RankTracker};
 pub use cpdef::{
-    mem_control_plane, MEM_PARAM_COLUMNS, MEM_STATS_COLUMNS, MSTAT_AVG_QLAT, MSTAT_BANDWIDTH,
-    MSTAT_COMP_SAVED, MSTAT_ROW_HITS, MSTAT_SERV_CNT,
+    mem_control_plane, MEM_BASELINE_POLICY, MEM_DEFAULT_POLICY, MEM_PARAM_COLUMNS,
+    MEM_STATS_COLUMNS, MSTAT_AVG_QLAT, MSTAT_BANDWIDTH, MSTAT_COMP_SAVED, MSTAT_ROW_HITS,
+    MSTAT_SERV_CNT,
 };
 pub use ctrl::{MemCtrl, MemCtrlConfig, QueueingStats};
 pub use geometry::{BankAddr, DramGeometry};

@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use pard_cp::policy::{Decision, PolicyEngine, PolicyReq, ReqClass};
 use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable, StatKey, StatsHandle};
 use pard_icn::{cpu_cycles, DsId, PardEvent, TickKind};
 use pard_sim::trace::{self, TraceCat, TraceVal};
@@ -31,6 +32,12 @@ impl Default for IoBridgeConfig {
         }
     }
 }
+
+/// The built-in bridge policy: traffic for a disabled DS-id is dropped,
+/// everything else forwards — the pre-policy `enable` gate re-expressed as
+/// a match-action program. Installed programs can add per-class admission
+/// control (e.g. a token-bucket `charge … else defer` on DMA only).
+pub const BRIDGE_DEFAULT_POLICY: &str = "when param.enable == 0 do drop\nwhen all do rank 0";
 
 /// Key of `dma_bytes` in the bridge statistics table.
 pub const BSTAT_DMA_BYTES: StatKey = StatKey::at(0);
@@ -72,9 +79,11 @@ pub struct IoBridge {
     stats: StatsHandle,
     gen_watch: Arc<AtomicU64>,
     cached_gen: u64,
-    /// `enable` parameter cached against the generation counter, so the
-    /// per-packet forward/drop decision takes no lock.
-    enables: Vec<bool>,
+    /// Parameter rows cached flat against the generation counter, so the
+    /// per-packet policy decision takes no lock.
+    prows: Vec<u64>,
+    pstride: usize,
+    engine: PolicyEngine,
     ide: ComponentId,
     mem_ctrl: ComponentId,
     /// Per-window activity marker: which DS-ids saw DMA this window (the
@@ -88,15 +97,27 @@ impl IoBridge {
     /// Creates a bridge and returns it with its control-plane handle.
     pub fn new(cfg: IoBridgeConfig) -> (Self, CpHandle) {
         let cp = shared(bridge_control_plane(cfg.max_ds, cfg.trigger_slots));
-        let (gen_watch, stats) = {
-            let guard = cp.lock();
-            (guard.generation_watch(), guard.stats_handle())
+        let (gen_watch, stats, pstride, initial) = {
+            let mut guard = cp.lock();
+            guard
+                .set_default_policy(BRIDGE_DEFAULT_POLICY)
+                .expect("built-in bridge policy compiles against its own schema");
+            (
+                guard.generation_watch(),
+                guard.stats_handle(),
+                guard.params().columns().len(),
+                guard
+                    .active_policy()
+                    .expect("default policy installed above"),
+            )
         };
         let bridge = IoBridge {
             stats,
             gen_watch,
             cached_gen: u64::MAX,
-            enables: vec![true; cfg.max_ds],
+            prows: vec![0; cfg.max_ds * pstride],
+            pstride,
+            engine: PolicyEngine::new(initial, cfg.max_ds),
             ide: ComponentId::UNWIRED,
             mem_ctrl: ComponentId::UNWIRED,
             win_reqs: vec![0; cfg.max_ds],
@@ -128,18 +149,53 @@ impl IoBridge {
         self.dropped
     }
 
-    fn enabled(&mut self, ds: DsId) -> bool {
+    /// Evaluates the active policy against one packet. Out-of-table
+    /// DS-ids forward with the default decision (admitted, undeferred) —
+    /// the bridge cannot police rows it has no table state for.
+    fn decide(&mut self, ds: DsId, class: ReqClass, size: u64, now: Time) -> Decision {
         let gen = self.gen_watch.load(Ordering::Acquire);
         if gen != self.cached_gen {
             let cp = self.cp.lock();
             for i in 0..self.cfg.max_ds {
-                self.enables[i] = cp.param(DsId::new(i as u16), "enable") != Ok(0);
+                let row = cp
+                    .params()
+                    .row(DsId::new(i as u16))
+                    .expect("parameter table is sized to max_ds rows");
+                self.prows[i * self.pstride..(i + 1) * self.pstride].copy_from_slice(row);
             }
+            self.engine.refresh(
+                cp.active_policy()
+                    .expect("bridge plane always carries a default policy"),
+            );
             self.cached_gen = gen;
         }
-        // Out-of-table DS-ids forward (a failed param read is not 0) —
-        // the pre-cache behaviour.
-        self.enables.get(ds.index()).copied().unwrap_or(true)
+        let i = ds.index();
+        if i >= self.cfg.max_ds {
+            return Decision::default();
+        }
+        let req = PolicyReq { ds, class, size };
+        let srow = if self.engine.program().uses_stats() {
+            self.stats.cells().snapshot_row(ds).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let prow = &self.prows[i * self.pstride..(i + 1) * self.pstride];
+        let decision = self.engine.decide(&req, prow, &srow, now);
+        if let Some(key) = decision.bump {
+            let _ = self.stats.add(ds, key, 1);
+        }
+        decision
+    }
+
+    /// The forwarding hop for a decision: `defer` doubles the latency (the
+    /// bridge has no queue to push to the back of, so deferral is modelled
+    /// as an extra hop).
+    fn hop_for(&self, decision: Decision) -> Time {
+        if decision.deferred {
+            self.cfg.hop_latency + self.cfg.hop_latency
+        } else {
+            self.cfg.hop_latency
+        }
     }
 
     fn account(&mut self, ds: DsId, bytes: u64) {
@@ -182,7 +238,8 @@ impl Component<PardEvent> for IoBridge {
         }
         match ev {
             PardEvent::DiskReq(req) => {
-                if self.enabled(req.ds) {
+                let decision = self.decide(req.ds, ReqClass::Disk, req.bytes, ctx.now());
+                if decision.admit {
                     if audit::enabled() {
                         audit::packet_hop(
                             "disk",
@@ -193,7 +250,7 @@ impl Component<PardEvent> for IoBridge {
                             "bridge",
                         );
                     }
-                    let hop = self.cfg.hop_latency;
+                    let hop = self.hop_for(decision);
                     ctx.send(self.ide, hop, PardEvent::DiskReq(req));
                 } else {
                     if audit::enabled() {
@@ -203,8 +260,9 @@ impl Component<PardEvent> for IoBridge {
                 }
             }
             PardEvent::Pio(pio) => {
-                if self.enabled(pio.ds) {
-                    let hop = self.cfg.hop_latency;
+                let decision = self.decide(pio.ds, ReqClass::Pio, 0, ctx.now());
+                if decision.admit {
+                    let hop = self.hop_for(decision);
                     ctx.send(self.ide, hop, PardEvent::Pio(pio));
                 } else {
                     self.dropped += 1;
@@ -212,7 +270,8 @@ impl Component<PardEvent> for IoBridge {
             }
             PardEvent::MemReq(pkt) => {
                 debug_assert!(pkt.dma, "non-DMA memory traffic through the bridge");
-                if self.enabled(pkt.ds) {
+                let decision = self.decide(pkt.ds, ReqClass::Dma, u64::from(pkt.size), ctx.now());
+                if decision.admit {
                     if audit::enabled() {
                         audit::packet_hop(
                             "dma",
@@ -233,7 +292,7 @@ impl Component<PardEvent> for IoBridge {
                             &[("bytes", TraceVal::U(u64::from(pkt.size)))],
                         );
                     }
-                    let hop = self.cfg.hop_latency;
+                    let hop = self.hop_for(decision);
                     ctx.send(self.mem_ctrl, hop, PardEvent::MemReq(pkt));
                 } else {
                     if audit::enabled() {
@@ -345,6 +404,65 @@ mod tests {
         let cp = cp.lock();
         assert_eq!(cp.stat(DsId::new(1), "dma_bytes").unwrap(), 8192);
         assert_eq!(cp.stat(DsId::new(1), "reqs").unwrap(), 2);
+    }
+
+    #[test]
+    fn token_bucket_policy_gates_dma_admission() {
+        let (mut sim, bridge, sink, cp) = rig();
+        // 4 KB burst bucket on DMA only: the second back-to-back 4 KB DMA
+        // burst overflows it and is dropped; disk requests are untouched.
+        cp.lock()
+            .install_policy(
+                "when param.enable == 0 do drop\n\
+                 when class == dma do charge size rate 1000000 burst 4096 else drop\n\
+                 when all do rank 0",
+            )
+            .unwrap();
+        sim.post(bridge, Time::ZERO, dma(1, sink, 4096));
+        sim.post(bridge, Time::ZERO, dma(1, sink, 4096));
+        sim.post(bridge, Time::ZERO, disk_req(1, sink));
+        sim.run_until(Time::from_ms(1));
+        sim.with_component::<Sink, _, _>(sink, |s| {
+            assert_eq!(s.mem_reqs, 1, "second DMA burst over the bucket drops");
+            assert_eq!(s.disk_reqs, 1, "disk path is not charged");
+        });
+        sim.with_component::<IoBridge, _, _>(bridge, |b| assert_eq!(b.dropped(), 1));
+    }
+
+    #[test]
+    fn defer_policy_doubles_the_forwarding_hop() {
+        struct TimedSink {
+            arrivals: Vec<Time>,
+        }
+        impl Component<PardEvent> for TimedSink {
+            fn name(&self) -> &str {
+                "timed-sink"
+            }
+            fn handle(&mut self, ev: PardEvent, ctx: &mut Ctx<'_, PardEvent>) {
+                if matches!(ev, PardEvent::MemReq(_)) {
+                    self.arrivals.push(ctx.now());
+                }
+            }
+            pard_sim::impl_as_any!();
+        }
+
+        let mut sim = Simulation::new();
+        let hop = Time::from_us(1);
+        let (mut bridge, cp) = IoBridge::new(IoBridgeConfig {
+            max_ds: 8,
+            hop_latency: hop,
+            ..IoBridgeConfig::default()
+        });
+        let sink = sim.add_component(Box::new(TimedSink { arrivals: Vec::new() }));
+        bridge.set_ide(sink);
+        bridge.set_mem_ctrl(sink);
+        let bridge = sim.add_component(Box::new(bridge));
+        cp.lock().install_policy("when all do defer").unwrap();
+        sim.post(bridge, Time::ZERO, dma(1, sink, 64));
+        sim.run_until(Time::from_ms(1));
+        sim.with_component::<TimedSink, _, _>(sink, |s| {
+            assert_eq!(s.arrivals, vec![hop + hop], "deferred DMA takes two hops");
+        });
     }
 
     #[test]

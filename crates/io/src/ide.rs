@@ -4,7 +4,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable, StatKey};
+use pard_cp::policy::{PolicyEngine, PolicyReq, ReqClass};
+use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable, StatKey, StatsHandle};
 use pard_icn::DsId;
 use pard_icn::{
     DiskDone, DiskKind, DiskRequest, LAddr, MemKind, MemPacket, PacketIdGen, PardEvent, PioResp,
@@ -58,6 +59,11 @@ impl Default for IdeConfig {
         }
     }
 }
+
+/// The built-in IDE policy: each DS-id's service weight is its `bandwidth`
+/// quota parameter — the pre-policy quota engine re-expressed as a one-rule
+/// match-action program. Weight 0 means "fair share of the leftover".
+pub const IDE_DEFAULT_POLICY: &str = "when all do weight param.bandwidth";
 
 /// Key of `bandwidth` in the IDE statistics table.
 pub const ISTAT_BANDWIDTH: StatKey = StatKey::at(0);
@@ -122,9 +128,19 @@ pub struct DiskProgress {
 pub struct IdeCtrl {
     cfg: IdeConfig,
     cp: CpHandle,
+    /// Lock-free read path into the statistics cells, for policy programs
+    /// whose weight expressions reference `stat.*` columns.
+    stats: StatsHandle,
     gen_watch: Arc<AtomicU64>,
     cached_gen: u64,
+    /// Per-DS-id service weights, computed by the policy engine (the
+    /// built-in program reduces them to the `bandwidth` quota column).
     quotas: Vec<u64>,
+    /// Flat copy of the parameter table (`max_ds` rows × `pstride`),
+    /// refreshed on generation change.
+    prows: Vec<u64>,
+    pstride: usize,
+    engine: PolicyEngine,
     tag_regs: Vec<DsId>,
     queues: Vec<VecDeque<ActiveReq>>,
     bridge: ComponentId,
@@ -146,11 +162,28 @@ impl IdeCtrl {
     /// Creates a controller and returns it with its control-plane handle.
     pub fn new(cfg: IdeConfig) -> (Self, CpHandle) {
         let cp = shared(ide_control_plane(cfg.max_ds, cfg.trigger_slots));
-        let gen_watch = cp.lock().generation_watch();
+        let (gen_watch, stats, pstride, initial) = {
+            let mut guard = cp.lock();
+            guard
+                .set_default_policy(IDE_DEFAULT_POLICY)
+                .expect("built-in IDE policy compiles against its own schema");
+            (
+                guard.generation_watch(),
+                guard.stats_handle(),
+                guard.params().columns().len(),
+                guard
+                    .active_policy()
+                    .expect("default policy installed above"),
+            )
+        };
         let ide = IdeCtrl {
             gen_watch,
+            stats,
             cached_gen: u64::MAX,
             quotas: vec![0; cfg.max_ds],
+            prows: vec![0; cfg.max_ds * pstride],
+            pstride,
+            engine: PolicyEngine::new(initial, cfg.max_ds),
             tag_regs: vec![DsId::DEFAULT; cfg.channels as usize],
             queues: (0..cfg.max_ds).map(|_| VecDeque::new()).collect(),
             bridge: ComponentId::UNWIRED,
@@ -198,16 +231,48 @@ impl IdeCtrl {
         self.tag_regs[channel as usize]
     }
 
-    fn refresh_params(&mut self) {
+    /// Re-derives the per-DS-id service weights from the active policy.
+    ///
+    /// Parameter rows and the program itself refresh only on a
+    /// generation change; the weight evaluation additionally re-runs
+    /// every quantum when the program reads `stat.*` columns (so
+    /// stat-reactive policies track live usage).
+    fn refresh_params(&mut self, now: Time) {
         let gen = self.gen_watch.load(Ordering::Acquire);
-        if gen == self.cached_gen {
+        if gen == self.cached_gen && !self.engine.program().uses_stats() {
             return;
         }
-        let cp = self.cp.lock();
-        for i in 0..self.cfg.max_ds {
-            self.quotas[i] = cp.param(DsId::new(i as u16), "bandwidth").unwrap_or(0);
+        if gen != self.cached_gen {
+            let cp = self.cp.lock();
+            for i in 0..self.cfg.max_ds {
+                let row = cp
+                    .params()
+                    .row(DsId::new(i as u16))
+                    .expect("parameter table is sized to max_ds rows");
+                self.prows[i * self.pstride..(i + 1) * self.pstride].copy_from_slice(row);
+            }
+            self.engine.refresh(
+                cp.active_policy()
+                    .expect("IDE plane always carries a default policy"),
+            );
+            self.cached_gen = gen;
         }
-        self.cached_gen = gen;
+        let live_stats = self.engine.program().uses_stats();
+        for i in 0..self.cfg.max_ds {
+            let ds = DsId::new(i as u16);
+            let req = PolicyReq {
+                ds,
+                class: ReqClass::Disk,
+                size: 0,
+            };
+            let srow = if live_stats {
+                self.stats.cells().snapshot_row(ds).unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            let prow = &self.prows[i * self.pstride..(i + 1) * self.pstride];
+            self.quotas[i] = self.engine.decide(&req, prow, &srow, now).weight;
+        }
     }
 
     fn channel_of(&self, disk: u8) -> usize {
@@ -316,7 +381,7 @@ impl IdeCtrl {
 
     fn on_tick(&mut self, ctx: &mut Ctx<'_, PardEvent>) {
         self.tick_armed = false;
-        self.refresh_params();
+        self.refresh_params(ctx.now());
         if fault::enabled(FaultClass::Ide) {
             self.apply_fault_drops(ctx);
         }
@@ -615,6 +680,55 @@ mod tests {
         r.cp.lock()
             .set_param(DsId::new(1), "bandwidth", 80)
             .unwrap();
+        let total = 10_000_000u64;
+        r.sim.post(r.ide, Time::ZERO, dd(&r, 1, 1, total));
+        r.sim.post(r.ide, Time::ZERO, dd(&r, 2, 2, total));
+        r.sim.run_until(Time::from_ms(50));
+        r.sim.with_component::<IdeCtrl, _, _>(r.ide, |ide| {
+            let p1 = ide.progress(DsId::new(1)).bytes_done as f64;
+            let p2 = ide.progress(DsId::new(2)).bytes_done as f64;
+            let share = p1 / (p1 + p2);
+            assert!(
+                (0.75..=0.85).contains(&share),
+                "expected ~80% share, got {share:.3}"
+            );
+        });
+    }
+
+    #[test]
+    fn installed_policy_reshapes_quotas() {
+        let mut r = rig();
+        // No `bandwidth` quota is programmed; the installed program alone
+        // gives DS 1 an 80% service weight.
+        r.cp.lock()
+            .install_policy("when ds == 1 do weight 80\nwhen all do weight 0")
+            .unwrap();
+        let total = 10_000_000u64;
+        r.sim.post(r.ide, Time::ZERO, dd(&r, 1, 1, total));
+        r.sim.post(r.ide, Time::ZERO, dd(&r, 2, 2, total));
+        r.sim.run_until(Time::from_ms(50));
+        r.sim.with_component::<IdeCtrl, _, _>(r.ide, |ide| {
+            let p1 = ide.progress(DsId::new(1)).bytes_done as f64;
+            let p2 = ide.progress(DsId::new(2)).bytes_done as f64;
+            let share = p1 / (p1 + p2);
+            assert!(
+                (0.75..=0.85).contains(&share),
+                "expected ~80% share, got {share:.3}"
+            );
+        });
+    }
+
+    #[test]
+    fn clearing_an_installed_policy_restores_the_quota_column() {
+        let mut r = rig();
+        {
+            let mut cp = r.cp.lock();
+            cp.set_param(DsId::new(1), "bandwidth", 80).unwrap();
+            // An installed flat policy overrides the quota column …
+            cp.install_policy("when all do weight 0").unwrap();
+            cp.clear_policy();
+            // … but clearing reverts to the built-in quota-column program.
+        }
         let total = 10_000_000u64;
         r.sim.post(r.ide, Time::ZERO, dd(&r, 1, 1, total));
         r.sim.post(r.ide, Time::ZERO, dd(&r, 2, 2, total));

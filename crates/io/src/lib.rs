@@ -37,12 +37,15 @@ mod ide;
 mod nic;
 
 pub use apic::{Apic, ApicRoutes, VEC_IDE, VEC_NIC};
-pub use bridge::{bridge_control_plane, IoBridge, IoBridgeConfig, BSTAT_DMA_BYTES, BSTAT_REQS};
+pub use bridge::{
+    bridge_control_plane, IoBridge, IoBridgeConfig, BRIDGE_DEFAULT_POLICY, BSTAT_DMA_BYTES,
+    BSTAT_REQS,
+};
 pub use ide::{
-    ide_control_plane, DiskProgress, IdeConfig, IdeCtrl, ISTAT_BANDWIDTH, ISTAT_BYTES,
-    ISTAT_DROPS, ISTAT_REQS,
+    ide_control_plane, DiskProgress, IdeConfig, IdeCtrl, IDE_DEFAULT_POLICY, ISTAT_BANDWIDTH,
+    ISTAT_BYTES, ISTAT_DROPS, ISTAT_REQS,
 };
 pub use nic::{
-    mac_to_u64, nic_control_plane, u64_to_mac, Nic, NicConfig, NSTAT_BYTES, NSTAT_DROPPED,
-    NSTAT_FRAMES,
+    mac_to_u64, nic_control_plane, u64_to_mac, Nic, NicConfig, NIC_DEFAULT_POLICY, NSTAT_BYTES,
+    NSTAT_DROPPED, NSTAT_FRAMES,
 };

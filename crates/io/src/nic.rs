@@ -3,7 +3,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable, StatKey};
+use pard_cp::policy::{PolicyEngine, PolicyReq, ReqClass};
+use pard_cp::{shared, ColumnDef, ControlPlane, CpHandle, CpType, DsTable, StatKey, StatsHandle};
 use pard_icn::{
     DsId, InterruptPacket, LAddr, MemKind, MemPacket, NetFrame, PacketIdGen, PardEvent, TickKind,
 };
@@ -37,6 +38,12 @@ pub fn u64_to_mac(raw: u64) -> [u8; 6] {
     }
     mac
 }
+
+/// The built-in NIC policy: a frame for a disabled v-NIC is dropped, all
+/// others are admitted — the pre-policy `enabled` gate re-expressed as a
+/// match-action program. Installed programs can add admission control
+/// (token-bucket `charge … else drop`) per v-NIC.
+pub const NIC_DEFAULT_POLICY: &str = "when param.enabled == 0 do drop\nwhen all do rank 0";
 
 /// Key of `frames` in the NIC statistics table.
 pub const NSTAT_FRAMES: StatKey = StatKey::at(0);
@@ -105,11 +112,18 @@ impl Default for NicConfig {
 pub struct Nic {
     cfg: NicConfig,
     cp: CpHandle,
+    /// Lock-free read path into the statistics cells, for policy programs
+    /// matching on `stat.*` columns.
+    stats: StatsHandle,
     gen_watch: Arc<AtomicU64>,
     cached_gen: u64,
-    macs: Vec<u64>,
-    enabled: Vec<bool>,
-    rx_bases: Vec<u64>,
+    /// Flat copy of the parameter table (`max_ds` rows × `pstride`),
+    /// refreshed on generation change.
+    prows: Vec<u64>,
+    pstride: usize,
+    mac_off: usize,
+    rx_base_off: usize,
+    engine: PolicyEngine,
     rx_offsets: Vec<u64>,
     bridge: ComponentId,
     apic: ComponentId,
@@ -125,13 +139,31 @@ impl Nic {
     /// Creates a NIC and returns it with its control-plane handle.
     pub fn new(cfg: NicConfig) -> (Self, CpHandle) {
         let cp = shared(nic_control_plane(cfg.max_ds, cfg.trigger_slots));
-        let gen_watch = cp.lock().generation_watch();
+        let (gen_watch, stats, pstride, mac_off, rx_base_off, initial) = {
+            let mut guard = cp.lock();
+            guard
+                .set_default_policy(NIC_DEFAULT_POLICY)
+                .expect("built-in NIC policy compiles against its own schema");
+            (
+                guard.generation_watch(),
+                guard.stats_handle(),
+                guard.params().columns().len(),
+                guard.params().must_offset("mac"),
+                guard.params().must_offset("rx_base"),
+                guard
+                    .active_policy()
+                    .expect("default policy installed above"),
+            )
+        };
         let nic = Nic {
             gen_watch,
+            stats,
             cached_gen: u64::MAX,
-            macs: vec![0; cfg.max_ds],
-            enabled: vec![false; cfg.max_ds],
-            rx_bases: vec![0; cfg.max_ds],
+            prows: vec![0; cfg.max_ds * pstride],
+            pstride,
+            mac_off,
+            rx_base_off,
+            engine: PolicyEngine::new(initial, cfg.max_ds),
             rx_offsets: vec![0; cfg.max_ds],
             bridge: ComponentId::UNWIRED,
             apic: ComponentId::UNWIRED,
@@ -178,19 +210,30 @@ impl Nic {
         if gen == self.cached_gen {
             return;
         }
-        let cp = self.cp.lock();
-        for i in 0..self.cfg.max_ds {
-            let ds = DsId::new(i as u16);
-            self.macs[i] = cp.param(ds, "mac").unwrap_or(0);
-            self.enabled[i] = cp.param(ds, "enabled").unwrap_or(0) != 0;
-            self.rx_bases[i] = cp.param(ds, "rx_base").unwrap_or(0);
+        {
+            let cp = self.cp.lock();
+            for i in 0..self.cfg.max_ds {
+                let row = cp
+                    .params()
+                    .row(DsId::new(i as u16))
+                    .expect("parameter table is sized to max_ds rows");
+                self.prows[i * self.pstride..(i + 1) * self.pstride].copy_from_slice(row);
+            }
+            self.engine.refresh(
+                cp.active_policy()
+                    .expect("NIC plane always carries a default policy"),
+            );
         }
         self.cached_gen = gen;
     }
 
+    /// Demultiplexes a destination MAC to its v-NIC row. Matching is by
+    /// MAC alone; whether the matched v-NIC accepts the frame is the
+    /// policy program's decision (the built-in program drops when
+    /// `enabled == 0`). With duplicate MACs the lowest row wins.
     fn vnic_for(&self, mac: [u8; 6]) -> Option<usize> {
         let raw = mac_to_u64(mac);
-        (0..self.cfg.max_ds).find(|&i| self.enabled[i] && self.macs[i] == raw)
+        (0..self.cfg.max_ds).find(|&i| self.prows[i * self.pstride + self.mac_off] == raw)
     }
 
     fn on_frame(&mut self, frame: NetFrame, ctx: &mut Ctx<'_, PardEvent>) {
@@ -207,6 +250,25 @@ impl Nic {
             return;
         };
         let ds = DsId::new(i as u16);
+        let req = PolicyReq {
+            ds,
+            class: ReqClass::Frame,
+            size: u64::from(frame.bytes),
+        };
+        let srow = if self.engine.program().uses_stats() {
+            self.stats.cells().snapshot_row(ds).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let prow = &self.prows[i * self.pstride..(i + 1) * self.pstride];
+        let decision = self.engine.decide(&req, prow, &srow, ctx.now());
+        if let Some(key) = decision.bump {
+            let _ = self.stats.add(ds, key, 1);
+        }
+        if !decision.admit {
+            self.dropped += 1;
+            return;
+        }
         self.win_frames[i] += 1;
         self.win_bytes[i] += u64::from(frame.bytes);
 
@@ -218,7 +280,7 @@ impl Nic {
         let pkt = MemPacket {
             id: self.ids.next_id(),
             ds,
-            addr: LAddr::new(self.rx_bases[i] + offset),
+            addr: LAddr::new(self.prows[i * self.pstride + self.rx_base_off] + offset),
             kind: MemKind::Write,
             size: frame.bytes,
             reply_to: ctx.self_id(),
@@ -386,6 +448,38 @@ mod tests {
         sim.post(nic, Time::ZERO, frame(MAC_LDOM2, 100));
         sim.run_until(Time::from_ms(1));
         sim.with_component::<Nic, _, _>(nic, |n| assert_eq!(n.dropped(), 1));
+    }
+
+    #[test]
+    fn installed_admission_policy_rate_limits_frames() {
+        let (mut sim, nic, sink, cp) = rig();
+        // 1500-byte burst bucket refilled at 1 KB/s: of three back-to-back
+        // 1000-byte frames only the first fits.
+        cp.lock()
+            .install_policy(
+                "when param.enabled == 0 do drop\n\
+                 when all do charge size rate 1000 burst 1500 else drop",
+            )
+            .unwrap();
+        for _ in 0..3 {
+            sim.post(nic, Time::ZERO, frame(MAC_LDOM2, 1000));
+        }
+        sim.run_until(Time::from_ms(2));
+        sim.with_component::<Nic, _, _>(nic, |n| assert_eq!(n.dropped(), 2));
+        sim.with_component::<Sink, _, _>(sink, |s| assert_eq!(s.dma_by_ds[2], 1000));
+    }
+
+    #[test]
+    fn clearing_an_installed_policy_restores_the_enabled_gate() {
+        let (mut sim, nic, _sink, cp) = rig();
+        {
+            let mut cp = cp.lock();
+            cp.install_policy("when all do drop").unwrap();
+            cp.clear_policy();
+        }
+        sim.post(nic, Time::ZERO, frame(MAC_LDOM2, 100));
+        sim.run_until(Time::from_ms(1));
+        sim.with_component::<Nic, _, _>(nic, |n| assert_eq!(n.dropped(), 0));
     }
 
     #[test]

@@ -178,7 +178,7 @@ impl Firmware {
                 },
             )
             .expect("parent exists");
-        let rf = regfile;
+        let rf = regfile.clone();
         self.tree
             .install(
                 &format!("{base}/type"),
@@ -193,6 +193,37 @@ impl Firmware {
             .expect("parent exists");
         self.tree
             .mkdir_all(&format!("{base}/ldoms"))
+            .expect("parent exists");
+
+        // The policy tree: `/sys/policy/cpaN/program` reads the active
+        // match-action program's source and accepts a new program as data
+        // (rules separated by newlines or `;`). Writing `reset` clears the
+        // installed program, reverting to the plane's built-in one. A bad
+        // program is rejected with a typed error naming the offending
+        // token; the previous program stays in force.
+        let policy_base = format!("/sys/policy/cpa{index}");
+        self.tree.mkdir_all(&policy_base).expect("parent exists");
+        let rf_read = regfile.clone();
+        let rf_write = regfile;
+        self.tree
+            .install(
+                &format!("{policy_base}/program"),
+                Node::Hook {
+                    read: Box::new(move || {
+                        rf_read.lock().plane().lock().policy_source().to_string()
+                    }),
+                    write: Some(Box::new(move |src| {
+                        let rf = rf_write.lock();
+                        let mut plane = rf.plane().lock();
+                        if src.trim() == "reset" {
+                            plane.clear_policy();
+                        } else {
+                            plane.install_policy(src)?;
+                        }
+                        Ok(())
+                    })),
+                },
+            )
             .expect("parent exists");
         index
     }
@@ -677,7 +708,7 @@ impl Firmware {
     // ------------------------------------------------------------- shell
 
     /// A tiny operator shell: `cat`, `echo … > …`, `ls`, `pardtrigger`,
-    /// `logread`.
+    /// `pardpolicy`, `logread`.
     ///
     /// # Errors
     ///
@@ -709,7 +740,40 @@ impl Firmware {
         if let Some(rest) = line.strip_prefix("pardtrigger ") {
             return self.shell_pardtrigger(rest);
         }
+        if let Some(rest) = line.strip_prefix("pardpolicy ") {
+            return self.shell_pardpolicy(rest);
+        }
         Err(FwError::BadCommand(line.to_string()))
+    }
+
+    fn shell_pardpolicy(&mut self, rest: &str) -> Result<String, FwError> {
+        // pardpolicy /dev/cpaN show
+        // pardpolicy /dev/cpaN reset
+        // pardpolicy /dev/cpaN install PROGRAM   (rules separated by `;`)
+        let rest = rest.trim();
+        let (dev, verb_and_args) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| FwError::BadCommand(rest.to_string()))?;
+        let cpa = dev
+            .strip_prefix("/dev/cpa")
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| FwError::BadCommand(dev.to_string()))?;
+        let path = format!("/sys/policy/cpa{cpa}/program");
+        let verb_and_args = verb_and_args.trim();
+        match verb_and_args {
+            "show" => self.read(&path),
+            "reset" => {
+                self.write(&path, "reset")?;
+                Ok(String::new())
+            }
+            _ => match verb_and_args.split_once(char::is_whitespace) {
+                Some(("install", program)) => {
+                    self.write(&path, program.trim())?;
+                    Ok(String::new())
+                }
+                _ => Err(FwError::BadCommand(verb_and_args.to_string())),
+            },
+        }
     }
 
     fn shell_pardtrigger(&mut self, rest: &str) -> Result<String, FwError> {
@@ -866,6 +930,67 @@ mod tests {
         assert_eq!(fw.cpa_of_type(CpType::Cache), Some(0));
         assert_eq!(fw.cpa_of_type(CpType::Memory), Some(1));
         assert_eq!(fw.cpa_of_type(CpType::Nic), None);
+    }
+
+    #[test]
+    fn policy_tree_installs_reads_and_resets_programs() {
+        let (mut fw, _, mem) = fw_with_planes();
+        // The memory plane boots with no policy (the controller installs
+        // its built-in default when constructed); install one as data.
+        fw.write(
+            "/sys/policy/cpa1/program",
+            "when all do rank wfq(param.wfq_weight)",
+        )
+        .unwrap();
+        assert!(mem.lock().policy_installed());
+        assert_eq!(
+            fw.read("/sys/policy/cpa1/program").unwrap(),
+            "when all do rank wfq(param.wfq_weight)"
+        );
+
+        // A bad program is a typed error naming the offending token, and
+        // the previous program stays in force.
+        let err = fw
+            .write("/sys/policy/cpa1/program", "when all do rnak 1")
+            .unwrap_err();
+        match err {
+            FwError::Cp(e) => assert!(e.to_string().contains("rnak"), "got: {e}"),
+            other => panic!("expected a control-plane error, got {other}"),
+        }
+        assert!(mem.lock().policy_installed());
+
+        fw.write("/sys/policy/cpa1/program", "reset").unwrap();
+        assert!(!mem.lock().policy_installed());
+    }
+
+    #[test]
+    fn pardpolicy_shell_verb_round_trips() {
+        let (mut fw, _, mem) = fw_with_planes();
+        fw.shell("pardpolicy /dev/cpa1 install when ds == 1 do urgent ; when all do rank 1")
+            .unwrap();
+        assert!(mem.lock().policy_installed());
+        let shown = fw.shell("pardpolicy /dev/cpa1 show").unwrap();
+        assert!(shown.contains("urgent"), "got: {shown}");
+        fw.shell("pardpolicy /dev/cpa1 reset").unwrap();
+        assert!(!mem.lock().policy_installed());
+
+        // Malformed invocations are typed parse errors, never panics.
+        assert!(matches!(
+            fw.shell("pardpolicy /dev/cpa1"),
+            Err(FwError::BadCommand(_))
+        ));
+        assert!(matches!(
+            fw.shell("pardpolicy /dev/zero show"),
+            Err(FwError::BadCommand(_))
+        ));
+        assert!(matches!(
+            fw.shell("pardpolicy /dev/cpa1 frobnicate"),
+            Err(FwError::BadCommand(_))
+        ));
+        assert!(matches!(
+            fw.shell("pardpolicy /dev/cpa1 install when all do rnak 1"),
+            Err(FwError::Cp(_))
+        ));
     }
 
     #[test]

@@ -80,8 +80,11 @@ pub fn expand(s: &str, env: &Env) -> String {
                 continue;
             }
         }
-        out.push(bytes[i] as char);
-        i += 1;
+        // Copy one whole character — scripts may log/echo non-ASCII text,
+        // and a byte-wise copy would mangle it.
+        let ch_len = s[i..].chars().next().map_or(1, char::len_utf8);
+        out.push_str(&s[i..i + ch_len]);
+        i += ch_len;
     }
     out
 }
@@ -131,10 +134,12 @@ fn tokenize_expr(s: &str) -> Vec<&str> {
                     i += 1;
                 }
                 if i == start {
-                    // Unknown character; emit it as a token so parsing fails
-                    // with a useful message.
-                    out.push(&s[i..i + 1]);
-                    i += 1;
+                    // Unknown character; emit it whole (it may be
+                    // multi-byte — a one-byte slice would panic off a char
+                    // boundary) so parsing fails with a useful message.
+                    let ch_len = s[i..].chars().next().map_or(1, char::len_utf8);
+                    out.push(&s[i..i + ch_len]);
+                    i += ch_len;
                 } else {
                     out.push(&s[start..i]);
                 }
@@ -614,6 +619,40 @@ fi
         match err {
             FwError::Script { line: 1, message } => assert!(message.contains("/nope")),
             other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn multibyte_input_errors_instead_of_panicking() {
+        // Arithmetic on a non-ASCII operand must produce a typed error
+        // carrying the offending token, never a char-boundary panic.
+        let env = Env::new();
+        let err = eval_expr("1 + ✗", &env).unwrap_err();
+        assert!(err.to_string().contains('✗'), "got: {err}");
+        assert!(eval_expr("émoji", &env).is_err());
+
+        // Expansion must round-trip non-ASCII text untouched.
+        let mut env = Env::new();
+        env.set("DS", "3");
+        assert_eq!(expand("λdom$DS → done", &env), "λdom3 → done");
+
+        // A malformed statement with multi-byte junk reports its line.
+        let err = run("x=1\n✗✗✗", &mut Env::new(), &mut MockIo::default()).unwrap_err();
+        match err {
+            FwError::Script { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected script error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_condition_operands_are_typed_errors() {
+        let script = "if [ $UNSET -gt banana ]; then\nlog hi\nfi";
+        let err = run(script, &mut Env::new(), &mut MockIo::default()).unwrap_err();
+        match err {
+            FwError::Script { line: 1, message } => {
+                assert!(!message.is_empty(), "message names the bad operand");
+            }
+            other => panic!("expected script error, got {other}"),
         }
     }
 
