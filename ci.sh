@@ -52,6 +52,10 @@ if ! grep -q '"stats_record_mops"' BENCH_kernel.json; then
     echo "error: BENCH_kernel.json is missing stats_record_mops" >&2
     exit 1
 fi
+if ! grep -q '"trace_store"' BENCH_kernel.json; then
+    echo "error: BENCH_kernel.json is missing the trace_store record" >&2
+    exit 1
+fi
 echo "ok: BENCH_kernel.json written (perf gate passed)"
 
 echo "== trace+audit smoke: strict-audited fig07 emits clean JSONL =="
@@ -72,9 +76,17 @@ scratch="$(mktemp -d)"
         --require kernel,llc,dram,ide,trigger,prm
     "$repo/target/release/pard-audit" --check audit.jsonl
     "$repo/target/release/pard-audit" --replay trace.jsonl
+    # Same figure through the durable paged binary store (`.ptr` sink):
+    # both offline tools must accept the binary file directly — format is
+    # sniffed by magic — and re-derive the same invariants from it.
+    PARD_TRACE=trace.ptr PARD_AUDIT=strict \
+        "$repo/target/release/fig07" --quick >/dev/null
+    "$repo/target/release/pard-trace" --check trace.ptr \
+        --require kernel,llc,dram,ide,trigger,prm
+    "$repo/target/release/pard-audit" --replay trace.ptr
 )
 rm -rf "$scratch"
-echo "ok: audited fig07 passes pard-trace --check and pard-audit --check/--replay"
+echo "ok: audited fig07 passes pard-trace --check and pard-audit --check/--replay (both sinks)"
 
 echo "== fig08 golden: default-scale run is byte-identical to the committed JSON =="
 # Fig. 8 is the figure whose golden went stale once (a truncating

@@ -24,6 +24,7 @@ use pard_cache::llc_control_plane;
 use pard_dram::{MemCtrl, MemCtrlConfig};
 use pard_icn::{DsId, LAddr, MemKind, MemPacket, PacketId, PardEvent};
 use pard_sim::rng::{stream_rng, Rng};
+use pard_sim::trace::{self, TraceCat, TraceConfig, TraceVal};
 use pard_sim::{
     ComponentId, EventQueue, PartitionedSimulation, ScheduledEvent, Simulation, Time,
 };
@@ -287,6 +288,46 @@ fn stats_record_mops(records: u64) -> f64 {
     records as f64 / best_secs / 1e6
 }
 
+/// Trace-sink write throughput through the full tracer pipeline
+/// (category filter, sampling divider, render/encode, buffered file
+/// writes, final flush): `events` synthetic DRAM events into the sink at
+/// `file`, whose extension picks the format — `.ptr` exercises the paged
+/// binary store, anything else the debug JSONL stream. Returns
+/// `(events_per_sec, bytes_per_event)`.
+fn trace_write_throughput(events: u64, file: &str) -> (f64, f64) {
+    let path = std::env::temp_dir().join(format!("pard-eq-{}-{file}", std::process::id()));
+    let mut best_secs = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        trace::install(TraceConfig {
+            path: Some(path.clone()),
+            filter: vec![(TraceCat::Dram, None)],
+            sample: vec![(TraceCat::Dram, 1)],
+            ..TraceConfig::default()
+        })
+        .unwrap();
+        let start = Instant::now();
+        for i in 0..events {
+            trace::emit(
+                TraceCat::Dram,
+                Time::from_ns(i * 10),
+                (i % 32) as u16,
+                "rd",
+                &[
+                    ("addr", TraceVal::U((i * 4096) % (1 << 28))),
+                    ("bank", TraceVal::U(i % 8)),
+                    ("lat", TraceVal::F(45.0 + (i % 7) as f64)),
+                    ("hit", TraceVal::B(i % 3 == 0)),
+                ],
+            );
+        }
+        trace::disable(); // the timed region includes the final flush
+        best_secs = best_secs.min(start.elapsed().as_secs_f64());
+    }
+    let bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+    std::fs::remove_file(&path).ok();
+    (events as f64 / best_secs, bytes as f64 / events as f64)
+}
+
 /// Wall-clock + events/sec of a scaled-down figure workload through the
 /// real kernel (fig11's DDR3 injection pair).
 fn time_fig11(requests: u64) -> (f64, f64) {
@@ -336,6 +377,19 @@ fn main() {
     let stat_records: u64 = if quick { 2_000_000 } else { 20_000_000 };
     let stats_mops = stats_record_mops(stat_records);
     println!("\nstats cells ({stat_records} records): {stats_mops:.1} M records/s");
+
+    let trace_events: u64 = if quick { 100_000 } else { 1_000_000 };
+    let (jsonl_eps, jsonl_bpe) = trace_write_throughput(trace_events, "trace.jsonl");
+    let (ptr_eps, ptr_bpe) = trace_write_throughput(trace_events, "trace.ptr");
+    println!("\ntrace sinks ({trace_events} events):");
+    println!(
+        "  jsonl stream   {:>6.2} M events/s   {jsonl_bpe:>5.1} bytes/event",
+        jsonl_eps / 1e6
+    );
+    println!(
+        "  paged binary   {:>6.2} M events/s   {ptr_bpe:>5.1} bytes/event",
+        ptr_eps / 1e6
+    );
 
     let memctrl_requests: u64 = if quick { 10_000 } else { 50_000 };
     let kernel_eps = kernel_events_per_sec(memctrl_requests);
@@ -396,6 +450,15 @@ fn main() {
             .field("steps_per_pattern", steps)
             .field("event_queue", json_patterns)
             .field("stats_record_mops", stats_mops)
+            .field(
+                "trace_store",
+                JsonValue::object()
+                    .field("events", trace_events)
+                    .field("jsonl_events_per_sec", jsonl_eps)
+                    .field("jsonl_bytes_per_event", jsonl_bpe)
+                    .field("ptr_events_per_sec", ptr_eps)
+                    .field("ptr_bytes_per_event", ptr_bpe),
+            )
             .field("kernel_memctrl_events_per_sec", kernel_eps)
             .field("partitioned_kernel", json_part)
             .field(
@@ -426,6 +489,19 @@ fn main() {
         }
         if !(stats_mops.is_finite() && stats_mops > 0.0) {
             eprintln!("CHECK FAILED: stats_record_mops = {stats_mops}");
+            failed = true;
+        }
+        // The paged binary store exists to make long-horizon tracing
+        // cheap; it must encode strictly denser than the JSONL stream.
+        if !(ptr_eps.is_finite() && ptr_eps > 0.0 && jsonl_eps.is_finite() && jsonl_eps > 0.0) {
+            eprintln!("CHECK FAILED: trace sink rates jsonl={jsonl_eps} ptr={ptr_eps}");
+            failed = true;
+        }
+        if ptr_bpe >= jsonl_bpe {
+            eprintln!(
+                "CHECK FAILED: binary store {ptr_bpe:.1} bytes/event >= \
+                 JSONL {jsonl_bpe:.1} bytes/event"
+            );
             failed = true;
         }
         // Partitioning one timeline into 4 domains must never cost

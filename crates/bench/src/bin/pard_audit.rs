@@ -14,10 +14,12 @@
 //!   recorded violation** — a clean audited run writes only the trailing
 //!   `summary` line.
 //! * `--replay` re-derives invariants from an ordinary `PARD_TRACE` file
-//!   (the PR 3 format): schema validity, global time monotonicity (sound
-//!   for single-machine traces such as the fig07 artifact), and per-DS-id
+//!   — debug JSONL or the durable `.ptr` binary store, sniffed by file
+//!   magic: schema validity, global time monotonicity (sound for
+//!   single-machine traces such as the fig07 artifact), and per-DS-id
 //!   IDE quota accounting — bytes reported `done` can never exceed the
-//!   bytes granted by the quota engine.
+//!   bytes granted by the quota engine. Streaming in both formats, so a
+//!   long-horizon trace replays in bounded memory.
 //! * With just a `FILE`, pretty-prints a per-kind / per-DS-id summary of
 //!   an audit report.
 
@@ -140,20 +142,17 @@ fn validate_report(path: &str, summarise: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Offline re-check of a `PARD_TRACE` JSONL file: schema, global time
-/// monotonicity, and IDE grant/done quota accounting — the shared
-/// [`pard_bench::replay`] implementation, also run by `pard-trace
-/// --replay`.
+/// Offline re-check of a `PARD_TRACE` file — JSONL or `.ptr` binary
+/// store, sniffed by magic: schema, global time monotonicity, and IDE
+/// grant/done quota accounting — the shared [`pard_bench::replay`]
+/// implementation, also run by `pard-trace --replay`. Streaming, so
+/// memory stays bounded by a page / a line on long-horizon traces.
 fn recheck_trace(path: &str) -> ExitCode {
-    let content = match std::fs::read_to_string(path) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match pard_bench::replay::check_trace_invariants(path, &content) {
-        Ok(report) => {
+    match pard_bench::replay::check_trace_file(path) {
+        Ok((report, torn)) => {
+            if let Some(torn) = torn {
+                eprintln!("{torn}");
+            }
             println!(
                 "{path}: re-check OK ({} events, {} IDE DS-ids)",
                 report.total, report.ide_ds

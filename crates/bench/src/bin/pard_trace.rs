@@ -5,23 +5,31 @@
 //! ```text
 //! pard-trace --check FILE [--require cat1,cat2,...]
 //! pard-trace --replay [FILE]
-//! pard-trace FILE
+//! pard-trace FILE [--from N]
 //! ```
 //!
-//! * `--check` schema-validates every JSONL line (must be a JSON object
-//!   with numeric `time`, integer `ds`, known `cat`, string `event`) and
-//!   exits non-zero on the first violation. `--require` additionally
-//!   demands at least one event from each listed category.
+//! Every mode accepts both trace formats — debug JSONL and the durable
+//! `.ptr` paged binary store — sniffed by file magic, and streams them in
+//! bounded memory (one page / one line at a time).
+//!
+//! * `--check` schema-validates every event (a JSON object with numeric
+//!   `time`, integer `ds`, known `cat`, string `event`) and exits
+//!   non-zero on the first violation. `--require` additionally demands at
+//!   least one event from each listed category.
 //! * `--replay` runs a scaled-down fig07-style scenario with tracing
 //!   installed programmatically, writes the trace to `FILE` (default
-//!   `pard-trace-replay.jsonl`), then validates and summarises it.
-//! * With just a `FILE`, pretty-prints a per-category / per-DS-id summary.
+//!   `pard-trace-replay.jsonl`; a `.ptr` name selects the binary store),
+//!   then re-checks invariants and summarises it.
+//! * With just a `FILE`, pretty-prints a per-category / per-DS-id
+//!   summary. `--from N` skips the first `N` events — an O(1) page-index
+//!   seek in a binary store, a line skip in JSONL.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use pard::{Action, CmpOp, DsId, LDomSpec, PardServer, SystemConfig, Time};
 use pard_bench::json::JsonValue;
+use pard_bench::replay::stream_trace_lines;
 use pard_sim::trace::{self, TraceCat, TraceConfig};
 use pard_workloads::{CacheFlush, DiskCopy, DiskCopyConfig};
 
@@ -30,6 +38,7 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut replay = false;
     let mut require: Vec<String> = Vec::new();
+    let mut from = 0u64;
     let mut file: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -44,8 +53,19 @@ fn main() -> ExitCode {
                 };
                 require = list.split(',').map(str::to_string).collect();
             }
+            "--from" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|n| n.parse::<u64>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("--from needs an event ordinal (integer >= 0)");
+                    return ExitCode::FAILURE;
+                };
+                from = n;
+            }
             "--help" | "-h" => {
-                println!("pard-trace --check FILE [--require cats] | --replay [FILE] | FILE");
+                println!(
+                    "pard-trace --check FILE [--require cats] | --replay [FILE] | FILE [--from N]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => file = Some(other.to_string()),
@@ -63,18 +83,16 @@ fn main() -> ExitCode {
         // implementation): schema, clock monotonicity, IDE quota. This
         // used to be audit-only, so a quota violation in the freshly
         // produced trace passed here and failed there.
-        let content = match std::fs::read_to_string(&path) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+        match pard_bench::replay::check_trace_file(&path) {
+            Ok((report, torn)) => {
+                if let Some(torn) = torn {
+                    eprintln!("{torn}");
+                }
+                println!(
+                    "{path}: invariants OK ({} events, {} IDE DS-ids)",
+                    report.total, report.ide_ds
+                );
             }
-        };
-        match pard_bench::replay::check_trace_invariants(&path, &content) {
-            Ok(report) => println!(
-                "{path}: invariants OK ({} events, {} IDE DS-ids)",
-                report.total, report.ide_ds
-            ),
             Err(failures) => {
                 for f in &failures {
                     eprintln!("{f}");
@@ -82,69 +100,63 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        return validate(&path, &require, true);
+        return validate(&path, &require, true, 0);
     }
 
     let Some(path) = file else {
-        eprintln!("usage: pard-trace --check FILE [--require cats] | --replay [FILE] | FILE");
+        eprintln!("usage: pard-trace --check FILE [--require cats] | --replay [FILE] | FILE [--from N]");
         return ExitCode::FAILURE;
     };
-    validate(&path, &require, !check)
+    validate(&path, &require, !check, from)
 }
 
-/// Validates `path` line by line; prints a summary unless `--check` asked
-/// for silence-on-success. Returns the process exit code.
-fn validate(path: &str, require: &[String], summarise: bool) -> ExitCode {
-    let content = match std::fs::read_to_string(path) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
+/// Validates `path` event by event (either format, streaming); prints a
+/// summary unless `--check` asked for silence-on-success. Returns the
+/// process exit code.
+fn validate(path: &str, require: &[String], summarise: bool, from: u64) -> ExitCode {
     let mut by_cat: BTreeMap<String, u64> = BTreeMap::new();
     let mut by_ds: BTreeMap<u64, u64> = BTreeMap::new();
     let mut first_time = f64::INFINITY;
     let mut last_time = f64::NEG_INFINITY;
     let mut total = 0u64;
 
-    for (lineno, line) in content.lines().enumerate() {
+    let streamed = stream_trace_lines(path, from, &mut |lineno, line| {
         if line.is_empty() {
-            continue;
+            return Ok(());
         }
-        let v = match JsonValue::parse(line) {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("{path}:{}: invalid JSON: {e}", lineno + 1);
-                return ExitCode::FAILURE;
-            }
-        };
+        let v = JsonValue::parse(line)
+            .map_err(|e| format!("{path}:{lineno}: invalid JSON: {e}"))?;
         let Some(time) = v.get("time").and_then(JsonValue::as_f64) else {
-            eprintln!("{path}:{}: missing numeric \"time\"", lineno + 1);
-            return ExitCode::FAILURE;
+            return Err(format!("{path}:{lineno}: missing numeric \"time\""));
         };
         let Some(ds) = v.get("ds").and_then(JsonValue::as_u64) else {
-            eprintln!("{path}:{}: missing integer \"ds\"", lineno + 1);
-            return ExitCode::FAILURE;
+            return Err(format!("{path}:{lineno}: missing integer \"ds\""));
         };
         let Some(cat) = v.get("cat").and_then(JsonValue::as_str) else {
-            eprintln!("{path}:{}: missing string \"cat\"", lineno + 1);
-            return ExitCode::FAILURE;
+            return Err(format!("{path}:{lineno}: missing string \"cat\""));
         };
         if TraceCat::parse(cat).is_none() {
-            eprintln!("{path}:{}: unknown category {cat:?}", lineno + 1);
-            return ExitCode::FAILURE;
+            return Err(format!("{path}:{lineno}: unknown category {cat:?}"));
         }
         if v.get("event").and_then(JsonValue::as_str).is_none() {
-            eprintln!("{path}:{}: missing string \"event\"", lineno + 1);
-            return ExitCode::FAILURE;
+            return Err(format!("{path}:{lineno}: missing string \"event\""));
         }
         *by_cat.entry(cat.to_string()).or_insert(0) += 1;
         *by_ds.entry(ds).or_insert(0) += 1;
         first_time = first_time.min(time);
         last_time = last_time.max(time);
         total += 1;
+        Ok(())
+    });
+    match streamed {
+        Ok(Some(torn)) => eprintln!("{torn}"),
+        Ok(None) => {}
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("{f}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
 
     for want in require {
@@ -156,6 +168,9 @@ fn validate(path: &str, require: &[String], summarise: bool) -> ExitCode {
 
     if summarise {
         println!("{path}: {total} events");
+        if from > 0 {
+            println!("  (from event ordinal {from})");
+        }
         if total > 0 {
             println!("  time span: {first_time} .. {last_time} ns");
             for (cat, n) in &by_cat {

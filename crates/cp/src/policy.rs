@@ -230,13 +230,37 @@ pub struct Rule {
 }
 
 impl Rule {
-    fn matches(&self, req: &PolicyReq, prow: &[u64], srow: &[u64]) -> bool {
+    fn matches(&self, req: &PolicyReq, prow: &[u64], srow: &[u64], now: Time) -> bool {
         self.clauses.iter().all(|c| match *c {
             Clause::Ds(op, v) => op.eval(u64::from(req.ds.raw()), v),
             Clause::Class(cls) => req.class == cls,
-            Clause::Param(off, op, v) => op.eval(prow.get(off).copied().unwrap_or(0), v),
-            Clause::Stat(off, op, v) => op.eval(srow.get(off).copied().unwrap_or(0), v),
+            Clause::Param(off, op, v) => {
+                op.eval(cell(prow, off, "param_offset_oob", req.ds, now), v)
+            }
+            Clause::Stat(off, op, v) => {
+                op.eval(cell(srow, off, "stat_offset_oob", req.ds, now), v)
+            }
         })
+    }
+}
+
+/// Reads one program-resolved cell offset from a table row.
+///
+/// Programs are schema-validated at install time, so an out-of-range
+/// offset reaching the eval hot path is a contract violation — the table
+/// shrank under an installed program, or the caller passed the wrong row
+/// — never a tolerable input. It is counted and reported through the
+/// audit layer ([`pard_sim::audit::unexpected_event`]: a conservation
+/// violation when an auditor is installed, a debug-build panic
+/// otherwise); the defined release-mode behavior *after reporting* is to
+/// evaluate the cell as 0, which keeps the decision total.
+fn cell(row: &[u64], off: usize, kind: &'static str, ds: DsId, now: Time) -> u64 {
+    match row.get(off) {
+        Some(&v) => v,
+        None => {
+            pard_sim::audit::unexpected_event("policy", kind, now, ds.raw());
+            0
+        }
     }
 }
 
@@ -844,15 +868,15 @@ impl PolicyEngine {
     pub fn decide(&mut self, req: &PolicyReq, prow: &[u64], srow: &[u64], now: Time) -> Decision {
         let prog = Arc::clone(&self.prog);
         for (ri, rule) in prog.rules().iter().enumerate() {
-            if !rule.matches(req, prow, srow) {
+            if !rule.matches(req, prow, srow, now) {
                 continue;
             }
             let mut d = Decision::default();
             for op in &rule.ops {
                 match op {
-                    MicroOp::Rank(e) => d.rank = self.eval(e, req, prow, srow),
+                    MicroOp::Rank(e) => d.rank = self.eval(e, req, prow, srow, now),
                     MicroOp::Urgent => d.urgent = true,
-                    MicroOp::Weight(e) => d.weight = self.eval(e, req, prow, srow),
+                    MicroOp::Weight(e) => d.weight = self.eval(e, req, prow, srow, now),
                     MicroOp::Drop => d.admit = false,
                     MicroOp::Defer => {
                         d.deferred = true;
@@ -864,9 +888,9 @@ impl PolicyEngine {
                         burst,
                         on_fail,
                     } => {
-                        let cost = self.eval(cost, req, prow, srow);
-                        let rate = self.eval(rate, req, prow, srow);
-                        let burst = self.eval(burst, req, prow, srow);
+                        let cost = self.eval(cost, req, prow, srow, now);
+                        let rate = self.eval(rate, req, prow, srow, now);
+                        let burst = self.eval(burst, req, prow, srow, now);
                         if !self.charge(ri, req.ds, cost, rate, burst, now) {
                             match on_fail {
                                 OnFail::Drop => d.admit = false,
@@ -879,7 +903,7 @@ impl PolicyEngine {
                         }
                     }
                     MicroOp::Bump(off) => d.bump = Some(StatKey::at(*off)),
-                    MicroOp::WayMask(e) => d.waymask = Some(self.eval(e, req, prow, srow)),
+                    MicroOp::WayMask(e) => d.waymask = Some(self.eval(e, req, prow, srow, now)),
                 }
             }
             return d;
@@ -899,27 +923,27 @@ impl PolicyEngine {
         }
     }
 
-    fn eval(&mut self, e: &Expr, req: &PolicyReq, prow: &[u64], srow: &[u64]) -> u64 {
+    fn eval(&mut self, e: &Expr, req: &PolicyReq, prow: &[u64], srow: &[u64], now: Time) -> u64 {
         match e {
             Expr::Const(v) => *v,
-            Expr::Param(off) => prow.get(*off).copied().unwrap_or(0),
-            Expr::Stat(off) => srow.get(*off).copied().unwrap_or(0),
+            Expr::Param(off) => cell(prow, *off, "param_offset_oob", req.ds, now),
+            Expr::Stat(off) => cell(srow, *off, "stat_offset_oob", req.ds, now),
             Expr::Size => req.size,
             Expr::Add(a, b) => {
-                let a = self.eval(a, req, prow, srow);
-                a.saturating_add(self.eval(b, req, prow, srow))
+                let a = self.eval(a, req, prow, srow, now);
+                a.saturating_add(self.eval(b, req, prow, srow, now))
             }
             Expr::Sub(a, b) => {
-                let a = self.eval(a, req, prow, srow);
-                a.saturating_sub(self.eval(b, req, prow, srow))
+                let a = self.eval(a, req, prow, srow, now);
+                a.saturating_sub(self.eval(b, req, prow, srow, now))
             }
             Expr::Mul(a, b) => {
-                let a = self.eval(a, req, prow, srow);
-                a.saturating_mul(self.eval(b, req, prow, srow))
+                let a = self.eval(a, req, prow, srow, now);
+                a.saturating_mul(self.eval(b, req, prow, srow, now))
             }
             Expr::Div(a, b) => {
-                let a = self.eval(a, req, prow, srow);
-                let b = self.eval(b, req, prow, srow);
+                let a = self.eval(a, req, prow, srow, now);
+                let b = self.eval(b, req, prow, srow, now);
                 if b == 0 {
                     0
                 } else {
@@ -929,7 +953,7 @@ impl PolicyEngine {
             Expr::Wfq(w) => {
                 // Start-time fair queueing: rank is the flow's virtual
                 // start tag; the finish tag advances by size/weight.
-                let weight = self.eval(w, req, prow, srow).max(1);
+                let weight = self.eval(w, req, prow, srow, now).max(1);
                 let i = req.ds.index().min(self.finish.len() - 1);
                 let start = self.vtime.max(self.finish[i]);
                 self.finish[i] =
@@ -1280,6 +1304,53 @@ mod tests {
         let mut eng = PolicyEngine::new(Arc::new(prog), 8);
         let d = eng.decide(&req(0, ReqClass::Read, 1), &[], &[], Time::ZERO);
         assert_eq!(d, Decision::default());
+    }
+
+    #[test]
+    fn shrunk_table_row_under_installed_program_is_reported_not_silent() {
+        use pard_sim::audit;
+
+        // A program whose predicate and rank both read resolved param
+        // offsets (priority=0, wfq_weight=2), compiled against the full
+        // 3-column schema.
+        let (params, stats) = schemas();
+        let prog = Program::parse(
+            "when param.wfq_weight > 0 do rank param.priority\nwhen all do rank param.bandwidth",
+            &params,
+            &stats,
+        )
+        .unwrap();
+        let mut eng = PolicyEngine::new(Arc::new(prog), 8);
+
+        // Full-width row: offsets resolve, nothing to report.
+        let before = audit::unexpected_events();
+        let d = eng.decide(&req(1, ReqClass::Read, 64), &[7, 3, 1], &[], Time::ZERO);
+        assert_eq!(d.rank, 7);
+        assert_eq!(audit::unexpected_events(), before);
+
+        // The table "shrinks" under the installed program: the row the
+        // engine is handed no longer covers the compiled offsets. The
+        // read must not be a silent zero — it reports through the audit
+        // layer (which also debug-panics when no auditor is installed,
+        // hence report mode here), then evaluates as 0 so the decision
+        // stays total.
+        audit::install(audit::AuditConfig::report()).unwrap();
+        let violations = audit::violations_total();
+        let d = eng.decide(&req(1, ReqClass::Read, 64), &[7], &[], Time::ZERO);
+        // wfq_weight read 0 → first rule fails → rank param.bandwidth,
+        // also out of range → rank 0.
+        assert_eq!(d.rank, 0);
+        assert_eq!(
+            audit::unexpected_events(),
+            before + 2,
+            "both out-of-range offset reads must be counted"
+        );
+        assert_eq!(
+            audit::violations_total(),
+            violations + 2,
+            "an installed auditor must record the contract violation"
+        );
+        audit::disable();
     }
 
     #[test]

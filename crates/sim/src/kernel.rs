@@ -443,7 +443,7 @@ fn plan_epoch(
 /// Per-epoch report a worker leaves for the coordinator.
 struct EpochOut<E> {
     outbox: Vec<ScheduledEvent<E>>,
-    lines: Vec<(u64, String)>,
+    lines: Vec<(u64, trace::Staged)>,
     next: Option<Time>,
     stop: bool,
 }
@@ -519,12 +519,12 @@ fn flush_staged<E>(
 /// order preserved (stable sort). Domain order at equal times matches the
 /// sequential kernel because composite seqs put the domain in the high
 /// bits.
-fn sink_epoch_trace(mut lines: Vec<(u64, u32, String)>) {
+fn sink_epoch_trace(mut lines: Vec<(u64, u32, trace::Staged)>) {
     if lines.is_empty() {
         return;
     }
     lines.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
-    trace::sink_lines(lines.into_iter().map(|(_, _, line)| line));
+    trace::sink_staged(lines.into_iter().map(|(_, _, staged)| staged));
 }
 
 /// Spin-waits for `cond`, backing off to `yield_now` once the barrier has
@@ -821,12 +821,16 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
         // — strictly slower than the inline driver, with the identical
         // schedule either way.
         if let Ok(v) = std::env::var("PARD_WORKERS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n.min(worker_domains);
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => return n.min(worker_domains),
+                _ => {
+                    // Hard error, not a silent fallback: a run asked to
+                    // pin its worker count must not quietly run with a
+                    // heuristic one (the `PARD_FAULT_PLAN` contract).
+                    eprintln!("PARD_WORKERS: bad worker count {v:?} (want an integer >= 1)");
+                    std::process::exit(2);
                 }
             }
-            eprintln!("ignoring invalid PARD_WORKERS={v:?} (want a positive integer)");
         }
         let hw = std::thread::available_parallelism().map_or(1, usize::from);
         crate::par::thread_count().min(worker_domains).min(hw).max(1)
@@ -853,10 +857,10 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
     /// Drains every domain's outbox into destination queues (arrivals must
     /// be at or after `min_arrival`) and merges this epoch's trace lines.
     fn exchange(&mut self, min_arrival: Time) {
-        let mut lines: Vec<(u64, u32, String)> = Vec::new();
+        let mut lines: Vec<(u64, u32, trace::Staged)> = Vec::new();
         for d in 0..self.domains.len() {
-            for (units, line) in self.domains[d].trace.drain_lines() {
-                lines.push((units, d as u32, line));
+            for (units, staged) in self.domains[d].trace.drain_staged() {
+                lines.push((units, d as u32, staged));
             }
             let outbox = {
                 let route = self.domains[d]
@@ -1027,7 +1031,7 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
                                         .expect("domain simulations always route")
                                         .outbox,
                                 );
-                                out.lines = state.trace.drain_lines();
+                                out.lines = state.trace.drain_staged();
                                 out.next = state.sim.queue.peek_time();
                                 out.stop = state.sim.take_stop();
                             }
@@ -1070,11 +1074,11 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
                         state.sim.run_window(Time::from_units(ts.units().saturating_add(1)));
                         state.trace = trace::exit_domain();
                         let sd = serial_idx.expect("serial plan without a serial index") as u32;
-                        let lines: Vec<(u64, u32, String)> = state
+                        let lines: Vec<(u64, u32, trace::Staged)> = state
                             .trace
-                            .drain_lines()
+                            .drain_staged()
                             .into_iter()
-                            .map(|(units, line)| (units, sd, line))
+                            .map(|(units, staged)| (units, sd, staged))
                             .collect();
                         let outbox = std::mem::take(
                             &mut state
@@ -1110,7 +1114,7 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
                         if panic_slot.lock().is_some() {
                             break;
                         }
-                        let mut lines: Vec<(u64, u32, String)> = Vec::new();
+                        let mut lines: Vec<(u64, u32, trace::Staged)> = Vec::new();
                         for &d in &worker_domains {
                             let mut out = results[d].lock();
                             if out.stop {
@@ -1118,8 +1122,8 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
                                 out.stop = false;
                             }
                             next[d] = out.next;
-                            for (units, line) in out.lines.drain(..) {
-                                lines.push((units, d as u32, line));
+                            for (units, staged) in out.lines.drain(..) {
+                                lines.push((units, d as u32, staged));
                             }
                             let outbox = std::mem::take(&mut out.outbox);
                             drop(out);

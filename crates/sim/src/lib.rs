@@ -50,6 +50,7 @@ mod kernel;
 pub mod par;
 pub mod rng;
 pub mod stats;
+pub mod store;
 pub mod sync;
 mod time;
 pub mod trace;

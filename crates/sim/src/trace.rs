@@ -20,8 +20,10 @@
 //! The environment-variable interface (read by [`init_from_env`], which the
 //! system model calls at construction):
 //!
-//! * `PARD_TRACE=<path>` — enable tracing and stream JSONL to `<path>`
-//!   (the magic value `-` keeps events only in the in-memory ring).
+//! * `PARD_TRACE=<path>` — enable tracing. A path ending in `.ptr` selects
+//!   the durable paged binary store ([`crate::store`], the long-horizon
+//!   format); any other path streams debug JSONL; the magic value `-`
+//!   keeps events only in the in-memory ring.
 //! * `PARD_TRACE_FILTER=cat[:ds],...` — restrict to the listed categories,
 //!   optionally to specific DS-ids within a category. Unset means every
 //!   category and every DS-id. Example: `llc,trigger:2` traces all LLC
@@ -31,7 +33,16 @@
 //!   all others 1). Sampling bounds trace volume on multi-million-event
 //!   figure runs.
 //! * `PARD_TRACE_RING=<n>` — in-memory ring capacity in lines
-//!   (default 65536).
+//!   (default 65536; the ring is bypassed by the binary store, whose file
+//!   is the durable record).
+//! * `PARD_TRACE_PAGE=<bytes>` / `PARD_TRACE_POOL=<pages>` — binary-store
+//!   page size and buffer-pool depth (defaults 8192 and 8; only
+//!   meaningful with a `.ptr` sink).
+//!
+//! A malformed value for any of these variables is a **hard error**: the
+//! process prints a message naming the variable and exits with status 2,
+//! the same contract `PARD_FAULT_PLAN` established — a run asked to trace
+//! must never silently trace less (or differently) than asked.
 //!
 //! Programmatic use goes through [`TraceConfig`] and [`install`] /
 //! [`disable`], which the trace-vs-untraced byte-identity test exercises
@@ -43,6 +54,7 @@ use std::io::{BufWriter, Write as _};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
+use crate::store::{self, StoreConfig, ValRef};
 use crate::time::Time;
 
 /// The event categories a trace line can belong to.
@@ -121,6 +133,29 @@ pub enum TraceVal {
     B(bool),
 }
 
+impl TraceVal {
+    /// The store's borrowed view of this value (the two enums are kept in
+    /// lock-step so both sinks serialise the same information).
+    fn as_store_ref(&self) -> ValRef<'static> {
+        match *self {
+            TraceVal::U(u) => ValRef::U(u),
+            TraceVal::F(f) => ValRef::F(f),
+            TraceVal::S(s) => ValRef::S(s),
+            TraceVal::B(b) => ValRef::B(b),
+        }
+    }
+
+    /// The store's owned value, for staging in a domain buffer.
+    fn to_store_val(self) -> store::Val {
+        match self {
+            TraceVal::U(u) => store::Val::U(u),
+            TraceVal::F(f) => store::Val::F(f),
+            TraceVal::S(s) => store::Val::S(s.to_string()),
+            TraceVal::B(b) => store::Val::B(b),
+        }
+    }
+}
+
 /// Default per-category sampling divisors: the kernel loop and the
 /// cache/memory hot paths fire millions of times per figure run, so they
 /// keep one event in N by default; control-path categories keep everything.
@@ -130,16 +165,25 @@ const DEFAULT_SAMPLE: [u32; CATS] = [1024, 256, 256, 1, 1, 1, 1];
 const DEFAULT_RING: usize = 65_536;
 
 /// Configuration for [`install`].
+#[derive(Debug)]
 pub struct TraceConfig {
-    /// JSONL sink path; `None` keeps events only in the in-memory ring.
+    /// Sink path; `None` keeps events only in the in-memory ring. A path
+    /// ending in `.ptr` selects the durable paged binary store
+    /// ([`crate::store`]); anything else streams debug JSONL.
     pub path: Option<std::path::PathBuf>,
     /// Enabled categories and their optional DS-id restrictions
     /// (`None` = all DS-ids).
     pub filter: Vec<(TraceCat, Option<u16>)>,
-    /// Per-category sampling overrides `(cat, keep_one_in_n)`.
+    /// Per-category sampling overrides `(cat, keep_one_in_n)`; every
+    /// divisor must be ≥ 1.
     pub sample: Vec<(TraceCat, u32)>,
-    /// In-memory ring capacity in lines.
+    /// In-memory ring capacity in lines; must be ≥ 1.
     pub ring_capacity: usize,
+    /// Binary-store page size in bytes (ignored by non-`.ptr` sinks).
+    pub page_size: usize,
+    /// Binary-store buffer-pool depth in pages (ignored by non-`.ptr`
+    /// sinks).
+    pub pool_pages: usize,
 }
 
 impl Default for TraceConfig {
@@ -149,6 +193,8 @@ impl Default for TraceConfig {
             filter: Vec::new(),
             sample: Vec::new(),
             ring_capacity: DEFAULT_RING,
+            page_size: store::DEFAULT_PAGE_SIZE,
+            pool_pages: store::DEFAULT_POOL_PAGES,
         }
     }
 }
@@ -164,15 +210,109 @@ impl TraceConfig {
     }
 }
 
+/// Where kept events go after filtering and sampling.
+enum Sink {
+    /// In-memory ring only.
+    Ring,
+    /// Debug JSONL stream (plus the ring).
+    Jsonl(BufWriter<File>),
+    /// Durable paged binary store; bypasses the ring — the file is the
+    /// durable record, and skipping the per-event render halves the
+    /// kept-event cost.
+    Binary(store::TraceWriter),
+}
+
+impl Sink {
+    fn is_binary(&self) -> bool {
+        matches!(self, Sink::Binary(_))
+    }
+
+    /// Makes everything accepted so far visible to readers of the sink.
+    fn flush(&mut self) {
+        match self {
+            Sink::Ring => {}
+            Sink::Jsonl(w) => {
+                let _ = w.flush();
+            }
+            Sink::Binary(w) => {
+                let _ = w.flush();
+            }
+        }
+    }
+
+    /// Final teardown flush (the binary store also syncs to disk).
+    fn finish(&mut self) {
+        match self {
+            Sink::Ring => {}
+            Sink::Jsonl(w) => {
+                let _ = w.flush();
+            }
+            Sink::Binary(w) => {
+                let _ = w.finish();
+            }
+        }
+    }
+}
+
 struct TraceState {
     ring: VecDeque<String>,
     ring_capacity: usize,
-    sink: Option<BufWriter<File>>,
+    sink: Sink,
     /// Per-category DS-id allow-lists; `None` admits every DS-id.
     ds_filter: [Option<Vec<u16>>; CATS],
     sample_div: [u32; CATS],
     sample_ctr: [u32; CATS],
     emitted: u64,
+}
+
+impl TraceState {
+    /// Routes one kept event (already filtered/sampled) to the sink.
+    ///
+    /// The two staged forms exist because the partitioned kernel renders
+    /// (or structures) events inside domain windows, where the sink kind
+    /// was snapshot at build time. If a differently-sinked tracer was
+    /// installed mid-run the forms can mismatch; a line is still recorded
+    /// verbatim, and a structured event is re-rendered — neither is
+    /// silently dropped.
+    fn sink_one(&mut self, staged: Staged) {
+        match (&mut self.sink, staged) {
+            (Sink::Binary(w), Staged::Event(ev)) => {
+                let _ = w.append(ev.cat, ev.time, ev.ds, &ev.event, ev.field_refs());
+            }
+            (Sink::Binary(w), Staged::Line(line)) => {
+                // A pre-rendered line cannot be re-structured; store it as
+                // an opaque single-field event rather than lose it.
+                debug_assert!(false, "JSONL line staged while binary sink active");
+                let _ = w.append(
+                    TraceCat::Kernel as u8,
+                    0,
+                    0,
+                    "opaque_line",
+                    [("line", ValRef::S(&line))].into_iter(),
+                );
+            }
+            (_, staged) => {
+                let line = match staged {
+                    Staged::Line(line) => line,
+                    Staged::Event(ev) => match render_stored(&ev) {
+                        Ok(line) => line,
+                        Err(_) => {
+                            debug_assert!(false, "staged event with bad category byte");
+                            return;
+                        }
+                    },
+                };
+                if let Sink::Jsonl(w) = &mut self.sink {
+                    let _ = writeln!(w, "{line}");
+                }
+                if self.ring.len() == self.ring_capacity {
+                    self.ring.pop_front();
+                }
+                self.ring.push_back(line);
+            }
+        }
+        self.emitted += 1;
+    }
 }
 
 /// Bit i set = category i enabled. The one and only hot-path cost.
@@ -207,10 +347,26 @@ pub struct DomainBuffer {
     /// drops events — mixing late-installed global state into some
     /// domains but not others would be nondeterministic.
     active: bool,
+    /// Whether the sink at snapshot time was the binary store; selects
+    /// whether emits stage structured events or rendered lines.
+    binary: bool,
     ds_filter: [Option<Vec<u16>>; CATS],
     sample_div: [u32; CATS],
     sample_ctr: [u32; CATS],
-    lines: Vec<(u64, String)>,
+    staged: Vec<(u64, Staged)>,
+}
+
+/// One kept trace record staged in a [`DomainBuffer`], in the form the
+/// sink active at snapshot time consumes: a rendered JSONL line for the
+/// ring/JSONL sinks, a structured [`store::Event`] for the binary store
+/// (which must not pay a render, and needs the typed fields for
+/// varint/delta encoding).
+#[derive(Debug)]
+pub enum Staged {
+    /// A rendered JSONL line.
+    Line(String),
+    /// A structured event destined for the binary store.
+    Event(store::Event),
 }
 
 impl DomainBuffer {
@@ -221,18 +377,19 @@ impl DomainBuffer {
         match guard.as_ref() {
             Some(s) => DomainBuffer {
                 active: true,
+                binary: s.sink.is_binary(),
                 ds_filter: s.ds_filter.clone(),
                 sample_div: s.sample_div,
                 sample_ctr: [0; CATS],
-                lines: Vec::new(),
+                staged: Vec::new(),
             },
             None => DomainBuffer::default(),
         }
     }
 
-    /// Takes the staged `(time-units, line)` pairs, in emission order.
-    pub fn drain_lines(&mut self) -> Vec<(u64, String)> {
-        std::mem::take(&mut self.lines)
+    /// Takes the staged `(time-units, record)` pairs, in emission order.
+    pub fn drain_staged(&mut self) -> Vec<(u64, Staged)> {
+        std::mem::take(&mut self.staged)
     }
 
     fn emit(&mut self, cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, TraceVal)]) {
@@ -253,7 +410,21 @@ impl DomainBuffer {
                 return;
             }
         }
-        self.lines.push((time.units(), render_line(cat, time, ds, event, fields)));
+        let staged = if self.binary {
+            Staged::Event(store::Event {
+                cat: cat as u8,
+                time: time.units(),
+                ds,
+                event: event.to_string(),
+                fields: fields
+                    .iter()
+                    .map(|&(k, v)| (k.to_string(), v.to_store_val()))
+                    .collect(),
+            })
+        } else {
+            Staged::Line(render_line(cat, time, ds, event, fields))
+        };
+        self.staged.push((time.units(), staged));
     }
 }
 
@@ -269,22 +440,15 @@ pub fn exit_domain() -> DomainBuffer {
     BUFFER.with(|b| b.borrow_mut().take()).unwrap_or_default()
 }
 
-/// Appends already-rendered, already-filtered lines (a merged epoch drain
-/// from the partitioned kernel) to the global ring and sink.
-pub fn sink_lines(lines: impl IntoIterator<Item = String>) {
+/// Appends already-filtered staged records (a merged epoch drain from the
+/// partitioned kernel) to the global sink, in the given order.
+pub fn sink_staged(records: impl IntoIterator<Item = Staged>) {
     let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     let Some(state) = guard.as_mut() else {
         return;
     };
-    for line in lines {
-        if let Some(sink) = state.sink.as_mut() {
-            let _ = writeln!(sink, "{line}");
-        }
-        if state.ring.len() == state.ring_capacity {
-            state.ring.pop_front();
-        }
-        state.ring.push_back(line);
-        state.emitted += 1;
+    for staged in records {
+        state.sink_one(staged);
     }
 }
 
@@ -297,11 +461,30 @@ pub fn enabled(cat: TraceCat) -> bool {
 }
 
 /// Installs the global tracer from `config`. Replaces any previous tracer
-/// (flushing it first). Fails only if the sink file cannot be created.
+/// (flushing — and for a binary store, finishing — it first). Fails if the
+/// sink file cannot be created or the store config is invalid.
+///
+/// # Panics
+///
+/// Panics on a zero `ring_capacity` or a zero sampling divisor — both are
+/// programming errors, and silently "fixing" them would make the tracer
+/// behave differently from what the caller asked for. (The env-var path
+/// rejects these before ever reaching `install`.)
 pub fn install(config: TraceConfig) -> std::io::Result<()> {
+    assert!(
+        config.ring_capacity > 0,
+        "TraceConfig::ring_capacity must be >= 1"
+    );
     let sink = match &config.path {
-        Some(p) => Some(BufWriter::new(File::create(p)?)),
-        None => None,
+        Some(p) if p.extension().is_some_and(|e| e == "ptr") => {
+            let store_config = StoreConfig {
+                page_size: config.page_size,
+                pool_pages: config.pool_pages,
+            };
+            Sink::Binary(store::TraceWriter::create(p, store_config)?)
+        }
+        Some(p) => Sink::Jsonl(BufWriter::new(File::create(p)?)),
+        None => Sink::Ring,
     };
 
     let mut mask = 0u32;
@@ -319,12 +502,17 @@ pub fn install(config: TraceConfig) -> std::io::Result<()> {
 
     let mut sample_div = DEFAULT_SAMPLE;
     for &(cat, div) in &config.sample {
-        sample_div[cat as usize] = div.max(1);
+        assert!(
+            div > 0,
+            "TraceConfig sampling divisor for {} must be >= 1",
+            cat.name()
+        );
+        sample_div[cat as usize] = div;
     }
 
     let state = TraceState {
         ring: VecDeque::new(),
-        ring_capacity: config.ring_capacity.max(1),
+        ring_capacity: config.ring_capacity,
         sink,
         ds_filter,
         sample_div,
@@ -334,9 +522,7 @@ pub fn install(config: TraceConfig) -> std::io::Result<()> {
 
     let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(old) = guard.as_mut() {
-        if let Some(sink) = old.sink.as_mut() {
-            let _ = sink.flush();
-        }
+        old.sink.finish();
     }
     *guard = Some(state);
     // Publish the mask only after the state is in place so a racing emit
@@ -345,8 +531,117 @@ pub fn install(config: TraceConfig) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Parses the raw `PARD_TRACE*` values into a [`TraceConfig`].
+///
+/// Pure (no env access, no I/O) so the unit tests cover every
+/// malformed-input path. Every error message names the offending variable
+/// and says what would have been accepted — the caller turns `Err` into a
+/// hard process exit, per the module-level contract.
+fn config_from_env(
+    path: &str,
+    filter: Option<&str>,
+    sample: Option<&str>,
+    ring: Option<&str>,
+    page: Option<&str>,
+    pool: Option<&str>,
+) -> Result<TraceConfig, String> {
+    let mut config = TraceConfig {
+        path: (path != "-").then(|| path.into()),
+        ..TraceConfig::default()
+    };
+    if let Some(filter) = filter {
+        for term in filter.split(',').filter(|t| !t.is_empty()) {
+            let (cat, ds) = match term.split_once(':') {
+                Some((c, d)) => {
+                    let ds = d.trim().parse::<u16>().map_err(|_| {
+                        format!(
+                            "PARD_TRACE_FILTER: bad DS-id {d:?} in term {term:?} \
+                             (want cat or cat:ds with ds in 0..=65535)"
+                        )
+                    })?;
+                    (c, Some(ds))
+                }
+                None => (term, None),
+            };
+            let cat = TraceCat::parse(cat.trim()).ok_or_else(|| {
+                format!(
+                    "PARD_TRACE_FILTER: unknown category {:?} \
+                     (want kernel|llc|dram|io|ide|trigger|prm)",
+                    cat.trim()
+                )
+            })?;
+            config.filter.push((cat, ds));
+        }
+    }
+    if let Some(sample) = sample {
+        for term in sample.split(',').filter(|t| !t.is_empty()) {
+            let (cat, div) = term
+                .split_once(':')
+                .ok_or_else(|| format!("PARD_TRACE_SAMPLE: bad term {term:?} (want cat:n)"))?;
+            let cat = TraceCat::parse(cat.trim()).ok_or_else(|| {
+                format!(
+                    "PARD_TRACE_SAMPLE: unknown category {:?} in term {term:?} \
+                     (want kernel|llc|dram|io|ide|trigger|prm)",
+                    cat.trim()
+                )
+            })?;
+            let div = div.trim().parse::<u32>().map_err(|_| {
+                format!("PARD_TRACE_SAMPLE: bad divisor {div:?} in term {term:?} (want an integer)")
+            })?;
+            if div == 0 {
+                return Err(format!(
+                    "PARD_TRACE_SAMPLE: divisor must be >= 1 in term {term:?}"
+                ));
+            }
+            config.sample.push((cat, div));
+        }
+    }
+    if let Some(ring) = ring {
+        let n = ring.trim().parse::<usize>().map_err(|_| {
+            format!("PARD_TRACE_RING: bad capacity {ring:?} (want an integer >= 1)")
+        })?;
+        if n == 0 {
+            return Err("PARD_TRACE_RING: capacity must be >= 1".to_string());
+        }
+        config.ring_capacity = n;
+    }
+    if let Some(page) = page {
+        let n = page.trim().parse::<usize>().map_err(|_| {
+            format!(
+                "PARD_TRACE_PAGE: bad page size {page:?} (want an integer number of bytes in {}..={})",
+                store::MIN_PAGE_SIZE,
+                store::MAX_PAGE_SIZE
+            )
+        })?;
+        if n < store::MIN_PAGE_SIZE || n > store::MAX_PAGE_SIZE {
+            return Err(format!(
+                "PARD_TRACE_PAGE: page size {n} out of range ({}..={} bytes)",
+                store::MIN_PAGE_SIZE,
+                store::MAX_PAGE_SIZE
+            ));
+        }
+        config.page_size = n;
+    }
+    if let Some(pool) = pool {
+        let n = pool.trim().parse::<usize>().map_err(|_| {
+            format!("PARD_TRACE_POOL: bad pool depth {pool:?} (want an integer >= 1)")
+        })?;
+        if n == 0 {
+            return Err("PARD_TRACE_POOL: pool depth must be >= 1".to_string());
+        }
+        config.pool_pages = n;
+    }
+    Ok(config)
+}
+
 /// Reads `PARD_TRACE` / `PARD_TRACE_FILTER` / `PARD_TRACE_SAMPLE` /
-/// `PARD_TRACE_RING` and installs the tracer if `PARD_TRACE` is set.
+/// `PARD_TRACE_RING` / `PARD_TRACE_PAGE` / `PARD_TRACE_POOL` and installs
+/// the tracer if `PARD_TRACE` is set.
+///
+/// A malformed value, or a sink file that cannot be created, is a hard
+/// error: the process prints a message naming the variable and exits with
+/// status 2 — a run asked to trace must never silently trace less than
+/// asked (the `PARD_FAULT_PLAN` contract).
 ///
 /// Idempotent: only the first call in a process does anything, so every
 /// `PardServer` construction may call it unconditionally.
@@ -359,65 +654,51 @@ pub fn init_from_env() {
         if path.is_empty() {
             return;
         }
-        let mut config = TraceConfig {
-            path: (path != "-").then(|| path.clone().into()),
-            ..TraceConfig::default()
+        let filter = std::env::var("PARD_TRACE_FILTER").ok();
+        let sample = std::env::var("PARD_TRACE_SAMPLE").ok();
+        let ring = std::env::var("PARD_TRACE_RING").ok();
+        let page = std::env::var("PARD_TRACE_PAGE").ok();
+        let pool = std::env::var("PARD_TRACE_POOL").ok();
+        let config = match config_from_env(
+            &path,
+            filter.as_deref(),
+            sample.as_deref(),
+            ring.as_deref(),
+            page.as_deref(),
+            pool.as_deref(),
+        ) {
+            Ok(config) => config,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
         };
-        if let Ok(filter) = std::env::var("PARD_TRACE_FILTER") {
-            for term in filter.split(',').filter(|t| !t.is_empty()) {
-                let (cat, ds) = match term.split_once(':') {
-                    Some((c, d)) => (c, d.parse::<u16>().ok()),
-                    None => (term, None),
-                };
-                match TraceCat::parse(cat.trim()) {
-                    Some(cat) => config.filter.push((cat, ds)),
-                    None => eprintln!("PARD_TRACE_FILTER: unknown category {cat:?} ignored"),
-                }
-            }
-        }
-        if let Ok(sample) = std::env::var("PARD_TRACE_SAMPLE") {
-            for term in sample.split(',').filter(|t| !t.is_empty()) {
-                if let Some((cat, div)) = term.split_once(':') {
-                    if let (Some(cat), Ok(div)) = (TraceCat::parse(cat.trim()), div.parse::<u32>())
-                    {
-                        config.sample.push((cat, div));
-                        continue;
-                    }
-                }
-                eprintln!("PARD_TRACE_SAMPLE: bad term {term:?} ignored");
-            }
-        }
-        if let Ok(ring) = std::env::var("PARD_TRACE_RING") {
-            if let Ok(n) = ring.parse::<usize>() {
-                config.ring_capacity = n;
-            }
-        }
         if let Err(e) = install(config) {
             eprintln!("PARD_TRACE: cannot open {path:?}: {e}");
+            std::process::exit(2);
         }
     });
 }
 
-/// Flushes any pending sink writes and tears the tracer down, returning the
-/// process to the zero-cost disabled state.
+/// Flushes any pending sink writes (finishing a binary store, which also
+/// syncs it to disk) and tears the tracer down, returning the process to
+/// the zero-cost disabled state.
 pub fn disable() {
     MASK.store(0, Ordering::Release);
     let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(state) = guard.as_mut() {
-        if let Some(sink) = state.sink.as_mut() {
-            let _ = sink.flush();
-        }
+        state.sink.finish();
     }
     *guard = None;
 }
 
-/// Flushes the JSONL sink (if any) without disabling tracing.
+/// Flushes the sink (if any) without disabling tracing. For a binary
+/// store this seals the partial page, so everything emitted so far is
+/// visible to a concurrent reader.
 pub fn flush() {
     let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(state) = guard.as_mut() {
-        if let Some(sink) = state.sink.as_mut() {
-            let _ = sink.flush();
-        }
+        state.sink.flush();
     }
 }
 
@@ -425,8 +706,9 @@ pub fn flush() {
 ///
 /// Callers should guard the call (and any field gathering) behind
 /// [`enabled`]; `emit` re-checks, applies the DS-id filter and the
-/// per-category sampling divisor, renders the JSONL line, appends it to the
-/// in-memory ring, and streams it to the sink if one is open.
+/// per-category sampling divisor, then hands the kept event to the sink:
+/// rendered as a JSONL line for the ring/JSONL sinks, appended in binary
+/// form (no render) for a `.ptr` store.
 pub fn emit(cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, TraceVal)]) {
     if !enabled(cat) {
         return;
@@ -464,9 +746,20 @@ pub fn emit(cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, Tr
         }
     }
 
+    if let Sink::Binary(w) = &mut state.sink {
+        let _ = w.append(
+            cat as u8,
+            time.units(),
+            ds,
+            event,
+            fields.iter().map(|(k, v)| (*k, v.as_store_ref())),
+        );
+        state.emitted += 1;
+        return;
+    }
     let line = render_line(cat, time, ds, event, fields);
-    if let Some(sink) = state.sink.as_mut() {
-        let _ = writeln!(sink, "{line}");
+    if let Sink::Jsonl(w) = &mut state.sink {
+        let _ = writeln!(w, "{line}");
     }
     if state.ring.len() == state.ring_capacity {
         state.ring.pop_front();
@@ -478,34 +771,71 @@ pub fn emit(cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, Tr
 /// Renders one trace event as its JSONL line (shared by the global and
 /// per-domain paths so both produce identical bytes).
 fn render_line(cat: TraceCat, time: Time, ds: u16, event: &str, fields: &[(&str, TraceVal)]) -> String {
+    let mut line = render_prefix(cat, time.units(), ds, event);
+    render_fields(&mut line, fields.iter().map(|(k, v)| (*k, v.as_store_ref())));
+    line.push('}');
+    line
+}
+
+/// Re-renders a decoded [`store::Event`] as the JSONL line the `.jsonl`
+/// sink would have produced for the same emission. This is the
+/// byte-equivalence contract between the two trace formats: decoding a
+/// `.ptr` file and rendering each event through this function yields the
+/// exact bytes the JSONL sink writes.
+///
+/// # Errors
+///
+/// Fails (with a description) if the event's category byte does not name
+/// a [`TraceCat`] — the store does not interpret the byte, so a foreign
+/// or corrupt file surfaces here.
+pub fn render_stored(ev: &store::Event) -> Result<String, String> {
+    let cat = TraceCat::ALL
+        .get(ev.cat as usize)
+        .copied()
+        .ok_or_else(|| format!("bad category byte {} (want 0..{CATS})", ev.cat))?;
+    let mut line = render_prefix(cat, ev.time, ev.ds, &ev.event);
+    render_fields(&mut line, ev.field_refs());
+    line.push('}');
+    Ok(line)
+}
+
+/// The fixed head of every JSONL line: time, ds, cat, event.
+fn render_prefix(cat: TraceCat, time_units: u64, ds: u16, event: &str) -> String {
     let mut line = String::with_capacity(96);
     use std::fmt::Write as _;
     let _ = write!(
         line,
         "{{\"time\":{},\"ds\":{},\"cat\":\"{}\",\"event\":\"{}\"",
-        format_ns(time),
+        format_ns(Time::from_units(time_units)),
         ds,
         cat.name(),
         event
     );
+    line
+}
+
+/// Appends the `,"key":value` tail fields. Taking [`ValRef`] lets the
+/// live-emission path ([`TraceVal`]) and the store-decode path
+/// ([`store::Event`]) share one formatter, which is what makes the two
+/// sinks byte-equivalent by construction.
+fn render_fields<'a>(line: &mut String, fields: impl Iterator<Item = (&'a str, ValRef<'a>)>) {
+    use std::fmt::Write as _;
     for (key, val) in fields {
         let _ = write!(line, ",\"{key}\":");
         match val {
-            TraceVal::U(u) => {
+            ValRef::U(u) => {
                 let _ = write!(line, "{u}");
             }
-            TraceVal::F(f) if f.is_finite() => {
+            ValRef::F(f) if f.is_finite() => {
                 let _ = write!(line, "{f}");
             }
-            TraceVal::F(_) => line.push_str("null"),
-            TraceVal::S(s) => {
+            ValRef::F(_) => line.push_str("null"),
+            ValRef::S(s) => {
                 let _ = write!(line, "\"{s}\"");
             }
-            TraceVal::B(b) => line.push_str(if *b { "true" } else { "false" }),
+            ValRef::B(b) => line.push_str(if b { "true" } else { "false" }),
         }
     }
-    line.push('}');
-    line
 }
 
 /// Renders a [`Time`] as (possibly fractional) nanoseconds without going
@@ -528,6 +858,9 @@ pub(crate) fn format_ns(t: Time) -> String {
 }
 
 /// The most recent trace lines still held in the in-memory ring.
+///
+/// The binary store bypasses the ring (its file is the durable record),
+/// so this is empty while a `.ptr` sink is active.
 pub fn recent_lines() -> Vec<String> {
     let guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     guard
@@ -564,6 +897,7 @@ mod tests {
             ],
             sample: vec![(TraceCat::Llc, 1)],
             ring_capacity: 4,
+            ..TraceConfig::default()
         })
         .unwrap();
         assert!(enabled(TraceCat::Llc));
@@ -599,6 +933,7 @@ mod tests {
             filter: vec![(TraceCat::Dram, None)],
             sample: vec![(TraceCat::Dram, 3)],
             ring_capacity: 16,
+            ..TraceConfig::default()
         })
         .unwrap();
         for i in 0..7u64 {
@@ -612,6 +947,7 @@ mod tests {
             filter: vec![(TraceCat::Io, None)],
             sample: Vec::new(),
             ring_capacity: 2,
+            ..TraceConfig::default()
         })
         .unwrap();
         for i in 0..5u64 {
@@ -621,13 +957,14 @@ mod tests {
         assert!(recent_lines()[0].contains("\"time\":3"));
 
         // Per-domain buffers (partitioned kernel): a parked buffer takes
-        // the emits with its own snapshot/counters; the drained lines
-        // merge through sink_lines byte-identically to the global path.
+        // the emits with its own snapshot/counters; the drained records
+        // merge through sink_staged byte-identically to the global path.
         install(TraceConfig {
             path: None,
             filter: vec![(TraceCat::Llc, None)],
             sample: vec![(TraceCat::Llc, 1)],
             ring_capacity: 8,
+            ..TraceConfig::default()
         })
         .unwrap();
         enter_domain(DomainBuffer::snapshot());
@@ -635,10 +972,11 @@ mod tests {
         emit(TraceCat::Dram, Time::from_ns(7), 4, "issue", &[]); // category off
         assert_eq!(lines_emitted(), 0, "buffered lines must not hit the ring yet");
         let mut buf = exit_domain();
-        let lines = buf.drain_lines();
-        assert_eq!(lines.len(), 1);
-        assert_eq!(lines[0].0, Time::from_ns(7).units());
-        sink_lines(lines.into_iter().map(|(_, l)| l));
+        let staged = buf.drain_staged();
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].0, Time::from_ns(7).units());
+        assert!(matches!(staged[0].1, Staged::Line(_)));
+        sink_staged(staged.into_iter().map(|(_, s)| s));
         assert_eq!(lines_emitted(), 1);
         assert_eq!(
             recent_lines()[0],
@@ -648,11 +986,129 @@ mod tests {
         let inert = DomainBuffer::default();
         enter_domain(inert);
         emit(TraceCat::Llc, Time::from_ns(8), 4, "hit", &[]);
-        assert!(exit_domain().drain_lines().is_empty());
+        assert!(exit_domain().drain_staged().is_empty());
 
         disable();
         assert!(!enabled(TraceCat::Io));
         assert!(recent_lines().is_empty());
+
+        // Binary sink (`.ptr`): the global path appends structured events,
+        // domain buffers stage structured events, the ring stays empty,
+        // and decoding + render_stored reproduces the exact JSONL bytes.
+        let dir = std::env::temp_dir().join(format!("pard-trace-bin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ptr = dir.join("t.ptr");
+        install(TraceConfig {
+            path: Some(ptr.clone()),
+            filter: vec![(TraceCat::Llc, None), (TraceCat::Ide, None)],
+            sample: vec![(TraceCat::Llc, 1)],
+            ring_capacity: 4,
+            ..TraceConfig::default()
+        })
+        .unwrap();
+        emit(
+            TraceCat::Llc,
+            Time::from_units(9), // 2.25 ns
+            3,
+            "miss",
+            &[
+                ("addr", TraceVal::U(64)),
+                ("way", TraceVal::S("mru")),
+                ("hot", TraceVal::B(true)),
+                ("occ", TraceVal::F(0.5)),
+            ],
+        );
+        enter_domain(DomainBuffer::snapshot());
+        emit(TraceCat::Ide, Time::from_ns(5), 2, "grant", &[("bytes", TraceVal::U(4096))]);
+        let mut buf = exit_domain();
+        let staged = buf.drain_staged();
+        assert_eq!(staged.len(), 1);
+        assert!(
+            matches!(staged[0].1, Staged::Event(_)),
+            "binary-mode domain buffers must stage structured events"
+        );
+        sink_staged(staged.into_iter().map(|(_, s)| s));
+        assert_eq!(lines_emitted(), 2);
+        assert!(recent_lines().is_empty(), "binary sink bypasses the ring");
+        disable(); // finishes the store
+
+        let mut reader = store::TraceReader::open(&ptr).unwrap();
+        let decoded: Vec<String> = reader
+            .events()
+            .map(|ev| render_stored(&ev.unwrap()).unwrap())
+            .collect();
+        assert_eq!(
+            decoded,
+            vec![
+                "{\"time\":2.25,\"ds\":3,\"cat\":\"llc\",\"event\":\"miss\",\
+                 \"addr\":64,\"way\":\"mru\",\"hot\":true,\"occ\":0.5}"
+                    .to_string(),
+                "{\"time\":5,\"ds\":2,\"cat\":\"ide\",\"event\":\"grant\",\"bytes\":4096}"
+                    .to_string(),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn render_stored_rejects_bad_category_byte() {
+        let ev = store::Event {
+            cat: 42,
+            time: 0,
+            ds: 0,
+            event: "x".to_string(),
+            fields: Vec::new(),
+        };
+        let err = render_stored(&ev).unwrap_err();
+        assert!(err.contains("bad category byte 42"), "{err}");
+    }
+
+    // config_from_env is pure, so the hard-error contract is testable
+    // without touching process env or the global tracer.
+    #[test]
+    fn env_config_accepts_the_documented_surface() {
+        let c = config_from_env(
+            "out.ptr",
+            Some("llc,trigger:2"),
+            Some("kernel:64"),
+            Some("128"),
+            Some("4096"),
+            Some("2"),
+        )
+        .unwrap();
+        assert_eq!(c.path.as_deref(), Some(std::path::Path::new("out.ptr")));
+        assert_eq!(c.filter, vec![(TraceCat::Llc, None), (TraceCat::Trigger, Some(2))]);
+        assert_eq!(c.sample, vec![(TraceCat::Kernel, 64)]);
+        assert_eq!(c.ring_capacity, 128);
+        assert_eq!(c.page_size, 4096);
+        assert_eq!(c.pool_pages, 2);
+        // `-` = ring only; unset extras keep defaults.
+        let c = config_from_env("-", None, None, None, None, None).unwrap();
+        assert!(c.path.is_none());
+        assert_eq!(c.ring_capacity, DEFAULT_RING);
+    }
+
+    #[test]
+    fn env_config_rejects_malformed_values_naming_the_variable() {
+        let cases: [(&str, Option<&str>, Option<&str>, Option<&str>, Option<&str>, Option<&str>, &str); 9] = [
+            ("t", Some("bogus"), None, None, None, None, "PARD_TRACE_FILTER"),
+            ("t", Some("llc:banana"), None, None, None, None, "PARD_TRACE_FILTER"),
+            ("t", None, Some("llc"), None, None, None, "PARD_TRACE_SAMPLE"),
+            ("t", None, Some("bogus:2"), None, None, None, "PARD_TRACE_SAMPLE"),
+            ("t", None, Some("llc:0"), None, None, None, "PARD_TRACE_SAMPLE"),
+            ("t", None, None, Some("many"), None, None, "PARD_TRACE_RING"),
+            ("t", None, None, Some("0"), None, None, "PARD_TRACE_RING"),
+            ("t", None, None, None, Some("17"), None, "PARD_TRACE_PAGE"),
+            ("t", None, None, None, None, Some("0"), "PARD_TRACE_POOL"),
+        ];
+        for (path, filter, sample, ring, page, pool, var) in cases {
+            let err = config_from_env(path, filter, sample, ring, page, pool)
+                .expect_err("malformed value must be rejected");
+            assert!(
+                err.starts_with(var),
+                "error {err:?} must name the variable {var}"
+            );
+        }
     }
 
     #[test]
