@@ -150,6 +150,35 @@ scratch="$(mktemp -d)"
 rm -rf "$scratch"
 echo "ok: fig_wfq.json and fig_slo.json reproduced byte-identically under strict audit"
 
+echo "== fig_fleet golden: federated-fleet sweep matches committed JSON at PARD_THREADS=4 =="
+# The rack-scale consolidation sweep runs three whole machines in
+# parallel per epoch and re-shards/migrates tenants between epochs; the
+# golden pins the whole federation — parallel machine stepping, seeded
+# load-balancer splits, calibrated escalation triggers, and the manager's
+# serialized reactions — to one byte-exact document at any thread count.
+scratch="$(mktemp -d)"
+(
+    cd "$scratch"
+    PARD_THREADS=4 PARD_AUDIT=strict "$repo/target/release/fig_fleet" >/dev/null
+    cmp fig_fleet.json "$repo/fig_fleet.json"
+)
+rm -rf "$scratch"
+echo "ok: fig_fleet.json reproduced byte-identically under strict audit"
+
+echo "== golden-coverage gate: every committed fig*.json is documented in EXPERIMENTS.md =="
+# A golden that CI compares against but no document explains is how
+# stale figures survive reviews: every committed fig*.json at the repo
+# root must appear (by file name) in EXPERIMENTS.md's figure table.
+missing=0
+for golden in fig*.json; do
+    if ! grep -q "$golden" EXPERIMENTS.md; then
+        echo "error: $golden is committed but never mentioned in EXPERIMENTS.md" >&2
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ]
+echo "ok: every committed golden is documented in EXPERIMENTS.md"
+
 echo "== operations doc gate: every PARD_* env var is documented =="
 # OPERATIONS.md is the single reference for runtime knobs; any PARD_*
 # name referenced in the source tree must have an entry there.

@@ -16,6 +16,7 @@
 //! | `fig_fault` | beyond the paper: fault injection + trigger-driven recovery (§2 resilience claim) |
 //! | `fig_wfq` | beyond the paper: WFQ memory scheduling programmed as policy data (§3 programmability claim) |
 //! | `fig_slo` | beyond the paper: SLO token-bucket DMA admission installed mid-run via `pardpolicy` |
+//! | `fig_fleet` | beyond the paper: rack-scale consolidation sweep with federated PRMs (§1–2 motivation) |
 //! | `sweeps` | sensitivity sweeps beyond the paper (intensity/partition/poll) |
 //! | `calibrate` | quick calibration probe for the memcached scenario |
 //! | `pard-trace` / `pard-audit` | offline trace validation and invariant replay |
@@ -23,6 +24,18 @@
 //! Durations are scaled down from the paper's (a 30-hour gem5 run per
 //! point is replaced by seconds of event-driven simulation); pass
 //! `--quick` for CI-speed runs or `--full` for closer-to-paper spans.
+//!
+//! # Paper mapping
+//!
+//! Each binary reproduces one artifact of the paper's evaluation (§7),
+//! keyed in the table above; the `fig_*` extensions past `fig12` test
+//! claims the paper makes but never measures (resilience §2,
+//! programmability §3, rack-scale consolidation §1–2). The shared
+//! machinery maps too: [`duration_scale`] stands in for the paper's
+//! simulated-span choices, `harness` for its repeated-run methodology,
+//! and the committed `fig*.json` goldens — cmp-gated in `ci.sh` — for
+//! the published curves themselves (EXPERIMENTS.md holds the
+//! paper-vs-measured tables).
 
 #![warn(missing_docs)]
 
@@ -31,6 +44,7 @@ pub mod fig09_scenario;
 pub mod fig10_scenario;
 pub mod fig11_scenario;
 pub mod fig_fault_scenario;
+pub mod fig_fleet_scenario;
 pub mod fig_slo_scenario;
 pub mod fig_wfq_scenario;
 pub mod harness;

@@ -21,6 +21,17 @@
 //!   which the `llc_control_plane_adds_no_latency` test asserts.
 //!
 //! The crate also provides the private per-core [`L1Cache`] model.
+//!
+//! # Paper mapping
+//!
+//! | paper | here |
+//! |---|---|
+//! | Fig. 4 (tagged LLC datapath) | [`TagArray`] owner DS-ids + [`Llc`] |
+//! | §3.2 way-partitioning | per-DS way masks from the parameter table |
+//! | footnote 4 (tag ∧ DS-id hit rule) | [`TagArray`] lookup |
+//! | §3.3 cache control plane (CACHE_CP, cpa0) | `cpdef` column/trigger layout |
+//! | Fig. 9 miss-rate statistics | per-DS statistics columns |
+//! | §7.2 "no extra cycles" | control plane off the hit path (tested) |
 
 #![warn(missing_docs)]
 

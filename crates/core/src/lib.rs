@@ -38,6 +38,17 @@
 //! server.run_for(Time::from_ms(1));
 //! assert!(server.llc_occupancy_bytes(ds) > 0);
 //! ```
+//!
+//! # Paper mapping
+//!
+//! This crate is the paper's §4 "prototype machine": it assembles the
+//! mechanism crates into the Table 2 platform ([`SystemConfig::asplos15`],
+//! with [`SystemConfig::small_test`] as the scaled CI variant) — cores
+//! with per-hardware-thread DS-id tag registers (§3.1), the tagged LLC
+//! (cpa0), the DDR3 controller (cpa1), the I/O bridge (cpa2), IDE (cpa3),
+//! and NIC (cpa4), all wired to the PRM. [`PardServer::shell`] is the
+//! paper's operator console (§5, Fig. 6): `echo`/`cat` on the device
+//! file tree, `pardtrigger`, and pardscript execution land here.
 
 #![warn(missing_docs)]
 

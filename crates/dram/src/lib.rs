@@ -18,6 +18,17 @@
 //! The controller also exposes the per-request queueing-delay distribution
 //! that Figure 11 plots (baseline vs. high/low priority with the control
 //! plane enabled).
+//!
+//! # Paper mapping
+//!
+//! | paper | here |
+//! |---|---|
+//! | Fig. 5 (memory control plane, MEMORY_CP, cpa1) | `cpdef` tables |
+//! | §3.3 per-LDom base/limit translation | parameter-table address map |
+//! | §3.3 priority queues + FR-FCFS | the arbiter in `ctrl` |
+//! | §3.3 reserved high-priority row buffer | per-bank HP buffer in `bank` |
+//! | Table 3 `memory latency ⇒ …` triggers | `avg_qlat` / `bandwidth` columns |
+//! | Fig. 11 queueing-delay CDF | the controller's delay distribution |
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,147 @@
+//! The multi-tenant request population.
+
+use pard_sim::Time;
+use pard_workloads::{FlashCrowd, RateProfile};
+
+use crate::config::FleetConfig;
+
+/// Rate factor of guaranteed-tier tenants relative to best-effort ones at
+/// the same popularity rank. Latency-critical services are provisioned
+/// well under their reservation; the best-effort batch/web tenants are the
+/// ones that fill machines up — and the ones the fleet manager may move.
+pub const GUARANTEED_RATE_FACTOR: f64 = 0.35;
+
+/// Service tier of a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Latency-critical: reserved LLC ways, prioritized DRAM, tight SLOs.
+    Guaranteed,
+    /// Best-effort: fully shared resources, loose SLOs, migratable.
+    BestEffort,
+}
+
+impl Tier {
+    /// Stable label used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Guaranteed => "guaranteed",
+            Tier::BestEffort => "best_effort",
+        }
+    }
+}
+
+/// One tenant of the fleet: identity, tier, traffic shape, and initial
+/// placement.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Fleet-wide tenant id (also the Zipf popularity rank order).
+    pub id: usize,
+    /// Service tier.
+    pub tier: Tier,
+    /// The tenant's offered-load shape over the run.
+    pub profile: RateProfile,
+    /// Initial home machine.
+    pub home: usize,
+}
+
+/// Builds the tenant population for `cfg`: `machines × tenants_per_machine`
+/// tenants with Zipf-distributed popularity *within each tier* (rank 1 is
+/// the most popular), guaranteed tenants provisioned at
+/// [`GUARANTEED_RATE_FACTOR`] of the best-effort curve, phase-shifted
+/// diurnal swings (one simulated "day" spans the whole run), and a flash
+/// crowd hitting tenant 0 — the most popular best-effort tenant — from
+/// `flash_from_epoch` to the end of the run.
+///
+/// Tenants alternate tiers (even ids best-effort, odd guaranteed) and are
+/// homed round-robin (`home = id % machines`), so machine 0 hosts the
+/// flash-crowd tenant and every machine gets a tier mix.
+pub fn population(cfg: &FleetConfig) -> Vec<TenantSpec> {
+    let total = cfg.tenant_count();
+    let day = cfg.total_span();
+    let flash_start =
+        Time::from_units(cfg.epoch.units() * cfg.flash_from_epoch.min(cfg.epochs) as u64);
+    (0..total)
+        .map(|id| {
+            let tier = if id % 2 == 0 {
+                Tier::BestEffort
+            } else {
+                Tier::Guaranteed
+            };
+            // Popularity rank within the tenant's own tier (1-based).
+            let rank = (id / 2 + 1) as f64;
+            let tier_factor = match tier {
+                Tier::Guaranteed => GUARANTEED_RATE_FACTOR,
+                Tier::BestEffort => 1.0,
+            };
+            let base_rps = cfg.base_rps * rank.powf(-cfg.popularity_s) * tier_factor;
+            let flash = if id == 0 {
+                vec![FlashCrowd {
+                    start: flash_start,
+                    end: day,
+                    multiplier: cfg.flash_multiplier,
+                }]
+            } else {
+                Vec::new()
+            };
+            TenantSpec {
+                id,
+                tier,
+                profile: RateProfile {
+                    base_rps,
+                    diurnal_amplitude: cfg.diurnal_amplitude,
+                    diurnal_period: day,
+                    diurnal_phase: id as f64 / total as f64,
+                    flash,
+                },
+                home: id % cfg.machines,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_shape_matches_config() {
+        let mut cfg = FleetConfig::default_scale();
+        cfg.machines = 3;
+        cfg.tenants_per_machine = 4;
+        let pop = population(&cfg);
+        assert_eq!(pop.len(), 12);
+        // Tenant 0: best-effort, most popular, flash-crowded, homed on 0.
+        assert_eq!(pop[0].tier, Tier::BestEffort);
+        assert_eq!(pop[0].home, 0);
+        assert_eq!(pop[0].profile.flash.len(), 1);
+        assert!((pop[0].profile.base_rps - cfg.base_rps).abs() < 1e-9);
+        // Only tenant 0 carries the flash crowd.
+        assert!(pop[1..].iter().all(|t| t.profile.flash.is_empty()));
+        // Tiers alternate; guaranteed tenants run lighter than the
+        // best-effort tenant at the same rank.
+        assert_eq!(pop[1].tier, Tier::Guaranteed);
+        assert!(pop[1].profile.base_rps < pop[0].profile.base_rps);
+        // Popularity decays within a tier.
+        assert!(pop[2].profile.base_rps < pop[0].profile.base_rps);
+        assert!(pop[3].profile.base_rps < pop[1].profile.base_rps);
+        // Round-robin homes.
+        assert_eq!(pop[4].home, 1);
+        assert_eq!(pop[5].home, 2);
+        // Phases spread over the day.
+        assert!(pop[6].profile.diurnal_phase > pop[3].profile.diurnal_phase);
+        assert_eq!(pop[0].profile.diurnal_period, cfg.total_span());
+    }
+
+    #[test]
+    fn flash_window_starts_at_the_configured_epoch() {
+        let cfg = FleetConfig::default_scale();
+        let pop = population(&cfg);
+        let f = &pop[0].profile.flash[0];
+        assert_eq!(
+            f.start,
+            Time::from_units(cfg.epoch.units() * cfg.flash_from_epoch as u64)
+        );
+        assert_eq!(f.end, cfg.total_span());
+        assert!((f.multiplier - cfg.flash_multiplier).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fleet **federation actions** — the scripts behind tenant migration.
+//!
+//! The rack-scale layer (`pard-fleet`) federates per-machine PRMs: a
+//! machine-local trigger escalates control-plane → PRM → fleet by writing
+//! `/sys/fleet/escalate` (see [`Firmware::take_escalations`]), and the
+//! fleet manager reacts by re-sharding a tenant's traffic or migrating its
+//! LDom to another machine. The *mechanism* of both reactions is the same
+//! as the recovery playbook ([`crate::recovery`]): pardscript programs
+//! manipulating the target machine's `/sys` device-file tree — everything
+//! the fleet manager does to a machine is something an operator at that
+//! machine's PRM console could type by hand.
+//!
+//! * [`escalate_action`] — the script a machine-local trigger binds to:
+//!   report the overloaded LDom up to the fleet,
+//! * [`admit`] — program a (re-)registered DS-id's service classes on the
+//!   *target* machine's control planes (LLC ways on `cpa0`, DRAM
+//!   priority/row-buffer policy on `cpa1`, IDE bandwidth on `cpa3`),
+//! * [`drain`] — demote a departing DS-id on the *source* machine back to
+//!   best-effort defaults so its residual traffic cannot crowd the
+//!   tenants that stay.
+//!
+//! [`Firmware::take_escalations`]: crate::Firmware::take_escalations
+
+use crate::firmware::{Action, Firmware};
+
+/// Service classes the fleet manager programs when admitting a tenant
+/// onto a machine.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmitClasses {
+    /// LLC way mask on `cpa0`.
+    pub waymask: u64,
+    /// DRAM admission priority on `cpa1` (1 = bypass the admission gate).
+    pub priority: u64,
+    /// DRAM row-buffer policy on `cpa1` (1 = reserved).
+    pub rowbuf: u64,
+    /// IDE proportional-share bandwidth on `cpa3`, if the machine has one.
+    pub ide_bandwidth: Option<u64>,
+}
+
+impl AdmitClasses {
+    /// The guaranteed-tier classes: half the LLC ways, prioritized DRAM.
+    #[must_use]
+    pub fn guaranteed() -> Self {
+        AdmitClasses {
+            waymask: 0xFF00,
+            priority: 1,
+            rowbuf: 1,
+            ide_bandwidth: None,
+        }
+    }
+
+    /// The best-effort classes: fully shared LLC, default DRAM service.
+    #[must_use]
+    pub fn best_effort() -> Self {
+        AdmitClasses {
+            waymask: 0xFFFF,
+            priority: 0,
+            rowbuf: 0,
+            ide_bandwidth: None,
+        }
+    }
+}
+
+/// Pardscript: escalate the dispatching LDom to the fleet manager with
+/// `reason`. Bind this to a machine-local trigger (e.g. memory `avg_qlat`
+/// above the SLO knee) so the control-plane → PRM → fleet ladder is
+/// exactly the paper's "trigger ⇒ action" chain with one more rung.
+#[must_use]
+pub fn escalate_action(reason: &str) -> String {
+    format!(
+        r#"log "fleet: ldom$DS escalating ({reason}, cpa$CPA slot $SLOT)"
+echo {reason} $DS > /sys/fleet/escalate
+"#
+    )
+}
+
+/// Pardscript: program LDom `ldom`'s service classes on this machine's
+/// control planes — the admission half of a migration or re-shard. The
+/// DS-id is passed explicitly (not `$DS`) because admission runs on the
+/// *target* machine, where no trigger fired.
+#[must_use]
+pub fn admit(ldom: u16, classes: AdmitClasses) -> String {
+    let AdmitClasses {
+        waymask,
+        priority,
+        rowbuf,
+        ide_bandwidth,
+    } = classes;
+    let mut s = format!(
+        r#"echo {waymask:#x} > /sys/cpa/cpa0/ldoms/ldom{ldom}/parameters/waymask
+echo {priority} > /sys/cpa/cpa1/ldoms/ldom{ldom}/parameters/priority
+echo {rowbuf} > /sys/cpa/cpa1/ldoms/ldom{ldom}/parameters/rowbuf
+log "fleet: admitted ldom{ldom} (waymask {waymask:#x}, prio {priority})"
+"#
+    );
+    if let Some(bw) = ide_bandwidth {
+        s.push_str(&format!(
+            "echo {bw} > /sys/cpa/cpa3/ldoms/ldom{ldom}/parameters/bandwidth\n"
+        ));
+    }
+    s
+}
+
+/// Pardscript: demote LDom `ldom` to best-effort defaults on this machine
+/// — the drain half of a migration, run on the *source* machine.
+#[must_use]
+pub fn drain(ldom: u16) -> String {
+    format!(
+        r#"echo 0xFFFF > /sys/cpa/cpa0/ldoms/ldom{ldom}/parameters/waymask
+echo 0 > /sys/cpa/cpa1/ldoms/ldom{ldom}/parameters/priority
+echo 0 > /sys/cpa/cpa1/ldoms/ldom{ldom}/parameters/rowbuf
+log "fleet: drained ldom{ldom} to best-effort"
+"#
+    )
+}
+
+/// Registers [`escalate_action`] under `name` so trigger leaves can bind
+/// to it.
+pub fn install_escalate(fw: &mut Firmware, name: &str, reason: &str) {
+    fw.register_action(name, Action::Script(escalate_action(reason)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn federation_scripts_have_expected_shape() {
+        let e = escalate_action("overload");
+        assert!(e.contains("echo overload $DS > /sys/fleet/escalate"));
+
+        let a = admit(5, AdmitClasses::guaranteed());
+        assert!(a.contains("echo 0xff00 > /sys/cpa/cpa0/ldoms/ldom5/parameters/waymask"));
+        assert!(a.contains("echo 1 > /sys/cpa/cpa1/ldoms/ldom5/parameters/priority"));
+        assert!(!a.contains("cpa3"), "no IDE quota unless requested");
+
+        let with_ide = admit(
+            2,
+            AdmitClasses {
+                ide_bandwidth: Some(70),
+                ..AdmitClasses::guaranteed()
+            },
+        );
+        assert!(with_ide.contains("echo 70 > /sys/cpa/cpa3/ldoms/ldom2/parameters/bandwidth"));
+
+        let d = drain(5);
+        assert!(d.contains("echo 0xFFFF > /sys/cpa/cpa0/ldoms/ldom5/parameters/waymask"));
+        assert!(d.contains("echo 0 > /sys/cpa/cpa1/ldoms/ldom5/parameters/priority"));
+    }
+}

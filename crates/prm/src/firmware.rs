@@ -75,6 +75,22 @@ impl std::fmt::Debug for Action {
 /// and by experiment harnesses).
 pub type FwHandle = Arc<Mutex<Firmware>>;
 
+/// An escalation raised by this machine's PRM toward the fleet manager:
+/// the top rung of the control-plane → PRM → fleet ladder. Machine-local
+/// triggers that the firmware cannot satisfy with local actions (the LDom
+/// is already at maximum local share) write
+/// `REASON DS` into `/sys/fleet/escalate`, and the fleet manager drains
+/// the queue via [`Firmware::take_escalations`] between epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Escalation {
+    /// Firmware time when the escalation was raised.
+    pub at: Time,
+    /// The DS-id (tenant LDom) the escalation concerns.
+    pub ds: u16,
+    /// Free-form reason (e.g. `overload`).
+    pub reason: String,
+}
+
 /// The PRM firmware. See the [crate docs](crate) for the big picture.
 pub struct Firmware {
     cfg: FirmwareConfig,
@@ -96,6 +112,12 @@ pub struct Firmware {
     log: Vec<(Time, String)>,
     now: Time,
     metrics: MetricsRegistry,
+    /// Escalations queued for the fleet manager. Shared with the
+    /// `/sys/fleet/escalate` hook closure.
+    escalations: Arc<Mutex<Vec<Escalation>>>,
+    /// Firmware time mirrored for the escalate hook (closures cannot
+    /// borrow `self.now`).
+    esc_now: Arc<Mutex<Time>>,
 }
 
 impl Firmware {
@@ -116,9 +138,42 @@ impl Firmware {
             },
         )
         .expect("static path");
+        // The fleet escalation rung: scripts (or the operator) write
+        // "REASON DS" here; the fleet manager drains the queue. Reading
+        // the file shows the number of pending escalations.
+        tree.mkdir_all("/sys/fleet").expect("static path");
+        let escalations: Arc<Mutex<Vec<Escalation>>> = Arc::new(Mutex::new(Vec::new()));
+        let esc_now = Arc::new(Mutex::new(Time::ZERO));
+        let esc_read = escalations.clone();
+        let esc_write = escalations.clone();
+        let esc_clock = esc_now.clone();
+        tree.install(
+            "/sys/fleet/escalate",
+            Node::Hook {
+                read: Box::new(move || esc_read.lock().len().to_string()),
+                write: Some(Box::new(move |s| {
+                    let s = s.trim();
+                    let (reason, ds) = s
+                        .rsplit_once(char::is_whitespace)
+                        .ok_or_else(|| FwError::BadCommand(format!("escalate: want 'REASON DS', got '{s}'")))?;
+                    let ds = ds
+                        .parse::<u16>()
+                        .map_err(|_| FwError::BadCommand(format!("escalate: bad DS-id '{ds}'")))?;
+                    esc_write.lock().push(Escalation {
+                        at: *esc_clock.lock(),
+                        ds,
+                        reason: reason.trim().to_string(),
+                    });
+                    Ok(())
+                })),
+            },
+        )
+        .expect("static path");
         Firmware {
             metrics,
             tree,
+            escalations,
+            esc_now,
             cpas: Vec::new(),
             cp_types: Vec::new(),
             irq_line,
@@ -624,6 +679,41 @@ impl Firmware {
         Ok(())
     }
 
+    /// Re-arms every trigger slot installed for (`cpa`, `ldom`) by
+    /// clearing its latch through the CPA programming path. Triggers are
+    /// level-latched (one interrupt per episode); a supervisor that has
+    /// *reacted* to an escalation re-arms the slot so a persisting
+    /// condition raises a fresh interrupt at the next window — this is how
+    /// the fleet manager sees a second escalation (and moves from
+    /// re-sharding to migration) when its first reaction was not enough.
+    /// Returns the number of slots re-armed.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown CPAs or CPA programming errors.
+    pub fn rearm_triggers(&mut self, cpa: usize, ldom: DsId) -> Result<usize, FwError> {
+        let regfile = self
+            .cpas
+            .get(cpa)
+            .cloned()
+            .ok_or_else(|| FwError::NoSuchPath(format!("/dev/cpa{cpa}")))?;
+        let mut slots: Vec<usize> = self
+            .slot_owner
+            .iter()
+            .filter(|&(&(c, _), &(ds, _))| c == cpa && ds == ldom.raw())
+            .map(|(&(_, slot), _)| slot)
+            .collect();
+        slots.sort_unstable();
+        for &slot in &slots {
+            let mut rf = regfile.lock();
+            let addr = CpAddr::new(DsId::new(slot as u16), 5, TableSel::Trigger);
+            rf.write(REG_ADDR, addr.encode().into())?;
+            rf.write(REG_DATA, 0)?;
+            rf.write(REG_CMD, CpCommand::Write.encode().into())?;
+        }
+        Ok(slots.len())
+    }
+
     /// Registers an action under a name (e.g. `"/cpa0_ldom0_t0.sh"`).
     pub fn register_action(&mut self, name: impl Into<String>, action: Action) {
         self.actions.insert(name.into(), action);
@@ -831,6 +921,30 @@ impl Firmware {
     pub fn set_now(&mut self, now: Time) {
         self.now = now;
         self.metrics.set_now(now);
+        *self.esc_now.lock() = now;
+    }
+
+    /// Raises a fleet escalation natively (the script path writes
+    /// `/sys/fleet/escalate` instead; both land in the same queue).
+    pub fn escalate(&mut self, ds: u16, reason: impl Into<String>) {
+        let reason = reason.into();
+        self.log(format!("escalate: ldom{ds} {reason}"));
+        self.escalations.lock().push(Escalation {
+            at: self.now,
+            ds,
+            reason,
+        });
+    }
+
+    /// Escalations queued and not yet taken.
+    pub fn pending_escalations(&self) -> usize {
+        self.escalations.lock().len()
+    }
+
+    /// Drains the escalation queue (the fleet manager calls this between
+    /// epochs).
+    pub fn take_escalations(&mut self) -> Vec<Escalation> {
+        std::mem::take(&mut *self.escalations.lock())
     }
 
     /// A machine-wide per-DS-id statistics snapshot, stamped with the
@@ -1187,6 +1301,53 @@ echo 0xFF00 > /sys/cpa/cpa$CPA/ldoms/ldom$DS/parameters/waymask
         assert!(json.contains("\"ident\": \"CACHE_CP\""));
         assert!(json.contains("\"ident\": \"MEMORY_CP\""));
         assert!(json.contains("\"taken_at_ns\": 7000"));
+    }
+
+    #[test]
+    fn escalations_flow_from_trigger_script_to_fleet_queue() {
+        let (mut fw, cache, _) = fw_with_planes();
+        fw.set_now(Time::from_us(3));
+        let ds = fw
+            .create_ldom(LDomSpec::new("tenant", vec![0], 1 << 20))
+            .unwrap();
+
+        // A machine-local trigger whose action escalates to the fleet.
+        fw.pardtrigger(0, ds, 0, "miss_rate", CmpOp::Gt, 30).unwrap();
+        fw.register_action(
+            "/escalate_t0.sh",
+            Action::Script("echo overload $DS > /sys/fleet/escalate\n".to_string()),
+        );
+        fw.write("/sys/cpa/cpa0/ldoms/ldom0/triggers/0", "/escalate_t0.sh")
+            .unwrap();
+        {
+            let mut cp = cache.lock();
+            let key = cp.stats().key("miss_rate").unwrap();
+            cp.stats().set(ds, key, 45).unwrap();
+            cp.evaluate_triggers(ds, Time::from_ms(1));
+        }
+        assert_eq!(fw.service_interrupts(), 1);
+        assert_eq!(fw.read("/sys/fleet/escalate").unwrap(), "1");
+
+        // The native path lands in the same queue.
+        fw.escalate(7, "slo_breach");
+        let taken = fw.take_escalations();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].ds, 0);
+        assert_eq!(taken[0].reason, "overload");
+        assert_eq!(taken[0].at, Time::from_us(3));
+        assert_eq!(taken[1].ds, 7);
+        assert!(fw.take_escalations().is_empty());
+        assert_eq!(fw.pending_escalations(), 0);
+
+        // Malformed writes are typed errors, not silent drops.
+        assert!(matches!(
+            fw.write("/sys/fleet/escalate", "no-ds-here"),
+            Err(FwError::BadCommand(_))
+        ));
+        assert!(matches!(
+            fw.write("/sys/fleet/escalate", "overload banana"),
+            Err(FwError::BadCommand(_))
+        ));
     }
 
     #[test]

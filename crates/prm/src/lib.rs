@@ -22,11 +22,24 @@
 //! machine: it polls the interrupt sink at the firmware's service interval
 //! (modelling the 100 MHz management core's latency) and issues queued
 //! core-control commands.
+//!
+//! # Paper mapping
+//!
+//! | paper | here |
+//! |---|---|
+//! | §3 ③ control-plane adaptors, Fig. 6 register window | `cpa` |
+//! | §5 device file tree (`/sys/cpa/...`) | [`Firmware`] tree + hooks |
+//! | §5 LDom lifecycle (create/launch/destroy) | the LDom manager |
+//! | Fig. 6 Example 1 (`pardtrigger`) | [`Firmware::pardtrigger`] |
+//! | Fig. 6 Example 2 (pardscript action) | the [`script`] module |
+//! | §3.4 "trigger ⇒ action" | trigger interrupts → action dispatch |
+//! | beyond the paper: PRM federation | [`federation`] (escalations up to a fleet manager, DESIGN.md §15) |
 
 #![warn(missing_docs)]
 
 mod alloc;
 mod error;
+pub mod federation;
 mod firmware;
 mod ldom;
 mod metrics;
@@ -37,7 +50,9 @@ mod tree;
 
 pub use alloc::MemAllocator;
 pub use error::FwError;
-pub use firmware::{Action, ActionEnv, Firmware, FirmwareConfig, FwHandle, NativeAction};
+pub use firmware::{
+    Action, ActionEnv, Escalation, Firmware, FirmwareConfig, FwHandle, NativeAction,
+};
 pub use metrics::{DsRow, MetricsRegistry, MetricsSnapshot, PlaneMetrics};
 pub use ldom::{LDomInfo, LDomSpec, Priority};
 pub use prm::Prm;

@@ -48,8 +48,15 @@
 //! ledger into a process-global **shared** mode via [`set_shared_ledger`]:
 //! one simulation's conservation flows then span several worker threads
 //! (a packet injected by one domain retires in another), so every ledger
-//! operation routes through one mutex-guarded map. Shared mode implies
-//! one live partitioned simulation per process while auditing.
+//! operation routes through one mutex-guarded map.
+//!
+//! Several partitioned machines may audit concurrently (the fleet layer
+//! runs one `PardServer` per machine and advances them via `par_map`):
+//! each machine holds a distinct **ledger scope** ([`alloc_ledger_scope`])
+//! that its domain windows install thread-locally ([`set_ledger_scope`])
+//! while they execute, and every ledger key carries the scope — machine
+//! A's packet `(xbar, src 3, id 17)` never collides with machine B's,
+//! even though both machines allocate packet ids from zero.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -183,15 +190,48 @@ static UNEXPECTED: AtomicU64 = AtomicU64::new(0);
 /// Per-run (per-simulation, per-thread) conservation state.
 #[derive(Default)]
 struct RunState {
-    /// In-flight packets: `(domain, source component, packet id) → DS-id`.
-    ledger: HashMap<(&'static str, u32, u64), u16>,
-    /// Outstanding interrupt counts per `(vector, DS-id)`; interrupts carry
-    /// no packet id, so they are conserved as a multiset.
-    irq: HashMap<(u8, u16), i64>,
+    /// In-flight packets:
+    /// `(ledger scope, domain, source component, packet id) → DS-id`.
+    ledger: HashMap<(u64, &'static str, u32, u64), u16>,
+    /// Outstanding interrupt counts per `(scope, vector, DS-id)`;
+    /// interrupts carry no packet id, so they are conserved as a multiset.
+    irq: HashMap<(u64, u8, u16), i64>,
 }
 
 thread_local! {
     static RUN: RefCell<RunState> = RefCell::new(RunState::default());
+    /// The calling thread's active ledger scope (see [`set_ledger_scope`]).
+    static SCOPE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Source of fresh ledger-scope ids (0 is the anonymous default scope).
+static NEXT_SCOPE: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh, process-unique ledger scope id.
+///
+/// A *scope* names one simulated machine's conservation flows inside the
+/// shared ledger. Packet ids are per-source monotonic **within one
+/// simulation**, so when several partitioned machines audit concurrently
+/// (the fleet layer's `par_map` across machines) their keys would collide
+/// without a scope dimension — machine A's packet `(xbar, src 3, id 17)`
+/// is a different packet from machine B's. Each
+/// [`PartitionedSimulation`](crate::PartitionedSimulation) takes a scope
+/// at construction and installs it on whichever thread executes its
+/// domain windows.
+pub fn alloc_ledger_scope() -> u64 {
+    NEXT_SCOPE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Sets the calling thread's ledger scope, returning the previous one so
+/// callers can restore it. Scope 0 is the default for plain sequential
+/// simulations (one live simulation per thread).
+pub fn set_ledger_scope(scope: u64) -> u64 {
+    SCOPE.with(|s| s.replace(scope))
+}
+
+/// The calling thread's active ledger scope.
+pub fn ledger_scope() -> u64 {
+    SCOPE.with(std::cell::Cell::get)
 }
 
 /// When set, ledger operations route to [`SHARED`] instead of the
@@ -199,6 +239,9 @@ thread_local! {
 /// simulation's conservation flows span several worker threads.
 static SHARED_MODE: AtomicBool = AtomicBool::new(false);
 static SHARED: Mutex<Option<RunState>> = Mutex::new(None);
+/// Live scoped sharers ([`share_ledger_scoped`] / [`release_shared_ledger`]
+/// pairs): shared mode stays on until the last partitioned machine drops.
+static SHARED_REFS: AtomicU64 = AtomicU64::new(0);
 
 impl RunState {
     /// Folds `other` into `self` (used when migrating between the
@@ -246,6 +289,43 @@ pub fn set_shared_ledger(on: bool) {
         if let Some(shared) = taken {
             RUN.with(|r| r.borrow_mut().absorb(shared));
         }
+    }
+}
+
+/// [`set_shared_ledger`]`(true)` that additionally rewrites the calling
+/// thread's migrating entries into `scope`.
+///
+/// A partitioned machine may have warmed up sequentially on this thread
+/// (scope 0) before partitioning; its in-flight packets must retire under
+/// the scope its domain windows will run with, so the migration rekeys
+/// them. Only this thread's local entries are rekeyed — other machines'
+/// flows already in the shared ledger keep their own scopes.
+pub fn share_ledger_scoped(scope: u64) {
+    SHARED_REFS.fetch_add(1, Ordering::AcqRel);
+    let local = RUN.with(|r| std::mem::take(&mut *r.borrow_mut()));
+    let mut rekeyed = RunState::default();
+    for ((_, domain, src, id), ds) in local.ledger {
+        rekeyed.ledger.insert((scope, domain, src, id), ds);
+    }
+    for ((_, vector, ds), count) in local.irq {
+        *rekeyed.irq.entry((scope, vector, ds)).or_insert(0) += count;
+    }
+    let mut guard = SHARED.lock().unwrap_or_else(|e| e.into_inner());
+    guard.get_or_insert_with(RunState::default).absorb(rekeyed);
+    drop(guard);
+    SHARED_MODE.store(true, Ordering::Release);
+}
+
+/// Releases one [`share_ledger_scoped`] hold. Shared mode (and the shared
+/// map's leftovers) fold back into the calling thread's ledger only when
+/// the last holder releases — several partitioned machines may be live at
+/// once, and one machine dropping must not strand its siblings' in-flight
+/// entries in thread-local mode.
+pub fn release_shared_ledger() {
+    let prev = SHARED_REFS.fetch_sub(1, Ordering::AcqRel);
+    if prev <= 1 {
+        SHARED_REFS.store(0, Ordering::Release);
+        set_shared_ledger(false);
     }
 }
 
@@ -341,6 +421,7 @@ pub fn disable() {
     *guard = None;
     RUN.with(|r| *r.borrow_mut() = RunState::default());
     SHARED_MODE.store(false, Ordering::Release);
+    SHARED_REFS.store(0, Ordering::Release);
     *SHARED.lock().unwrap_or_else(|e| e.into_inner()) = None;
 }
 
@@ -434,7 +515,8 @@ pub fn packet_inject(domain: &'static str, src: u32, id: u64, ds: u16, time: Tim
     if !enabled() {
         return;
     }
-    let duplicate = with_run(|r| r.ledger.insert((domain, src, id), ds).is_some());
+    let scope = ledger_scope();
+    let duplicate = with_run(|r| r.ledger.insert((scope, domain, src, id), ds).is_some());
     if duplicate {
         violation(
             AuditKind::Conservation,
@@ -457,9 +539,10 @@ pub fn packet_hop(domain: &'static str, src: u32, id: u64, ds: u16, time: Time, 
     if !enabled() {
         return;
     }
+    let scope = ledger_scope();
     let mismatch = with_run(|r| {
         r.ledger
-            .get(&(domain, src, id))
+            .get(&(scope, domain, src, id))
             .copied()
             .filter(|&tagged| tagged != ds)
     });
@@ -495,9 +578,10 @@ pub fn packet_retire(
     if !enabled() {
         return;
     }
+    let scope = ledger_scope();
     let mismatch = with_run(|r| {
         r.ledger
-            .remove(&(domain, src, id))
+            .remove(&(scope, domain, src, id))
             .filter(|&tagged| tagged != ds)
     });
     if let Some(tagged) = mismatch {
@@ -524,8 +608,9 @@ pub fn packet_drop(domain: &'static str, src: u32, id: u64) {
     if !enabled() {
         return;
     }
+    let scope = ledger_scope();
     with_run(|r| {
-        r.ledger.remove(&(domain, src, id));
+        r.ledger.remove(&(scope, domain, src, id));
     });
 }
 
@@ -535,8 +620,9 @@ pub fn irq_inject(vector: u8, ds: u16) {
     if !enabled() {
         return;
     }
+    let scope = ledger_scope();
     with_run(|r| {
-        *r.irq.entry((vector, ds)).or_insert(0) += 1;
+        *r.irq.entry((scope, vector, ds)).or_insert(0) += 1;
     });
 }
 
@@ -547,8 +633,9 @@ pub fn irq_settle(vector: u8, ds: u16, time: Time, stage: &'static str) {
     if !enabled() {
         return;
     }
+    let scope = ledger_scope();
     let unmatched = with_run(|r| {
-        let count = r.irq.entry((vector, ds)).or_insert(0);
+        let count = r.irq.entry((scope, vector, ds)).or_insert(0);
         *count -= 1;
         if *count < 0 {
             *count = 0;
@@ -784,6 +871,43 @@ mod tests {
         assert_eq!(in_flight(), local_before, "another thread retires shared entries");
         set_shared_ledger(false);
         assert_eq!(in_flight(), local_before, "leftovers migrate back out");
+
+        // Ledger scopes: two machines injecting the same (domain, src, id)
+        // key do not collide, and a scoped warm-up entry migrates into the
+        // shared ledger rekeyed to its machine's scope.
+        begin_run();
+        let before = violations_total();
+        let scope_a = alloc_ledger_scope();
+        let scope_b = alloc_ledger_scope();
+        assert_ne!(scope_a, scope_b);
+        set_ledger_scope(scope_a);
+        packet_inject("xbar", 1, 40, 3, Time::ZERO);
+        set_ledger_scope(scope_b);
+        packet_inject("xbar", 1, 40, 5, Time::ZERO);
+        assert_eq!(
+            violations_total(),
+            before,
+            "identical keys in different scopes are distinct packets"
+        );
+        packet_retire("xbar", 1, 40, 5, Time::from_ns(1), "llc");
+        set_ledger_scope(scope_a);
+        packet_retire("xbar", 1, 40, 3, Time::from_ns(1), "llc");
+        assert_eq!(violations_total(), before, "per-scope DS tags preserved");
+        assert_eq!(in_flight(), 0);
+        // Warm-up migration: a scope-0 entry rekeys to the machine's scope.
+        set_ledger_scope(0);
+        packet_inject("dma", 4, 50, 2, Time::ZERO);
+        share_ledger_scoped(scope_a);
+        set_ledger_scope(scope_a);
+        packet_retire("dma", 4, 50, 7, Time::from_ns(2), "memctrl");
+        assert_eq!(
+            violations_total(),
+            before + 1,
+            "rekeyed warm-up entry still checks DS preservation"
+        );
+        set_ledger_scope(0);
+        set_shared_ledger(false);
+        begin_run();
 
         // Strict mode panics on the first violation, after recording it.
         install(AuditConfig::strict()).unwrap();

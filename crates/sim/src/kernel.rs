@@ -594,6 +594,11 @@ pub struct PartitionedSimulation<E> {
     now: Time,
     events_base: u64,
     audit_shared: bool,
+    /// This machine's conservation-ledger scope: several partitioned
+    /// machines may audit concurrently (the fleet layer), so each keys its
+    /// ledger entries under a unique scope installed on whichever thread
+    /// runs its domain windows.
+    audit_scope: u64,
     /// When set, overrides the worker-count heuristics outright (tests
     /// pin the threaded driver regardless of machine parallelism).
     forced_workers: Option<usize>,
@@ -681,10 +686,14 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
         }
 
         // One simulation now spans several worker threads: conservation
-        // flows cross domains, so the audit ledger must be shared.
+        // flows cross domains, so the audit ledger must be shared. The
+        // machine's warm-up entries (if it ran sequentially first) migrate
+        // in rekeyed to its fresh scope, which every domain window
+        // installs while it executes.
+        let audit_scope = audit::alloc_ledger_scope();
         let audit_shared = audit::enabled();
         if audit_shared {
-            audit::set_shared_ledger(true);
+            audit::share_ledger_scoped(audit_scope);
         }
 
         PartitionedSimulation {
@@ -696,6 +705,7 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
             now,
             events_base: events_processed,
             audit_shared,
+            audit_scope,
             forced_workers: None,
         }
     }
@@ -838,11 +848,17 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
 
     fn advance(&mut self, end_excl: Time) -> bool {
         let workers = self.worker_count();
-        if workers <= 1 {
+        // Install this machine's ledger scope for the calling thread (the
+        // inline driver's windows and the threaded driver's serial domain
+        // both run here); worker threads install it themselves.
+        let prev_scope = audit::set_ledger_scope(self.audit_scope);
+        let stopped = if workers <= 1 {
             self.advance_inline(end_excl)
         } else {
             self.advance_threaded(end_excl, workers)
-        }
+        };
+        audit::set_ledger_scope(prev_scope);
+        stopped
     }
 
     /// Runs domain `d`'s window with its trace buffer entered on this
@@ -949,6 +965,7 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
 
         let ndom = self.domains.len();
         let serial_idx = self.serial.map(|s| s as usize);
+        let audit_scope = self.audit_scope;
         let domain_of = self.domain_of.clone();
         let lookahead = self.lookahead;
         let mut horizon = self.horizon;
@@ -992,6 +1009,7 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
                 let done = &done[w];
                 let panic_slot = &panic_slot;
                 scope.spawn(move || {
+                    audit::set_ledger_scope(audit_scope);
                     let mut states: Vec<(usize, DomainState<E>)> = mine
                         .iter()
                         .map(|&d| (d, slots[d].lock().take().expect("domain unclaimed")))
@@ -1170,7 +1188,7 @@ impl<E: Send + 'static> PartitionedSimulation<E> {
 impl<E> Drop for PartitionedSimulation<E> {
     fn drop(&mut self) {
         if self.audit_shared {
-            audit::set_shared_ledger(false);
+            audit::release_shared_ledger();
         }
     }
 }

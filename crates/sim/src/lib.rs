@@ -38,6 +38,18 @@
 //! sim.run();
 //! sim.with_component::<Ping, _, _>(id, |p| assert_eq!(p.count, 3));
 //! ```
+//!
+//! # Paper mapping
+//!
+//! The kernel plays the role of the paper's gem5 substrate (§6: a
+//! simulator "based on gem5" with full-system checkpoints): where the
+//! authors forked an existing simulator, this reproduction builds the
+//! event core from scratch so that determinism, parallel execution
+//! ([`par`], the domain-partitioned driver), statistics ([`stats`]),
+//! tracing ([`trace`]), and invariant auditing ([`audit`]) are designed
+//! in rather than bolted on. Nothing in this crate models a PARD
+//! mechanism itself — it is the vessel every mechanism crate
+//! (`pard-cache`, `pard-dram`, `pard-io`, `pard-prm`) runs inside.
 
 #![warn(missing_docs)]
 

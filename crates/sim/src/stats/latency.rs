@@ -112,6 +112,14 @@ impl LatencySample {
         out
     }
 
+    /// Folds another sample set into this one (fleet-level aggregation:
+    /// per-tenant samples merge into a per-tier distribution).
+    pub fn absorb(&mut self, other: &LatencySample) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+        self.sorted = false;
+    }
+
     /// Drops all samples.
     pub fn clear(&mut self) {
         self.samples.clear();

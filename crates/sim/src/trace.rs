@@ -78,10 +78,13 @@ pub enum TraceCat {
     Trigger = 5,
     /// PRM firmware interrupt servicing.
     Prm = 6,
+    /// Fleet-level events: PRM escalations arriving at the fleet manager,
+    /// traffic re-shards, and LDom migrations.
+    Fleet = 7,
 }
 
 /// Number of categories (size of the per-category filter tables).
-const CATS: usize = 7;
+const CATS: usize = 8;
 
 impl TraceCat {
     /// Every category, in bit order.
@@ -93,6 +96,7 @@ impl TraceCat {
         TraceCat::Ide,
         TraceCat::Trigger,
         TraceCat::Prm,
+        TraceCat::Fleet,
     ];
 
     /// This category's bit in the enable mask.
@@ -111,6 +115,7 @@ impl TraceCat {
             TraceCat::Ide => "ide",
             TraceCat::Trigger => "trigger",
             TraceCat::Prm => "prm",
+            TraceCat::Fleet => "fleet",
         }
     }
 
@@ -159,7 +164,7 @@ impl TraceVal {
 /// Default per-category sampling divisors: the kernel loop and the
 /// cache/memory hot paths fire millions of times per figure run, so they
 /// keep one event in N by default; control-path categories keep everything.
-const DEFAULT_SAMPLE: [u32; CATS] = [1024, 256, 256, 1, 1, 1, 1];
+const DEFAULT_SAMPLE: [u32; CATS] = [1024, 256, 256, 1, 1, 1, 1, 1];
 
 /// Default in-memory ring capacity, in rendered lines.
 const DEFAULT_RING: usize = 65_536;

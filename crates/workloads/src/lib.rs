@@ -24,8 +24,13 @@
 //! * [`BootThen`] — wraps any engine with an "OS boot" warm-up phase, for
 //!   the Figure 7 launch timeline.
 //! * [`TimeShared`] — a round-robin OS-scheduler model that retags the
-//!   core per process, implementing the paper's "process-level DiffServ"
-//!   open problem (§10).
+//!   core per process and parks blocked processes off the rotation,
+//!   implementing the paper's "process-level DiffServ" open problem (§10).
+//!
+//! For the rack-scale fleet experiment, [`RateProfile`] /
+//! [`ModulatedArrivals`] model diurnal + flash-crowd tenant traffic, and
+//! [`Memcached::with_arrivals`] runs the server against such a source with
+//! a load-balancer dispatch scale.
 //!
 //! # Paper mapping
 //!
@@ -39,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+mod arrivals;
 mod boot;
 mod cacheflush;
 mod chase;
@@ -51,6 +57,7 @@ mod spec;
 mod stream;
 mod timeshare;
 
+pub use arrivals::{ArrivalSource, FlashCrowd, ModulatedArrivals, RateProfile, NEVER};
 pub use boot::BootThen;
 pub use cacheflush::CacheFlush;
 pub use chase::PointerChase;

@@ -4,6 +4,7 @@ use pard_icn::LAddr;
 use pard_sim::stats::LatencySample;
 use pard_sim::Time;
 
+use crate::arrivals::ArrivalSource;
 use crate::generators::{PoissonArrivals, Zipf};
 use crate::op::{Op, WorkloadEngine};
 
@@ -116,7 +117,7 @@ enum Phase {
 /// The memcached workload engine. See [`MemcachedConfig`].
 pub struct Memcached {
     cfg: MemcachedConfig,
-    arrivals: PoissonArrivals,
+    arrivals: ArrivalSource,
     zipf: Zipf,
     meta_rng: Zipf,
     phase: Phase,
@@ -132,9 +133,18 @@ pub struct Memcached {
 }
 
 impl Memcached {
-    /// Creates the engine.
+    /// Creates the engine with the classic fixed-rate Poisson arrivals at
+    /// `cfg.rps`.
     pub fn new(cfg: MemcachedConfig) -> Self {
-        let mut arrivals = PoissonArrivals::new(cfg.rps, cfg.seed, "memcached.arrivals");
+        let arrivals =
+            ArrivalSource::Poisson(PoissonArrivals::new(cfg.rps, cfg.seed, "memcached.arrivals"));
+        Self::with_arrivals(cfg, arrivals)
+    }
+
+    /// Creates the engine over an explicit arrival source (the fleet uses
+    /// diurnal/flash-crowd [`ArrivalSource::Modulated`] processes here;
+    /// `cfg.rps` is then ignored in favour of the source's rate profile).
+    pub fn with_arrivals(cfg: MemcachedConfig, mut arrivals: ArrivalSource) -> Self {
         let next_arrival = arrivals.next_arrival();
         let item_bytes = cfg.value_lines * 64;
         Memcached {
@@ -158,6 +168,27 @@ impl Memcached {
     /// The configuration.
     pub fn config(&self) -> &MemcachedConfig {
         &self.cfg
+    }
+
+    /// Sets the dispatch scale on the arrival source (the load balancer's
+    /// traffic share for this replica). Scaling up a fully drained replica
+    /// re-draws the parked arrival so the engine wakes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was built with fixed-rate arrivals ([`new`](Self::new)).
+    pub fn set_arrival_scale(&mut self, scale: f64) {
+        self.arrivals.set_scale(scale);
+        if scale > 0.0 && self.next_arrival >= crate::arrivals::NEVER {
+            self.next_arrival = self.arrivals.next_arrival();
+        }
+    }
+
+    /// Takes the sojourn samples accumulated since the last call, leaving
+    /// the cumulative counters (completed, span) untouched. The fleet
+    /// drains this once per epoch to build per-tier distributions.
+    pub fn take_sample(&mut self) -> LatencySample {
+        std::mem::take(&mut self.sojourns)
     }
 
     /// Builds the run report (consumes nothing; callable at any point).

@@ -9,6 +9,10 @@ struct Slot {
     ds: u16,
     engine: Box<dyn WorkloadEngine>,
     halted: bool,
+    /// `Some(t)`: blocked until simulated time `t` (the engine returned
+    /// [`Op::IdleUntil`] into the future); the scheduler skips the slot
+    /// without burning its slice.
+    wake: Option<Time>,
 }
 
 /// A round-robin OS scheduler model: time-shares several workload engines
@@ -25,6 +29,13 @@ struct Slot {
 /// `switch_cycles` of compute plus the tag-register write. Engines that
 /// [`Op::Halt`] drop out of the rotation; when all have halted the
 /// combinator halts.
+///
+/// Blocking: an engine returning [`Op::IdleUntil`] into the future is
+/// *blocked*, not scheduled — the core rotates to the next runnable
+/// process instead of idling, exactly like an OS parking a process on a
+/// timer. The core only truly idles (forwards `IdleUntil` of the earliest
+/// wake) when every process is blocked. This is what lets many mostly-idle
+/// tenants share one core in the fleet's consolidation experiment.
 pub struct TimeShared {
     slots: Vec<Slot>,
     slice: Time,
@@ -52,6 +63,7 @@ impl TimeShared {
                     ds,
                     engine,
                     halted: false,
+                    wake: None,
                 })
                 .collect(),
             slice,
@@ -73,11 +85,61 @@ impl TimeShared {
         self.slots[self.active].ds
     }
 
+    /// Appends a process to the rotation (fleet migration: admitting a
+    /// tenant onto this core).
+    pub fn add_process(&mut self, ds: u16, engine: Box<dyn WorkloadEngine>) {
+        self.slots.push(Slot {
+            ds,
+            engine,
+            halted: false,
+            wake: None,
+        });
+    }
+
+    /// Permanently removes `ds` from the rotation (fleet migration: the
+    /// source machine retiring a drained tenant). Returns whether a live
+    /// process carried that DS-id.
+    pub fn retire(&mut self, ds: u16) -> bool {
+        let mut found = false;
+        for s in &mut self.slots {
+            if s.ds == ds && !s.halted {
+                s.halted = true;
+                s.wake = None;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Runs `f` against the live engine scheduled under `ds`, downcast to
+    /// `T`. Returns `None` when no live slot carries `ds` or its engine is
+    /// not a `T`. The slot's wake timer is cleared: external mutation (a
+    /// re-shard changing the arrival scale) may have made it runnable.
+    pub fn with_engine_of<T: 'static, R>(
+        &mut self,
+        ds: u16,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        let slot = self.slots.iter_mut().find(|s| s.ds == ds && !s.halted)?;
+        let engine = slot.engine.as_any_mut().downcast_mut::<T>()?;
+        let r = f(engine);
+        slot.wake = None;
+        Some(r)
+    }
+
     fn next_runnable(&self, from: usize) -> Option<usize> {
         let n = self.slots.len();
         (1..=n)
             .map(|k| (from + k) % n)
-            .find(|&i| !self.slots[i].halted)
+            .find(|&i| !self.slots[i].halted && self.slots[i].wake.is_none())
+    }
+
+    fn clear_expired_wakes(&mut self, now: Time) {
+        for s in &mut self.slots {
+            if matches!(s.wake, Some(w) if w <= now) {
+                s.wake = None;
+            }
+        }
     }
 }
 
@@ -94,12 +156,15 @@ impl WorkloadEngine for TimeShared {
             return Op::SetTag(self.slots[self.active].ds);
         }
 
+        self.clear_expired_wakes(now);
+
         if self.slots.iter().all(|s| s.halted) {
             return Op::Halt;
         }
 
-        // Preemption point: slice expired or current process halted.
-        if now >= self.slice_end || self.slots[self.active].halted {
+        // Preemption point: slice expired or current process halted/blocked.
+        let cur = &self.slots[self.active];
+        if now >= self.slice_end || cur.halted || cur.wake.is_some() {
             match self.next_runnable(self.active) {
                 Some(next) => {
                     let switching_process = next != self.active;
@@ -112,7 +177,20 @@ impl WorkloadEngine for TimeShared {
                     // Sole runnable process: charge the timer tick only.
                     return Op::Compute(self.switch_cycles / 4);
                 }
-                None => return Op::Halt,
+                None => {
+                    // Every live process is blocked: the core truly idles
+                    // until the earliest wake.
+                    return match self
+                        .slots
+                        .iter()
+                        .filter(|s| !s.halted)
+                        .filter_map(|s| s.wake)
+                        .min()
+                    {
+                        Some(w) => Op::IdleUntil(w),
+                        None => Op::Halt,
+                    };
+                }
             }
         }
 
@@ -121,6 +199,13 @@ impl WorkloadEngine for TimeShared {
             Op::Halt => {
                 slot.halted = true;
                 // Recurse to pick the next process (bounded: one level).
+                self.next_op(now)
+            }
+            Op::IdleUntil(t) if t > now => {
+                // The process parks on a timer: block it and rotate
+                // instead of idling the whole core (bounded recursion —
+                // the blocked slot cannot be re-picked this call).
+                slot.wake = Some(t);
                 self.next_op(now)
             }
             op => op,
